@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks for the §6.2 codecs: encode, decode, and
+//! predicate-pushdown scans over compressed fragments, including the
+//! partition-size synergy (narrower fragments → narrower FoR offsets →
+//! faster scans).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use casper_storage::compress::{Codec, Dictionary, ForBlock, Rle};
+
+const VALUES: usize = 1 << 16;
+
+fn dataset(cardinality: u64) -> Vec<u64> {
+    (0..VALUES as u64)
+        .map(|i| (i.wrapping_mul(2654435761)) % cardinality * 300)
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode");
+    group.throughput(Throughput::Elements(VALUES as u64));
+    let data = dataset(1000);
+    group.bench_function("dictionary", |b| {
+        b.iter(|| std::hint::black_box(Dictionary::encode(&data).encoded_bytes()))
+    });
+    group.bench_function("for_delta", |b| {
+        b.iter(|| std::hint::black_box(ForBlock::encode(&data).encoded_bytes()))
+    });
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+    group.bench_function("rle_sorted", |b| {
+        b.iter(|| std::hint::black_box(Rle::encode(&sorted).encoded_bytes()))
+    });
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_in_range");
+    group.throughput(Throughput::Elements(VALUES as u64));
+    let data = dataset(1000);
+    let dict = Dictionary::encode(&data);
+    let for_block = ForBlock::encode(&data);
+    group.bench_function("dictionary", |b| {
+        b.iter(|| std::hint::black_box(dict.count_in_range(30_000, 200_000)))
+    });
+    group.bench_function("for_delta", |b| {
+        b.iter(|| std::hint::black_box(for_block.count_in_range(30_000, 200_000)))
+    });
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                data.iter().filter(|&&v| (30_000..200_000).contains(&v)).count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_partition_synergy(c: &mut Criterion) {
+    // §6.2: finer partitions span narrower ranges → fewer FoR offset bytes.
+    let mut group = c.benchmark_group("for_bytes_per_fragment_size");
+    let data: Vec<u64> = (0..VALUES as u64).map(|i| i * 300).collect();
+    for frag in [VALUES, VALUES / 16, VALUES / 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(frag), &frag, |b, &frag| {
+            b.iter(|| {
+                let total: usize = data
+                    .chunks(frag)
+                    .map(|c| ForBlock::encode(c).encoded_bytes())
+                    .sum();
+                std::hint::black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_scan, bench_partition_synergy);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks: point and range scans vs layout granularity.
+//!
+//! Quantifies Fig. 2a's left axis on real hardware: point-query latency
+//! falls as partitions shrink; range scans are insensitive to partitioning
+//! once middles are consumed blindly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use casper_storage::ghost::GhostPlan;
+use casper_storage::{BlockLayout, ChunkConfig, PartitionSpec, PartitionedChunk};
+
+const VALUES: usize = 1 << 18;
+
+fn build(partitions: usize) -> PartitionedChunk<u64> {
+    let layout = BlockLayout::new::<u64>(16 * 1024);
+    let n_blocks = layout.num_blocks(VALUES);
+    let spec = PartitionSpec::equi_width(n_blocks, partitions);
+    PartitionedChunk::build(
+        (0..VALUES as u64).map(|v| v * 2).collect(),
+        &spec,
+        layout,
+        &GhostPlan::none(spec.partition_count()),
+        ChunkConfig::default(),
+    )
+    .expect("build")
+}
+
+fn bench_point_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("point_query");
+    for partitions in [1usize, 4, 16, 64, 128] {
+        let chunk = build(partitions);
+        let mut i = 0u64;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(partitions),
+            &partitions,
+            |b, _| {
+                b.iter(|| {
+                    i = i.wrapping_add(48271);
+                    let v = (i % VALUES as u64) * 2;
+                    std::hint::black_box(chunk.point_query(v).positions.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_range_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_count_1pct");
+    let span = (VALUES as u64 * 2) / 100;
+    for partitions in [1usize, 16, 128] {
+        let chunk = build(partitions);
+        let mut i = 0u64;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(partitions),
+            &partitions,
+            |b, _| {
+                b.iter(|| {
+                    i = i.wrapping_add(16807);
+                    let lo = i % (VALUES as u64 * 2 - span);
+                    std::hint::black_box(chunk.range_count(lo, lo + span).0)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_query, bench_range_count);
+criterion_main!(benches);

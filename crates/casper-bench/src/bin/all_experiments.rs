@@ -1,0 +1,48 @@
+//! Run every experiment binary at reduced scale — a smoke-test sweep of
+//! the whole evaluation (useful for CI and for regenerating EXPERIMENTS.md
+//! on a laptop).
+
+use std::process::Command;
+
+fn main() {
+    let quick_args: &[(&str, &[&str])] = &[
+        ("table01_design_space", &["--rows=262144", "--ops=2000"]),
+        ("fig01_headline", &["--rows=262144", "--ops=2000"]),
+        ("fig02_tradeoffs", &["--values=65536"]),
+        (
+            "fig09_model_verification",
+            &["--values=1000000", "--partitions=100", "--quick"],
+        ),
+        ("fig11_scalability", &["--max-size=100000000", "--budget-ms=5000"]),
+        ("fig12_throughput", &["--rows=262144", "--ops=2000"]),
+        ("fig13_latency_breakdown", &["--rows=262144", "--ops=2000"]),
+        ("fig14_ghost_values", &["--rows=262144", "--ops=2000"]),
+        ("fig15_sla", &["--rows=262144", "--ops=2000"]),
+        ("fig16_robustness", &["--values=65536", "--ops=4000"]),
+    ];
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for (bin, extra) in quick_args {
+        println!("\n################ {bin} ################");
+        let status = Command::new(exe_dir.join(bin))
+            .args(extra.iter())
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            other => {
+                eprintln!("[all] {bin} failed: {other:?}");
+                failures.push(*bin);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll experiments completed.");
+    } else {
+        eprintln!("\nFailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 1 (the headline): point-query / range-query (TPC-H Q6 shape) /
+//! insert latency plus workload throughput for three designs — vanilla
+//! column store, state-of-the-art sorted+delta, and the Casper optimal
+//! layout.
+//!
+//! Paper shape: the delta-store design beats the vanilla column store by
+//! ~1.9× on workload throughput; Casper's tailored layout (fine-grained
+//! partitioning + ~1% buffered slack) adds another ~4×.
+
+use casper_bench::report::{kops, us};
+use casper_bench::{Args, RunConfig, TableReport};
+use casper_engine::{LayoutMode, Table};
+use casper_workload::{HapQuery, HapSchema, Mix, MixKind};
+use std::time::Instant;
+
+/// The TPC-H Q6 analog (§6.4): key-range filter + payload predicate +
+/// arithmetic aggregate over two further columns.
+fn q6_like(table: &Table, domain: u64, at: u64) -> u64 {
+    let span = domain / 50; // ~2% selectivity, Q6's shipdate year
+    let lo = at.min(domain - span);
+    let out = table.multi_column_sum(lo, lo + span, &[1, 2], 3, 0, 40_000);
+    out.result.scalar()
+}
+
+fn main() {
+    let args = Args::parse();
+    args.usage(
+        "fig01_headline",
+        "Fig. 1: vanilla vs delta-store vs Casper on a hybrid workload",
+        &[
+            ("rows=N", "initial table rows (default 1M)"),
+            ("ops=N", "measured mixed operations (default 5000)"),
+            ("seed=N", "workload seed"),
+        ],
+    );
+    let rc = RunConfig::from_args(&args);
+    let modes = [
+        (LayoutMode::NoOrder, "vanilla column-store"),
+        (LayoutMode::StateOfArt, "col-store with delta"),
+        (LayoutMode::Casper, "optimal layout (Casper)"),
+    ];
+    let mix = Mix::new(MixKind::HybridPointSkewed, HapSchema::narrow(), rc.rows);
+    let domain = mix.generator().domain();
+    let queries = mix.generate(rc.ops, rc.seed);
+
+    let mut report = TableReport::new(
+        format!("Fig. 1 — headline comparison (rows={}, ops={})", rc.rows, rc.ops),
+        &["design", "point q us", "range q (Q6) us", "insert us", "kops"],
+    );
+    let mut throughputs = Vec::new();
+    for (mode, label) in modes {
+        eprintln!("[fig01] building {label}");
+        let mut table = casper_bench::runner::build_table(&mix, mode, &rc);
+        // Dedicated latency probes (paper reports per-op latency bars).
+        let probe = |table: &mut Table, n: u64, f: &dyn Fn(&mut Table, u64) -> u64| {
+            let t = Instant::now();
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = acc.wrapping_add(f(table, (i * 7919) % domain));
+            }
+            std::hint::black_box(acc);
+            t.elapsed().as_nanos() as f64 / n as f64
+        };
+        let pq_ns = probe(&mut table, 200, &|t, v| {
+            t.execute(&HapQuery::Q1 { v: v & !1, k: 4 })
+                .expect("q1")
+                .result
+                .scalar()
+        });
+        let rq_ns = probe(&mut table, 50, &|t, v| q6_like(t, domain, v));
+        let ins_ns = probe(&mut table, 200, &|t, v| {
+            let key = v | 1;
+            t.execute(&HapQuery::Q4 {
+                key,
+                payload: HapSchema::narrow().payload_row(key),
+            })
+            .expect("q4")
+            .result
+            .scalar()
+        });
+        // Mixed-workload throughput.
+        let out = casper_bench::runner::run_queries(&mut table, &queries);
+        throughputs.push(out.throughput);
+        report.row(&[
+            label.to_string(),
+            us(pq_ns),
+            us(rq_ns),
+            us(ins_ns),
+            kops(out.throughput),
+        ]);
+    }
+    report.print();
+    report.write_csv("fig01_headline");
+    println!(
+        "\nSpeedups vs vanilla: delta-store {:.2}x (paper ~1.9x), Casper {:.2}x (paper ~8x).",
+        throughputs[1] / throughputs[0].max(1e-9),
+        throughputs[2] / throughputs[0].max(1e-9),
+    );
+}

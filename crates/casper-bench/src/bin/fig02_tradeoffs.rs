@@ -1,0 +1,117 @@
+//! Figure 2 (conceptual trade-offs, regenerated quantitatively):
+//!
+//! * (a) structure: read cost falls ~logarithmically and write cost rises
+//!   ~linearly with the number of non-overlapping partitions;
+//! * (b) ghost values: write cost falls ~linearly with memory
+//!   amplification while read cost pays only a sublinear penalty.
+//!
+//! Panel (a) evaluates the paper's own cost model over equi-width layouts;
+//! panel (b) *measures* a real chunk under increasing ghost budgets.
+
+use casper_bench::{Args, TableReport};
+use casper_core::cost::{cost_of_segmentation, BlockTerms, CostConstants};
+use casper_core::{FrequencyModel, Segmentation};
+use casper_storage::ghost::GhostPlan;
+use casper_storage::{BlockLayout, ChunkConfig, PartitionSpec, PartitionedChunk};
+use std::time::Instant;
+
+fn panel_a(n_blocks: usize) {
+    let c = CostConstants::paper();
+    let mut read_fm = FrequencyModel::new(n_blocks);
+    read_fm.pq = vec![1.0; n_blocks];
+    let mut write_fm = FrequencyModel::new(n_blocks);
+    write_fm.ins = vec![1.0; n_blocks];
+    let read_terms = BlockTerms::from_fm(&read_fm, &c);
+    let write_terms = BlockTerms::from_fm(&write_fm, &c);
+    let base_read = cost_of_segmentation(&Segmentation::single(n_blocks), &read_terms);
+    let base_write = cost_of_segmentation(&Segmentation::single(n_blocks), &write_terms);
+    let mut report = TableReport::new(
+        format!("Fig. 2a — model cost vs #partitions (N={n_blocks} blocks)"),
+        &["partitions", "read cost (norm)", "write cost (norm)"],
+    );
+    let mut k = 1usize;
+    while k <= n_blocks {
+        let seg = Segmentation::equi(n_blocks, k);
+        report.row(&[
+            k.to_string(),
+            format!("{:.4}", cost_of_segmentation(&seg, &read_terms) / base_read),
+            format!("{:.4}", cost_of_segmentation(&seg, &write_terms) / base_write),
+        ]);
+        k *= 2;
+    }
+    report.print();
+    report.write_csv("fig02a_structure");
+}
+
+fn panel_b(values: usize, partitions: usize) {
+    let layout = BlockLayout::new::<u64>(4096);
+    let n_blocks = layout.num_blocks(values);
+    let spec = PartitionSpec::equi_width(n_blocks, partitions);
+    let k = spec.partition_count();
+    let mut report = TableReport::new(
+        format!("Fig. 2b — measured cost vs memory amplification ({values} values, {k} partitions)"),
+        &["mem amplification", "insert us", "point query us"],
+    );
+    let n_ops = 2000u64;
+    for ghost_frac in [0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5] {
+        let budget = (values as f64 * ghost_frac) as usize;
+        let config = ChunkConfig {
+            // Tail must absorb the whole insert stream in the 0-ghost case.
+            capacity_slack: n_ops as f64 / values as f64 + 0.05,
+            ..ChunkConfig::default()
+        };
+        let mut chunk = PartitionedChunk::build(
+            (0..values as u64).map(|v| v * 2).collect(),
+            &spec,
+            layout,
+            &GhostPlan::even(k, budget),
+            config,
+        )
+        .expect("build");
+        // Inserts spread over the domain: with ghosts they are O(1), without
+        // they ripple.
+        let t = Instant::now();
+        for i in 0..n_ops {
+            let v = (i * 48271) % (2 * values as u64) | 1;
+            chunk.insert(v, &[]).expect("insert");
+        }
+        let ins_us = t.elapsed().as_nanos() as f64 / n_ops as f64 / 1000.0;
+        let t = Instant::now();
+        let mut acc = 0usize;
+        for i in 0..n_ops {
+            let v = (i * 16807) % (2 * values as u64) & !1;
+            acc += chunk.point_query(v).positions.len();
+        }
+        std::hint::black_box(acc);
+        let pq_us = t.elapsed().as_nanos() as f64 / n_ops as f64 / 1000.0;
+        report.row(&[
+            format!("{:.2}", 1.0 + ghost_frac),
+            format!("{ins_us:.2}"),
+            format!("{pq_us:.2}"),
+        ]);
+    }
+    report.print();
+    report.write_csv("fig02b_ghost_values");
+}
+
+fn main() {
+    let args = Args::parse();
+    args.usage(
+        "fig02_tradeoffs",
+        "Fig. 2: structure vs read/write cost; ghost values vs memory",
+        &[
+            ("blocks=N", "model blocks for panel (a) (default 1024)"),
+            ("values=N", "chunk values for panel (b) (default 262144)"),
+            ("partitions=N", "partitions for panel (b) (default 64)"),
+        ],
+    );
+    panel_a(args.usize_or("blocks", 1024));
+    panel_b(
+        args.usize_or("values", 1 << 18),
+        args.usize_or("partitions", 64),
+    );
+    println!(
+        "\nShape check: (a) read cost ~1/k, write cost ~linear in k;\n\
+         (b) insert latency falls steeply with slack, point queries pay little."
+    );
+}

@@ -1,0 +1,75 @@
+//! Figure 13: per-operation latency and overall throughput for three
+//! workloads × six layouts:
+//!
+//! * (a) hybrid, skewed — Q1 49% / Q4 50% / Q6 1%;
+//! * (b) read-only, skewed — Q1 94% / Q2 5% / Q6 1%;
+//! * (c) update-only, uniform — Q4 80% / Q5 19% / Q6 1%.
+//!
+//! Paper shape: (a) Casper's inserts are orders of magnitude faster than
+//! every other layout without hurting Q1; (b) Casper matches the
+//! state-of-the-art; (c) Casper ≥ 2× everyone.
+
+use casper_bench::report::{kops, us};
+use casper_bench::{Args, RunConfig, TableReport};
+use casper_engine::LayoutMode;
+use casper_workload::MixKind;
+
+fn main() {
+    let args = Args::parse();
+    args.usage(
+        "fig13_latency_breakdown",
+        "Fig. 13: per-op latency + throughput for 3 workloads x 6 layouts",
+        &[
+            ("rows=N", "initial table rows (default 1M)"),
+            ("ops=N", "measured operations (default 5000)"),
+            ("seed=N", "workload seed"),
+        ],
+    );
+    let rc = RunConfig::from_args(&args);
+    let panels: [(&str, MixKind, [usize; 3]); 3] = [
+        ("(a) hybrid skewed", MixKind::HybridPointSkewed, [0, 3, 5]),
+        ("(b) read-only skewed", MixKind::ReadOnlySkewed, [0, 1, 5]),
+        ("(c) update-only uniform", MixKind::UpdateOnlyUniform, [3, 4, 5]),
+    ];
+    let class_names = ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"];
+    let modes = [
+        LayoutMode::Casper,
+        LayoutMode::EquiGV,
+        LayoutMode::Equi,
+        LayoutMode::StateOfArt,
+        LayoutMode::Sorted,
+        LayoutMode::NoOrder,
+    ];
+
+    for (panel, kind, classes) in panels {
+        let header: Vec<String> = std::iter::once("layout".to_string())
+            .chain(classes.iter().map(|&c| format!("{} us", class_names[c])))
+            .chain(["kops".to_string()])
+            .collect();
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut report = TableReport::new(
+            format!("Fig. 13 {panel} — {}", kind.label()),
+            &header_refs,
+        );
+        for mode in modes {
+            eprintln!("[fig13] {panel}: {}", mode.label());
+            let out = casper_bench::runner::run_mix(kind, mode, &rc);
+            let mut cells = vec![mode.label().to_string()];
+            for &c in &classes {
+                cells.push(
+                    out.latencies
+                        .summary(c)
+                        .map(|s| us(s.mean_ns))
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
+            cells.push(kops(out.throughput));
+            report.row(&cells);
+        }
+        report.print();
+        report.write_csv(&format!(
+            "fig13_{}",
+            panel.chars().nth(1).unwrap_or('x')
+        ));
+    }
+}

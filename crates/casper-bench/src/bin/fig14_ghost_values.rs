@@ -1,0 +1,53 @@
+//! Figure 14: insert latency vs ghost-value budget (0.01% → 10% of the
+//! data size) for the UDI1 (update-only skewed), UDI2 (update-only
+//! uniform), and YCSB-A2 (hybrid skewed) workloads, on Casper layouts.
+//!
+//! Paper shape: more ghost values → lower insert latency in every
+//! workload; already 1% of slack halves the insert latency.
+
+use casper_bench::report::us;
+use casper_bench::{Args, RunConfig, TableReport};
+use casper_engine::LayoutMode;
+use casper_workload::MixKind;
+
+fn main() {
+    let args = Args::parse();
+    args.usage(
+        "fig14_ghost_values",
+        "Fig. 14: insert latency vs ghost budget for UDI1/UDI2/YCSB-A2",
+        &[
+            ("rows=N", "initial table rows (default 1M)"),
+            ("ops=N", "measured operations (default 5000)"),
+            ("seed=N", "workload seed"),
+        ],
+    );
+    let mut rc = RunConfig::from_args(&args);
+    let budgets = [0.0001, 0.001, 0.01, 0.1];
+    let mixes = [
+        MixKind::UpdateOnlySkewed,
+        MixKind::UpdateOnlyUniform,
+        MixKind::YcsbA2,
+    ];
+    let mut report = TableReport::new(
+        format!("Fig. 14 — insert latency (us) vs ghost budget (rows={})", rc.rows),
+        &["workload", "0.01%", "0.1%", "1%", "10%"],
+    );
+    for kind in mixes {
+        let mut cells = vec![kind.label().to_string()];
+        for budget in budgets {
+            rc.engine.ghost_budget_frac = budget;
+            eprintln!("[fig14] {} @ {:.2}%", kind.label(), budget * 100.0);
+            let out = casper_bench::runner::run_mix(kind, LayoutMode::Casper, &rc);
+            let q4 = out
+                .latencies
+                .summary(3)
+                .map(|s| us(s.mean_ns))
+                .unwrap_or_else(|| "-".into());
+            cells.push(q4);
+        }
+        report.row(&cells);
+    }
+    report.print();
+    report.write_csv("fig14_ghost_values");
+    println!("\nShape check: insert latency must fall monotonically with the budget.");
+}

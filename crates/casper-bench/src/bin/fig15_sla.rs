@@ -1,0 +1,89 @@
+//! Figure 15: meeting insert-latency SLAs on a hybrid workload
+//! (Q1 89% / Q4 10% / Q6 1%).
+//!
+//! The SLA translates to a cap on partitions via Eq. 21
+//! (`Σp ≤ SLA/(RR+RW) − 1`). The paper sweeps insert SLAs from None down
+//! to 1.5 µs and observes: insert latency tracks the SLA, overall
+//! throughput barely moves (< 3%), and update (Q6) latency *rises* as the
+//! SLA tightens (fewer partitions → costlier point probes inside Q6).
+
+use casper_bench::report::{kops, us};
+use casper_bench::{Args, RunConfig, TableReport};
+use casper_core::solver::sla;
+use casper_core::{CostConstants, SolverConstraints};
+use casper_engine::LayoutMode;
+use casper_workload::MixKind;
+
+fn main() {
+    let args = Args::parse();
+    args.usage(
+        "fig15_sla",
+        "Fig. 15: insert-SLA sweep on the hybrid Q1/Q4/Q6 workload",
+        &[
+            ("rows=N", "initial table rows (default 1M)"),
+            ("ops=N", "measured operations (default 5000)"),
+            ("seed=N", "workload seed"),
+        ],
+    );
+    let mut rc = RunConfig::from_args(&args);
+    let constants = CostConstants::paper();
+    // The paper's x-axis, in µs (None = unconstrained).
+    let slas_us: [Option<f64>; 9] = [
+        None,
+        Some(12.5),
+        Some(10.0),
+        Some(7.5),
+        Some(6.25),
+        Some(3.75),
+        Some(2.5),
+        Some(2.0),
+        Some(1.5),
+    ];
+    let mut report = TableReport::new(
+        "Fig. 15 — insert SLA sweep (Q1 89% / Q4 10% / Q6 1%)",
+        &[
+            "insert SLA us", "max parts", "Q1 us", "Q4 us", "Q4 p99.9 us", "Q6 us", "kops",
+        ],
+    );
+    for sla_us in slas_us {
+        let (label, max_parts) = match sla_us {
+            None => ("None".to_string(), None),
+            Some(v) => (
+                format!("{v}"),
+                Some(sla::max_partitions_for_update_sla(&constants, v * 1000.0)),
+            ),
+        };
+        rc.constraints = SolverConstraints {
+            max_partitions: max_parts,
+            max_partition_blocks: None,
+        };
+        eprintln!("[fig15] SLA {label} -> max partitions {max_parts:?}");
+        let out = casper_bench::runner::run_mix(MixKind::SlaHybrid, LayoutMode::Casper, &rc);
+        let cell = |c: usize| {
+            out.latencies
+                .summary(c)
+                .map(|s| us(s.mean_ns))
+                .unwrap_or_else(|| "-".into())
+        };
+        let p999 = out
+            .latencies
+            .summary(3)
+            .map(|s| us(s.p999_ns as f64))
+            .unwrap_or_else(|| "-".into());
+        report.row(&[
+            label,
+            max_parts.map_or("-".into(), |k| k.to_string()),
+            cell(0),
+            cell(3),
+            p999,
+            cell(5),
+            kops(out.throughput),
+        ]);
+    }
+    report.print();
+    report.write_csv("fig15_sla");
+    println!(
+        "\nShape check: Q4 falls as the SLA tightens; Q6 rises at the\n\
+         tightest SLAs; throughput stays within a few percent."
+    );
+}

@@ -1,0 +1,50 @@
+//! Table 1: the column-layout design space — data organization
+//! {insertion order, sorted, partitioned} × update policy {in-place,
+//! out-of-place, hybrid} × buffering {none, global, per-partition}.
+//!
+//! Each engine mode instantiates one cell combination; this binary prints
+//! the mapping and exercises every mode on the same small hybrid workload
+//! to show all nine design-space dimensions are live code paths.
+
+use casper_bench::report::kops;
+use casper_bench::{Args, RunConfig, TableReport};
+use casper_engine::LayoutMode;
+use casper_workload::MixKind;
+
+fn main() {
+    let args = Args::parse();
+    args.usage(
+        "table01_design_space",
+        "Table 1: design space coverage across the six engine modes",
+        &[
+            ("rows=N", "initial table rows (default 1M)"),
+            ("ops=N", "operations per mode (default 5000)"),
+        ],
+    );
+    let rc = RunConfig::from_args(&args);
+    let rows: [(&str, LayoutMode, &str, &str, &str); 6] = [
+        ("No Order", LayoutMode::NoOrder, "insertion order", "in-place", "none"),
+        ("Sorted", LayoutMode::Sorted, "sorted", "in-place", "none"),
+        ("State-of-art", LayoutMode::StateOfArt, "sorted", "out-of-place", "global (delta)"),
+        ("Equi", LayoutMode::Equi, "partitioned", "in-place", "none"),
+        ("Equi-GV", LayoutMode::EquiGV, "partitioned", "hybrid", "per-partition"),
+        ("Casper", LayoutMode::Casper, "partitioned (optimal)", "hybrid", "per-partition (Eq. 18)"),
+    ];
+    let mut report = TableReport::new(
+        "Table 1 — design space of column layouts, instantiated",
+        &["mode", "data organization", "update policy", "buffering", "kops (hybrid)"],
+    );
+    for (label, mode, org, policy, buffering) in rows {
+        eprintln!("[table01] {label}");
+        let out = casper_bench::runner::run_mix(MixKind::HybridPointSkewed, mode, &rc);
+        report.row(&[
+            label.to_string(),
+            org.to_string(),
+            policy.to_string(),
+            buffering.to_string(),
+            kops(out.throughput),
+        ]);
+    }
+    report.print();
+    report.write_csv("table01_design_space");
+}

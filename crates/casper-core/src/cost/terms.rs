@@ -1,0 +1,124 @@
+//! The per-block coefficient vectors of Eq. 17.
+//!
+//! The total workload cost (Eq. 16) factors into four per-block terms that
+//! depend only on the Frequency Model and the cost constants:
+//!
+//! ```text
+//! fixed_term_i = RR·(rs+pq+in+de+2udf+2udb) + SR·(re+sc) + RW·(in+de+2udf+2udb)
+//! bck_term_i   = SR·(rs+pq+de+udf+udb)
+//! fwd_term_i   = SR·(re+pq+de+udf+udb)
+//! parts_term_i = (RR+RW)·(in+de+udf−utf−udb+utb)
+//! ```
+//!
+//! multiplied respectively by 1, `bck_read(i)`, `fwd_read(i)` and
+//! `trail_parts(i)`. Note `parts_term` may be **negative** (the `−utf`,
+//! `−udb` contributions) — the solver handles signed boundary costs.
+
+use super::constants::CostConstants;
+use crate::fm::FrequencyModel;
+
+/// Per-block cost coefficients (Eq. 17), precomputed from a
+/// [`FrequencyModel`] and [`CostConstants`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockTerms {
+    /// Partition-independent cost per block.
+    pub fixed: Vec<f64>,
+    /// Coefficient of `bck_read(i)` (leading blocks in the same partition).
+    pub bck: Vec<f64>,
+    /// Coefficient of `fwd_read(i)` (trailing blocks in the same partition).
+    pub fwd: Vec<f64>,
+    /// Coefficient of `trail_parts(i)` (boundaries at or after block `i`).
+    pub parts: Vec<f64>,
+}
+
+impl BlockTerms {
+    /// Compute Eq. 17 for every block.
+    pub fn from_fm(fm: &FrequencyModel, c: &CostConstants) -> Self {
+        let n = fm.n_blocks();
+        let mut fixed = Vec::with_capacity(n);
+        let mut bck = Vec::with_capacity(n);
+        let mut fwd = Vec::with_capacity(n);
+        let mut parts = Vec::with_capacity(n);
+        for i in 0..n {
+            let (pq, rs, sc, re) = (fm.pq[i], fm.rs[i], fm.sc[i], fm.re[i]);
+            let (ins, de) = (fm.ins[i], fm.de[i]);
+            let (udf, utf, udb, utb) = (fm.udf[i], fm.utf[i], fm.udb[i], fm.utb[i]);
+            fixed.push(
+                c.rr * (rs + pq + ins + de + 2.0 * udf + 2.0 * udb)
+                    + c.sr * (re + sc)
+                    + c.rw * (ins + de + 2.0 * udf + 2.0 * udb),
+            );
+            bck.push(c.sr * (rs + pq + de + udf + udb));
+            fwd.push(c.sr * (re + pq + de + udf + udb));
+            parts.push((c.rr + c.rw) * (ins + de + udf - utf - udb + utb));
+        }
+        Self {
+            fixed,
+            bck,
+            fwd,
+            parts,
+        }
+    }
+
+    /// Number of blocks.
+    #[inline]
+    pub fn n_blocks(&self) -> usize {
+        self.fixed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_point_queries() {
+        let mut fm = FrequencyModel::new(3);
+        fm.pq = vec![2.0, 0.0, 1.0];
+        let c = CostConstants::new(100.0, 100.0, 10.0, 10.0);
+        let t = BlockTerms::from_fm(&fm, &c);
+        assert_eq!(t.fixed, vec![200.0, 0.0, 100.0]);
+        assert_eq!(t.bck, vec![20.0, 0.0, 10.0]);
+        assert_eq!(t.fwd, vec![20.0, 0.0, 10.0]);
+        assert_eq!(t.parts, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn inserts_hit_fixed_and_parts() {
+        let mut fm = FrequencyModel::new(2);
+        fm.ins = vec![1.0, 0.0];
+        let c = CostConstants::new(100.0, 50.0, 10.0, 10.0);
+        let t = BlockTerms::from_fm(&fm, &c);
+        assert_eq!(t.fixed[0], 150.0); // RR + RW
+        assert_eq!(t.parts[0], 150.0); // (RR+RW)
+        assert_eq!(t.bck[0], 0.0);
+        assert_eq!(t.fwd[0], 0.0);
+    }
+
+    #[test]
+    fn updates_can_make_parts_negative() {
+        // An update *into* block 1 (utf) with its source in block 0 makes
+        // parts_term of block 1 negative.
+        let mut fm = FrequencyModel::new(2);
+        fm.udf = vec![1.0, 0.0];
+        fm.utf = vec![0.0, 1.0];
+        let c = CostConstants::paper();
+        let t = BlockTerms::from_fm(&fm, &c);
+        assert!(t.parts[0] > 0.0);
+        assert!(t.parts[1] < 0.0);
+        // Forward update fixed cost: 2RR + 2RW at the source block.
+        assert!((t.fixed[0] - (2.0 * c.rr + 2.0 * c.rw)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deletes_contribute_everywhere() {
+        let mut fm = FrequencyModel::new(1);
+        fm.de = vec![1.0];
+        let c = CostConstants::new(100.0, 100.0, 10.0, 10.0);
+        let t = BlockTerms::from_fm(&fm, &c);
+        assert_eq!(t.fixed[0], 200.0);
+        assert_eq!(t.bck[0], 10.0);
+        assert_eq!(t.fwd[0], 10.0);
+        assert_eq!(t.parts[0], 200.0);
+    }
+}

@@ -1,0 +1,312 @@
+//! Learning the Frequency Model from a sample workload (§4.2, Fig. 8a).
+//!
+//! "When calculating the histograms from a sample workload, we do not
+//! actually materialize the results or modify the data; instead, we capture
+//! the access patterns as if each operation is executed on the initial
+//! dataset." [`FmBuilder`] therefore maps operation endpoints to logical
+//! blocks through the *fences* of the initial sorted data (the first value
+//! of each block) and increments the matching histogram bins exactly as the
+//! worked examples of Fig. 7 prescribe.
+
+use super::histograms::FrequencyModel;
+use casper_storage::value::ColumnValue;
+
+/// One logical operation of the paper's repertoire (§3), used both for
+/// workload capture and for replay against an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op<K = u64> {
+    /// Point query for a value.
+    Point(K),
+    /// Range query over `[lo, hi)`.
+    Range(K, K),
+    /// Insert of a value.
+    Insert(K),
+    /// Delete of a value.
+    Delete(K),
+    /// Update changing `old` into `new`.
+    Update(K, K),
+}
+
+/// Builds a [`FrequencyModel`] from a stream of sample operations.
+#[derive(Debug, Clone)]
+pub struct FmBuilder<K: ColumnValue> {
+    /// First value of each block of the initial sorted dataset
+    /// (`fences[i] = sorted[i * B]`), ascending.
+    fences: Vec<K>,
+    fm: FrequencyModel,
+}
+
+impl<K: ColumnValue> FmBuilder<K> {
+    /// Build from the initial dataset (unsorted; sorted internally) and the
+    /// block size in values.
+    pub fn from_data(data: &[K], values_per_block: usize) -> Self {
+        assert!(!data.is_empty(), "need data to derive block fences");
+        assert!(values_per_block > 0);
+        let mut sorted = data.to_vec();
+        sorted.sort_unstable();
+        let fences = sorted
+            .chunks(values_per_block)
+            .map(|c| c[0])
+            .collect::<Vec<_>>();
+        let n = fences.len();
+        Self {
+            fences,
+            fm: FrequencyModel::new(n),
+        }
+    }
+
+    /// Build directly from precomputed block fences (first value of each
+    /// block, ascending).
+    pub fn from_fences(fences: Vec<K>) -> Self {
+        assert!(!fences.is_empty());
+        debug_assert!(fences.windows(2).all(|w| w[0] <= w[1]));
+        let n = fences.len();
+        Self {
+            fences,
+            fm: FrequencyModel::new(n),
+        }
+    }
+
+    /// Number of logical blocks.
+    pub fn n_blocks(&self) -> usize {
+        self.fences.len()
+    }
+
+    /// Block that holds (or would hold) value `v`: the last block whose
+    /// fence is `<= v`, i.e. the block containing `v`'s rank in the initial
+    /// sorted data, at block granularity.
+    pub fn block_of(&self, v: K) -> usize {
+        match self.fences.partition_point(|&f| f <= v) {
+            0 => 0,
+            b => b - 1,
+        }
+    }
+
+    /// Record one operation (Fig. 7 semantics).
+    pub fn record(&mut self, op: Op<K>) {
+        match op {
+            Op::Point(v) => self.record_point(v),
+            Op::Range(lo, hi) => self.record_range(lo, hi),
+            Op::Insert(v) => self.record_insert(v),
+            Op::Delete(v) => self.record_delete(v),
+            Op::Update(old, new) => self.record_update(old, new),
+        }
+    }
+
+    /// Record a whole batch.
+    pub fn record_all(&mut self, ops: impl IntoIterator<Item = Op<K>>) {
+        for op in ops {
+            self.record(op);
+        }
+    }
+
+    /// Point query: one access to the block that may hold `v` (Fig. 7a).
+    pub fn record_point(&mut self, v: K) {
+        let b = self.block_of(v);
+        self.fm.pq[b] += 1.0;
+    }
+
+    /// Range query over `[lo, hi)`: `rs` at the first block, `re` at the
+    /// last, `sc` for everything in between (Fig. 7b/7c). A range that
+    /// starts and ends in the same block records only `rs` — the single
+    /// random access covers it.
+    pub fn record_range(&mut self, lo: K, hi: K) {
+        if hi <= lo {
+            return;
+        }
+        let first = self.block_of(lo);
+        // The end block is the one holding the largest value *below* `hi`.
+        let last = match self.fences.partition_point(|&f| f < hi) {
+            0 => 0,
+            b => b - 1,
+        };
+        let last = last.max(first);
+        self.fm.rs[first] += 1.0;
+        if last > first {
+            for b in first + 1..last {
+                self.fm.sc[b] += 1.0;
+            }
+            self.fm.re[last] += 1.0;
+        }
+    }
+
+    /// Insert: one access to the block `v` would land in (Fig. 7e).
+    pub fn record_insert(&mut self, v: K) {
+        let b = self.block_of(v);
+        self.fm.ins[b] += 1.0;
+    }
+
+    /// Delete: one access to the block that may hold `v` (Fig. 7d).
+    pub fn record_delete(&mut self, v: K) {
+        let b = self.block_of(v);
+        self.fm.de[b] += 1.0;
+    }
+
+    /// Update: forward histograms when the new value is larger, backward
+    /// otherwise; `i == j` is recorded backward "by convention" (§4.4).
+    pub fn record_update(&mut self, old: K, new: K) {
+        let from = self.block_of(old);
+        let to = self.block_of(new);
+        if new > old && to > from {
+            self.fm.udf[from] += 1.0;
+            self.fm.utf[to] += 1.0;
+        } else {
+            self.fm.udb[from] += 1.0;
+            self.fm.utb[to] += 1.0;
+        }
+    }
+
+    /// Finish and return the model.
+    pub fn finish(self) -> FrequencyModel {
+        debug_assert!(self.fm.validate().is_ok());
+        self.fm
+    }
+
+    /// Peek at the model under construction.
+    pub fn model(&self) -> &FrequencyModel {
+        &self.fm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of Fig. 6/7: 16 values, blocks of two.
+    /// Sorted: 1 3 | 4 5 | 7 8 | 15 18 | 19 20 | 32 55 | 65 67 | 82 95
+    fn fig7_builder() -> FmBuilder<u64> {
+        let data = vec![3, 1, 5, 4, 7, 8, 15, 18, 20, 19, 32, 55, 65, 67, 82, 95];
+        FmBuilder::from_data(&data, 2)
+    }
+
+    #[test]
+    fn fig7a_point_query() {
+        let mut b = fig7_builder();
+        b.record_point(4);
+        let fm = b.finish();
+        assert_eq!(fm.pq[1], 1.0);
+        assert_eq!(fm.pq.iter().sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    fn fig7b_range_4_to_19() {
+        // Paper queries 4 ≤ v ≤ 19; our half-open equivalent is [4, 20).
+        let mut b = fig7_builder();
+        b.record_range(4, 20);
+        let fm = b.finish();
+        assert_eq!(fm.rs[1], 1.0, "rs1");
+        assert_eq!(fm.sc[2], 1.0, "sc2");
+        assert_eq!(fm.sc[3], 1.0, "sc3");
+        assert_eq!(fm.re[4], 1.0, "re4");
+        assert_eq!(fm.total_mass(), 4.0);
+    }
+
+    #[test]
+    fn fig7c_range_2_to_66_added() {
+        // Paper: after also recording 2 ≤ v ≤ 66 → rs0, sc1..sc5, re6.
+        let mut b = fig7_builder();
+        b.record_range(4, 20);
+        b.record_range(2, 67);
+        let fm = b.finish();
+        assert_eq!(fm.rs[0], 1.0);
+        assert_eq!(fm.rs[1], 1.0);
+        assert_eq!(fm.sc[1], 1.0);
+        assert_eq!(fm.sc[2], 2.0);
+        assert_eq!(fm.sc[3], 2.0);
+        assert_eq!(fm.sc[4], 1.0);
+        assert_eq!(fm.sc[5], 1.0);
+        assert_eq!(fm.re[4], 1.0);
+        assert_eq!(fm.re[6], 1.0);
+    }
+
+    #[test]
+    fn fig7d_delete_32() {
+        let mut b = fig7_builder();
+        b.record_delete(32);
+        assert_eq!(b.model().de[5], 1.0);
+    }
+
+    #[test]
+    fn fig7e_insert_16() {
+        let mut b = fig7_builder();
+        b.record_insert(16);
+        assert_eq!(b.model().ins[3], 1.0);
+    }
+
+    #[test]
+    fn fig7f_update_3_to_16_forward() {
+        let mut b = fig7_builder();
+        b.record_update(3, 16);
+        let fm = b.finish();
+        assert_eq!(fm.udf[0], 1.0);
+        assert_eq!(fm.utf[3], 1.0);
+    }
+
+    #[test]
+    fn fig7g_update_55_to_17_backward() {
+        let mut b = fig7_builder();
+        b.record_update(55, 17);
+        let fm = b.finish();
+        assert_eq!(fm.udb[5], 1.0);
+        assert_eq!(fm.utb[3], 1.0);
+    }
+
+    #[test]
+    fn same_block_update_recorded_backward() {
+        let mut b = fig7_builder();
+        b.record_update(4, 5); // both in block 1
+        let fm = b.finish();
+        assert_eq!(fm.udb[1], 1.0);
+        assert_eq!(fm.utb[1], 1.0);
+        assert_eq!(fm.udf[1], 0.0);
+    }
+
+    #[test]
+    fn single_block_range_records_rs_only() {
+        let mut b = fig7_builder();
+        b.record_range(4, 6); // both endpoints in block 1
+        let fm = b.finish();
+        assert_eq!(fm.rs[1], 1.0);
+        assert_eq!(fm.re.iter().sum::<f64>(), 0.0);
+        assert_eq!(fm.sc.iter().sum::<f64>(), 0.0);
+    }
+
+    #[test]
+    fn out_of_domain_values_clamp_to_edge_blocks() {
+        let mut b = fig7_builder();
+        b.record_point(0); // below min → block 0
+        b.record_point(10_000); // above max → last block
+        let fm = b.finish();
+        assert_eq!(fm.pq[0], 1.0);
+        assert_eq!(fm.pq[7], 1.0);
+    }
+
+    #[test]
+    fn record_all_matches_individual_calls() {
+        let ops = vec![
+            Op::Point(4),
+            Op::Range(4, 20),
+            Op::Insert(16),
+            Op::Delete(32),
+            Op::Update(3, 16),
+        ];
+        let mut a = fig7_builder();
+        a.record_all(ops.clone());
+        let mut b = fig7_builder();
+        for op in ops {
+            b.record(op);
+        }
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn builder_from_fences_equivalent() {
+        let data = vec![3u64, 1, 5, 4, 7, 8, 15, 18, 20, 19, 32, 55, 65, 67, 82, 95];
+        let a = FmBuilder::from_data(&data, 2);
+        let b = FmBuilder::from_fences(vec![1, 4, 7, 15, 19, 32, 65, 82]);
+        assert_eq!(a.n_blocks(), b.n_blocks());
+        for v in [0u64, 4, 16, 19, 55, 95, 1000] {
+            assert_eq!(a.block_of(v), b.block_of(v), "v={v}");
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Learning the Frequency Model from access-pattern *distributions*
+//! (§4.3, Fig. 8b).
+//!
+//! Instead of replaying a sample workload, the FM can be synthesized from
+//! statistical knowledge: per-operation counts plus a distribution of
+//! accesses over the (block-granularity) domain. Bins receive fractional
+//! expected counts; everything downstream (cost model, solver) is agnostic
+//! to whether the mass came from samples or expectations.
+
+use super::histograms::FrequencyModel;
+
+/// A normalized access distribution over `n` logical blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessDistribution {
+    /// Every block equally likely.
+    Uniform,
+    /// Zipf-like skew with exponent `theta`, hottest at block 0.
+    /// Weights `∝ 1/(i+1)^theta`.
+    Zipf {
+        /// Skew exponent (0 = uniform, 1 ≈ classic Zipf).
+        theta: f64,
+    },
+    /// Zipf-like skew hottest at the *last* block ("skewed accesses to more
+    /// recent data", §7.2).
+    ZipfRecent {
+        /// Skew exponent.
+        theta: f64,
+    },
+    /// Gaussian bump centred at `mean` (fraction of the domain) with
+    /// standard deviation `std` (fraction of the domain) — the shape of the
+    /// Fig. 16a training histograms.
+    Gaussian {
+        /// Centre, as a fraction of the domain in `[0, 1]`.
+        mean: f64,
+        /// Standard deviation, as a fraction of the domain.
+        std: f64,
+    },
+    /// Explicit per-block weights (re-normalized).
+    Weights(Vec<f64>),
+}
+
+impl AccessDistribution {
+    /// Normalized per-block weights (sum to 1).
+    pub fn block_weights(&self, n: usize) -> Vec<f64> {
+        assert!(n > 0);
+        let mut w: Vec<f64> = match self {
+            AccessDistribution::Uniform => vec![1.0; n],
+            AccessDistribution::Zipf { theta } => {
+                (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(*theta)).collect()
+            }
+            AccessDistribution::ZipfRecent { theta } => (0..n)
+                .map(|i| 1.0 / ((n - i) as f64).powf(*theta))
+                .collect(),
+            AccessDistribution::Gaussian { mean, std } => {
+                let mu = mean * (n as f64 - 1.0);
+                let sigma = (std * n as f64).max(1e-9);
+                (0..n)
+                    .map(|i| {
+                        let z = (i as f64 - mu) / sigma;
+                        (-0.5 * z * z).exp()
+                    })
+                    .collect()
+            }
+            AccessDistribution::Weights(w) => {
+                assert_eq!(w.len(), n, "weight vector length mismatch");
+                w.clone()
+            }
+        };
+        let sum: f64 = w.iter().sum();
+        assert!(sum > 0.0, "distribution has zero mass");
+        for v in &mut w {
+            *v /= sum;
+        }
+        w
+    }
+}
+
+/// Range-query shape: where ranges start and how many blocks they span.
+#[derive(Debug, Clone)]
+pub struct RangeSpec {
+    /// Distribution of the start block.
+    pub start: AccessDistribution,
+    /// Mean range length in blocks (≥ 1).
+    pub mean_len_blocks: f64,
+}
+
+/// Statistical description of a workload: expected operation counts plus
+/// their access distributions.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// (count, distribution) of point queries.
+    pub point: Option<(f64, AccessDistribution)>,
+    /// (count, shape) of range queries.
+    pub range: Option<(f64, RangeSpec)>,
+    /// (count, distribution) of inserts.
+    pub insert: Option<(f64, AccessDistribution)>,
+    /// (count, distribution) of deletes.
+    pub delete: Option<(f64, AccessDistribution)>,
+    /// (count, from-distribution, to-distribution) of updates. Expected
+    /// forward/backward split is derived from the two distributions.
+    pub update: Option<(f64, AccessDistribution, AccessDistribution)>,
+}
+
+impl WorkloadSpec {
+    /// An empty spec.
+    pub fn none() -> Self {
+        Self {
+            point: None,
+            range: None,
+            insert: None,
+            delete: None,
+            update: None,
+        }
+    }
+}
+
+impl FrequencyModel {
+    /// Synthesize a model of `n_blocks` bins from a [`WorkloadSpec`]
+    /// (Fig. 8b): every operation type contributes its expected count,
+    /// spread over the blocks according to its distribution.
+    pub fn from_distributions(n_blocks: usize, spec: &WorkloadSpec) -> FrequencyModel {
+        let mut fm = FrequencyModel::new(n_blocks);
+        let n = n_blocks;
+        if let Some((count, dist)) = &spec.point {
+            for (i, w) in dist.block_weights(n).iter().enumerate() {
+                fm.pq[i] += count * w;
+            }
+        }
+        if let Some((count, dist)) = &spec.insert {
+            for (i, w) in dist.block_weights(n).iter().enumerate() {
+                fm.ins[i] += count * w;
+            }
+        }
+        if let Some((count, dist)) = &spec.delete {
+            for (i, w) in dist.block_weights(n).iter().enumerate() {
+                fm.de[i] += count * w;
+            }
+        }
+        if let Some((count, range)) = &spec.range {
+            let len = range.mean_len_blocks.max(1.0);
+            let starts = range.start.block_weights(n);
+            for (s, w) in starts.iter().enumerate() {
+                let mass = count * w;
+                if mass == 0.0 {
+                    continue;
+                }
+                // Expected end block for ranges starting at s.
+                let end = ((s as f64 + len - 1.0).round() as usize).min(n - 1);
+                fm.rs[s] += mass;
+                if end > s {
+                    for b in s + 1..end {
+                        fm.sc[b] += mass;
+                    }
+                    fm.re[end] += mass;
+                }
+            }
+        }
+        if let Some((count, from, to)) = &spec.update {
+            // Expected-value decomposition: mass moving from block i to
+            // block j goes forward when j > i, backward otherwise (i == j
+            // counts backward, matching capture semantics).
+            let fw = from.block_weights(n);
+            let tw = to.block_weights(n);
+            for (i, &wi) in fw.iter().enumerate() {
+                if wi == 0.0 {
+                    continue;
+                }
+                for (j, &wj) in tw.iter().enumerate() {
+                    let mass = count * wi * wj;
+                    if mass == 0.0 {
+                        continue;
+                    }
+                    if j > i {
+                        fm.udf[i] += mass;
+                        fm.utf[j] += mass;
+                    } else {
+                        fm.udb[i] += mass;
+                        fm.utb[j] += mass;
+                    }
+                }
+            }
+        }
+        debug_assert!(fm.validate().is_ok());
+        fm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_weights_sum_to_one() {
+        let w = AccessDistribution::Uniform.block_weights(8);
+        assert_eq!(w.len(), 8);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w.iter().all(|&x| (x - 0.125).abs() < 1e-12));
+    }
+
+    #[test]
+    fn zipf_front_loads_mass() {
+        let w = AccessDistribution::Zipf { theta: 1.0 }.block_weights(10);
+        assert!(w[0] > w[9] * 5.0);
+        let wr = AccessDistribution::ZipfRecent { theta: 1.0 }.block_weights(10);
+        assert!(wr[9] > wr[0] * 5.0);
+        // Mirror images.
+        for i in 0..10 {
+            assert!((w[i] - wr[9 - i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gaussian_peaks_at_mean() {
+        let w = AccessDistribution::Gaussian {
+            mean: 0.75,
+            std: 0.1,
+        }
+        .block_weights(100);
+        let peak = w
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!((70..=79).contains(&peak), "peak at {peak}");
+    }
+
+    #[test]
+    fn synthesized_point_mass_matches_count() {
+        let spec = WorkloadSpec {
+            point: Some((100.0, AccessDistribution::Uniform)),
+            ..WorkloadSpec::none()
+        };
+        let fm = FrequencyModel::from_distributions(10, &spec);
+        assert!((fm.pq.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((fm.pq[0] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synthesized_ranges_have_rs_sc_re_structure() {
+        let spec = WorkloadSpec {
+            range: Some((
+                10.0,
+                RangeSpec {
+                    start: AccessDistribution::Weights(vec![
+                        1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+                    ]),
+                    mean_len_blocks: 4.0,
+                },
+            )),
+            ..WorkloadSpec::none()
+        };
+        let fm = FrequencyModel::from_distributions(8, &spec);
+        assert!((fm.rs[0] - 10.0).abs() < 1e-9);
+        assert!((fm.sc[1] - 10.0).abs() < 1e-9);
+        assert!((fm.sc[2] - 10.0).abs() < 1e-9);
+        assert!((fm.re[3] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn synthesized_updates_balance() {
+        let spec = WorkloadSpec {
+            update: Some((
+                50.0,
+                AccessDistribution::Zipf { theta: 0.8 },
+                AccessDistribution::Uniform,
+            )),
+            ..WorkloadSpec::none()
+        };
+        let fm = FrequencyModel::from_distributions(16, &spec);
+        fm.validate().unwrap();
+        let total: f64 = fm.udf.iter().sum::<f64>() + fm.udb.iter().sum::<f64>();
+        assert!((total - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_variant_requires_matching_length() {
+        let d = AccessDistribution::Weights(vec![1.0, 2.0]);
+        let w = d.block_weights(2);
+        assert!((w[1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,245 @@
+//! The ten access-pattern histograms of the Frequency Model (§4.2).
+//!
+//! "FM utilizes ten histograms, each storing the frequency of a different
+//! sub-operation": point queries (`pq`), range starts/scans/ends
+//! (`rs`/`sc`/`re`), deletes (`de`), inserts (`ins` — `in` is a Rust
+//! keyword), and the four update histograms distinguishing the *from*/*to*
+//! block and the ripple direction (`udf`/`utf` forward, `udb`/`utb`
+//! backward). Each bin corresponds to one logical block of the sorted
+//! domain.
+
+/// The Frequency Model: per-block access frequencies for every
+/// sub-operation. Counts are `f64` so the model can also be synthesized
+/// from fractional (expected-value) distributions (§4.3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyModel {
+    /// Point-query accesses per block (Fig. 7a).
+    pub pq: Vec<f64>,
+    /// Range-query start accesses (Fig. 7b).
+    pub rs: Vec<f64>,
+    /// Range-query full-block scans (Fig. 7b).
+    pub sc: Vec<f64>,
+    /// Range-query end accesses (Fig. 7b).
+    pub re: Vec<f64>,
+    /// Deletes per block (Fig. 7d).
+    pub de: Vec<f64>,
+    /// Inserts per block (Fig. 7e).
+    pub ins: Vec<f64>,
+    /// Update-from with forward ripple (Fig. 7f).
+    pub udf: Vec<f64>,
+    /// Update-to with forward ripple (Fig. 7f).
+    pub utf: Vec<f64>,
+    /// Update-from with backward ripple (Fig. 7g).
+    pub udb: Vec<f64>,
+    /// Update-to with backward ripple (Fig. 7g).
+    pub utb: Vec<f64>,
+}
+
+impl FrequencyModel {
+    /// An all-zero model over `n_blocks` blocks.
+    pub fn new(n_blocks: usize) -> Self {
+        assert!(n_blocks > 0, "a frequency model needs at least one block");
+        let z = || vec![0.0; n_blocks];
+        Self {
+            pq: z(),
+            rs: z(),
+            sc: z(),
+            re: z(),
+            de: z(),
+            ins: z(),
+            udf: z(),
+            utf: z(),
+            udb: z(),
+            utb: z(),
+        }
+    }
+
+    /// Number of logical blocks (`N`).
+    #[inline]
+    pub fn n_blocks(&self) -> usize {
+        self.pq.len()
+    }
+
+    /// Iterate over the ten histograms (name, data).
+    pub fn histograms(&self) -> [(&'static str, &[f64]); 10] {
+        [
+            ("pq", &self.pq),
+            ("rs", &self.rs),
+            ("sc", &self.sc),
+            ("re", &self.re),
+            ("de", &self.de),
+            ("in", &self.ins),
+            ("udf", &self.udf),
+            ("utf", &self.utf),
+            ("udb", &self.udb),
+            ("utb", &self.utb),
+        ]
+    }
+
+    /// Mutable access by histogram name (used by shift transforms).
+    pub(crate) fn histograms_mut(&mut self) -> [&mut Vec<f64>; 10] {
+        [
+            &mut self.pq,
+            &mut self.rs,
+            &mut self.sc,
+            &mut self.re,
+            &mut self.de,
+            &mut self.ins,
+            &mut self.udf,
+            &mut self.utf,
+            &mut self.udb,
+            &mut self.utb,
+        ]
+    }
+
+    /// Total recorded mass across all histograms.
+    pub fn total_mass(&self) -> f64 {
+        self.histograms()
+            .iter()
+            .map(|(_, h)| h.iter().sum::<f64>())
+            .sum()
+    }
+
+    /// Merge another model into this one (e.g. across sample batches).
+    ///
+    /// # Panics
+    /// Panics when block counts differ.
+    pub fn merge(&mut self, other: &FrequencyModel) {
+        assert_eq!(self.n_blocks(), other.n_blocks(), "block count mismatch");
+        let n = self.n_blocks();
+        let mut mine = self.histograms_mut();
+        let theirs = other.histograms();
+        for (m, (_, t)) in mine.iter_mut().zip(theirs.iter()) {
+            for i in 0..n {
+                m[i] += t[i];
+            }
+        }
+    }
+
+    /// Scale every bin by `factor` (e.g. to normalize a sample to an
+    /// expected ops/second rate).
+    pub fn scale(&mut self, factor: f64) {
+        for h in self.histograms_mut() {
+            for v in h.iter_mut() {
+                *v *= factor;
+            }
+        }
+    }
+
+    /// Structural validation: matching lengths, non-negative bins, and the
+    /// update pairing invariants (`Σudf == Σutf`, `Σudb == Σutb` — every
+    /// recorded update has both a source and a target block).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n_blocks();
+        for (name, h) in self.histograms() {
+            if h.len() != n {
+                return Err(format!("histogram {name} has {} bins, want {n}", h.len()));
+            }
+            if h.iter().any(|&v| !v.is_finite() || v < 0.0) {
+                return Err(format!("histogram {name} has a negative or non-finite bin"));
+            }
+        }
+        let sum = |h: &[f64]| h.iter().sum::<f64>();
+        if (sum(&self.udf) - sum(&self.utf)).abs() > 1e-6 * (1.0 + sum(&self.udf)) {
+            return Err("forward updates unbalanced: Σudf != Σutf".into());
+        }
+        if (sum(&self.udb) - sum(&self.utb)).abs() > 1e-6 * (1.0 + sum(&self.udb)) {
+            return Err("backward updates unbalanced: Σudb != Σutb".into());
+        }
+        Ok(())
+    }
+
+    /// Aggregate bins into a coarser model with `factor`-to-1 block merging
+    /// (§6.3 "Variable Histogram Granularity").
+    pub fn coarsen(&self, factor: usize) -> FrequencyModel {
+        assert!(factor >= 1);
+        let n = self.n_blocks().div_ceil(factor);
+        let mut out = FrequencyModel::new(n);
+        {
+            let theirs = self.histograms();
+            let mut mine = out.histograms_mut();
+            for (m, (_, t)) in mine.iter_mut().zip(theirs.iter()) {
+                for (i, &v) in t.iter().enumerate() {
+                    m[i / factor] += v;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zeroed() {
+        let fm = FrequencyModel::new(4);
+        assert_eq!(fm.n_blocks(), 4);
+        assert_eq!(fm.total_mass(), 0.0);
+        fm.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_rejected() {
+        let _ = FrequencyModel::new(0);
+    }
+
+    #[test]
+    fn merge_adds_mass() {
+        let mut a = FrequencyModel::new(3);
+        a.pq[0] = 2.0;
+        let mut b = FrequencyModel::new(3);
+        b.pq[0] = 1.0;
+        b.ins[2] = 4.0;
+        a.merge(&b);
+        assert_eq!(a.pq[0], 3.0);
+        assert_eq!(a.ins[2], 4.0);
+        assert_eq!(a.total_mass(), 7.0);
+    }
+
+    #[test]
+    fn scale_multiplies_all() {
+        let mut a = FrequencyModel::new(2);
+        a.rs[1] = 3.0;
+        a.sc[0] = 1.0;
+        a.scale(2.0);
+        assert_eq!(a.rs[1], 6.0);
+        assert_eq!(a.sc[0], 2.0);
+    }
+
+    #[test]
+    fn validate_catches_unbalanced_updates() {
+        let mut a = FrequencyModel::new(2);
+        a.udf[0] = 1.0; // no matching utf
+        assert!(a.validate().is_err());
+        a.utf[1] = 1.0;
+        a.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_negative_bins() {
+        let mut a = FrequencyModel::new(2);
+        a.de[0] = -1.0;
+        assert!(a.validate().is_err());
+    }
+
+    #[test]
+    fn coarsen_halves_resolution() {
+        let mut a = FrequencyModel::new(4);
+        a.pq = vec![1.0, 2.0, 3.0, 4.0];
+        let c = a.coarsen(2);
+        assert_eq!(c.n_blocks(), 2);
+        assert_eq!(c.pq, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn coarsen_uneven_tail() {
+        let mut a = FrequencyModel::new(5);
+        a.ins = vec![1.0; 5];
+        let c = a.coarsen(2);
+        assert_eq!(c.n_blocks(), 3);
+        assert_eq!(c.ins, vec![2.0, 2.0, 1.0]);
+    }
+}

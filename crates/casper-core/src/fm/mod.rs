@@ -1,0 +1,9 @@
+//! The Frequency Model (§4.2, §4.3, Fig. 7, Fig. 8).
+
+mod capture;
+mod distribution;
+mod histograms;
+
+pub use capture::{FmBuilder, Op};
+pub use distribution::{AccessDistribution, RangeSpec, WorkloadSpec};
+pub use histograms::FrequencyModel;

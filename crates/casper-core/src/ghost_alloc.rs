@@ -1,0 +1,95 @@
+//! Ghost-value allocation (§4.6, Eq. 18).
+//!
+//! "The operations that can benefit from having ghost values in the
+//! partitions they target are inserts and updates. ... The distribution of
+//! ghost values for block i ... uses the data movement per block as a
+//! result of inserts and updates (`dm_part(i)`), as well as the total data
+//! movement (`dm_tot`), to distribute ghost values proportionally to the
+//! performance benefit they offer":
+//!
+//! ```text
+//! GValloc(i) = dm_part(i) / dm_tot · GVtot
+//! ```
+//!
+//! We aggregate `dm` per partition (inserts plus incoming updates, both
+//! ripple directions) and round with the largest-remainder method so the
+//! plan sums to exactly the budget.
+
+use crate::fm::FrequencyModel;
+use crate::layout::Segmentation;
+use casper_storage::ghost::GhostPlan;
+
+/// Data movement attracted by each partition: Σ over its blocks of
+/// `in + utf + utb` (every insert and every incoming update needs a slot in
+/// the worst case, §4.6).
+pub fn data_movement_per_partition(fm: &FrequencyModel, seg: &Segmentation) -> Vec<f64> {
+    assert_eq!(fm.n_blocks(), seg.n_blocks(), "block count mismatch");
+    seg.ranges()
+        .map(|r| r.map(|i| fm.ins[i] + fm.utf[i] + fm.utb[i]).sum())
+        .collect()
+}
+
+/// Distribute `budget` ghost slots over the partitions of `seg`
+/// proportionally to the data movement they receive (Eq. 18).
+pub fn allocate_ghosts(fm: &FrequencyModel, seg: &Segmentation, budget: usize) -> GhostPlan {
+    let dm = data_movement_per_partition(fm, seg);
+    GhostPlan::proportional(&dm, budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn movement_sums_inserts_and_incoming_updates() {
+        let mut fm = FrequencyModel::new(4);
+        fm.ins = vec![1.0, 0.0, 0.0, 3.0];
+        fm.utf = vec![0.0, 2.0, 0.0, 0.0];
+        fm.utb = vec![0.0, 0.0, 4.0, 0.0];
+        let seg = Segmentation::new(vec![2, 4]);
+        let dm = data_movement_per_partition(&fm, &seg);
+        assert_eq!(dm, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn allocation_is_proportional_and_exact() {
+        let mut fm = FrequencyModel::new(4);
+        fm.ins = vec![1.0, 0.0, 0.0, 3.0];
+        let seg = Segmentation::new(vec![2, 4]);
+        let plan = allocate_ghosts(&fm, &seg, 100);
+        assert_eq!(plan.total(), 100);
+        assert_eq!(plan.counts(), &[25, 75]);
+    }
+
+    #[test]
+    fn no_movement_spreads_evenly() {
+        let fm = FrequencyModel::new(6);
+        let seg = Segmentation::new(vec![2, 4, 6]);
+        let plan = allocate_ghosts(&fm, &seg, 9);
+        assert_eq!(plan.total(), 9);
+        assert_eq!(plan.counts(), &[3, 3, 3]);
+    }
+
+    #[test]
+    fn update_heavy_partition_gets_the_budget() {
+        // All updates land in the last partition → it should receive
+        // (nearly) the whole budget.
+        let mut fm = FrequencyModel::new(8);
+        fm.udb = vec![0.0; 8];
+        fm.udb[0] = 10.0;
+        fm.utb = vec![0.0; 8];
+        fm.utb[7] = 10.0;
+        let seg = Segmentation::new(vec![4, 8]);
+        let plan = allocate_ghosts(&fm, &seg, 10);
+        assert_eq!(plan.counts(), &[0, 10]);
+    }
+
+    #[test]
+    fn zero_budget_zero_plan() {
+        let mut fm = FrequencyModel::new(2);
+        fm.ins = vec![5.0, 5.0];
+        let seg = Segmentation::new(vec![1, 2]);
+        let plan = allocate_ghosts(&fm, &seg, 0);
+        assert_eq!(plan.total(), 0);
+    }
+}

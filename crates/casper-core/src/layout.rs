@@ -1,0 +1,207 @@
+//! Segmentations: the solver-side representation of a partitioning.
+//!
+//! While the storage layer represents a partitioning as the boundary
+//! bit-vector of §4.1 ([`casper_storage::PartitionSpec`]), the solver works
+//! with the equivalent *segmentation*: the sorted list of exclusive
+//! partition end offsets. The two convert losslessly.
+
+use casper_storage::PartitionSpec;
+
+/// A partitioning of `n` blocks as exclusive end offsets
+/// (`ends.last() == n`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segmentation {
+    ends: Vec<usize>,
+}
+
+impl Segmentation {
+    /// Build from exclusive end offsets.
+    ///
+    /// # Panics
+    /// Panics if `ends` is empty, not strictly increasing, or starts at 0.
+    pub fn new(ends: Vec<usize>) -> Self {
+        assert!(!ends.is_empty(), "need at least one partition");
+        assert!(ends[0] > 0, "first end must be positive");
+        assert!(
+            ends.windows(2).all(|w| w[0] < w[1]),
+            "ends must be strictly increasing"
+        );
+        Self { ends }
+    }
+
+    /// Single partition over `n` blocks.
+    pub fn single(n: usize) -> Self {
+        Self::new(vec![n])
+    }
+
+    /// Equi-width segmentation with `k` partitions (first partitions absorb
+    /// the remainder), mirroring [`PartitionSpec::equi_width`].
+    pub fn equi(n: usize, k: usize) -> Self {
+        let k = k.clamp(1, n);
+        let base = n / k;
+        let rem = n % k;
+        let mut ends = Vec::with_capacity(k);
+        let mut e = 0;
+        for p in 0..k {
+            e += base + usize::from(p < rem);
+            ends.push(e);
+        }
+        Self { ends }
+    }
+
+    /// Build from a boundary bit-vector (`p_i` variables).
+    pub fn from_boundaries(p: &[bool]) -> Self {
+        assert!(p.last().copied().unwrap_or(false), "p_{{N-1}} must be set");
+        Self {
+            ends: p
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b)
+                .map(|(i, _)| i + 1)
+                .collect(),
+        }
+    }
+
+    /// The boundary bit-vector.
+    pub fn to_boundaries(&self) -> Vec<bool> {
+        let n = self.n_blocks();
+        let mut p = vec![false; n];
+        for &e in &self.ends {
+            p[e - 1] = true;
+        }
+        p
+    }
+
+    /// Convert to a storage-layer [`PartitionSpec`].
+    pub fn to_spec(&self) -> PartitionSpec {
+        PartitionSpec::from_block_ends(&self.ends, self.n_blocks())
+    }
+
+    /// Total blocks covered.
+    #[inline]
+    pub fn n_blocks(&self) -> usize {
+        *self.ends.last().expect("non-empty")
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn partition_count(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Exclusive end offsets.
+    #[inline]
+    pub fn ends(&self) -> &[usize] {
+        &self.ends
+    }
+
+    /// Iterate partitions as half-open block ranges.
+    pub fn ranges(&self) -> impl Iterator<Item = std::ops::Range<usize>> + '_ {
+        let mut start = 0usize;
+        self.ends.iter().map(move |&e| {
+            let r = start..e;
+            start = e;
+            r
+        })
+    }
+
+    /// Partition sizes in blocks.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.ranges().map(|r| r.len()).collect()
+    }
+
+    /// Widest partition, in blocks.
+    pub fn max_partition_blocks(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Index of the partition containing block `i`.
+    pub fn partition_of(&self, i: usize) -> usize {
+        self.ends.partition_point(|&e| e <= i)
+    }
+
+    /// First block of the partition containing block `i`.
+    pub fn partition_start(&self, i: usize) -> usize {
+        let p = self.partition_of(i);
+        if p == 0 {
+            0
+        } else {
+            self.ends[p - 1]
+        }
+    }
+
+    /// One-past-the-last block of the partition containing block `i`.
+    pub fn partition_end(&self, i: usize) -> usize {
+        self.ends[self.partition_of(i)]
+    }
+}
+
+impl std::fmt::Display for Segmentation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, r) in self.ranges().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{}", r.len())?;
+        }
+        write!(f, "] ({} parts / {} blocks)", self.partition_count(), self.n_blocks())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_round_trip() {
+        let p = vec![false, true, false, false, true, true];
+        let seg = Segmentation::from_boundaries(&p);
+        assert_eq!(seg.ends(), &[2, 5, 6]);
+        assert_eq!(seg.to_boundaries(), p);
+    }
+
+    #[test]
+    fn spec_round_trip() {
+        let seg = Segmentation::new(vec![3, 4, 8]);
+        let spec = seg.to_spec();
+        assert_eq!(spec.partition_count(), 3);
+        let sizes: Vec<usize> = spec.block_ranges().map(|r| r.len()).collect();
+        assert_eq!(sizes, seg.sizes());
+    }
+
+    #[test]
+    fn partition_lookup() {
+        let seg = Segmentation::new(vec![2, 5, 8]);
+        assert_eq!(seg.partition_of(0), 0);
+        assert_eq!(seg.partition_of(1), 0);
+        assert_eq!(seg.partition_of(2), 1);
+        assert_eq!(seg.partition_of(4), 1);
+        assert_eq!(seg.partition_of(7), 2);
+        assert_eq!(seg.partition_start(4), 2);
+        assert_eq!(seg.partition_end(4), 5);
+    }
+
+    #[test]
+    fn equi_matches_storage_equi_width() {
+        for (n, k) in [(10, 4), (8, 8), (7, 3), (5, 1)] {
+            let seg = Segmentation::equi(n, k);
+            let spec = casper_storage::PartitionSpec::equi_width(n, k);
+            let spec_sizes: Vec<usize> = spec.block_ranges().map(|r| r.len()).collect();
+            assert_eq!(seg.sizes(), spec_sizes, "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let seg = Segmentation::new(vec![2, 3, 8]);
+        let s = format!("{seg}");
+        assert!(s.contains("[2 | 1 | 5]"));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_non_monotone_ends() {
+        let _ = Segmentation::new(vec![3, 3]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Mapping latency SLAs to structural constraints (Eq. 21).
+//!
+//! * **Update/insert SLA**: the most expensive insert ripples through all
+//!   partitions, costing `(RR + RW)·(1 + Σ p_i)`, so
+//!   `Σ p_i ≤ updateSLA/(RR+RW) − 1` caps the partition count.
+//! * **Read SLA**: a point query costs `RR + SR·MPS` for a partition of
+//!   `MPS` blocks, so `MPS = (readSLA − RR)/SR − 1` caps the partition
+//!   width; the paper enforces it with sliding-window constraints
+//!   `Σ_{i=j}^{j+MPS−1} p_i ≥ 1`, which is equivalent to the DP's
+//!   segment-length cap.
+
+use super::SolverConstraints;
+use crate::cost::CostConstants;
+
+/// Maximum partition count allowed by an update SLA (ns), per Eq. 21.
+/// Clamped to at least 1.
+pub fn max_partitions_for_update_sla(c: &CostConstants, update_sla_ns: f64) -> usize {
+    let k = (update_sla_ns / (c.rr + c.rw) - 1.0).floor();
+    if k < 1.0 {
+        1
+    } else {
+        k as usize
+    }
+}
+
+/// Maximum partition width in blocks (`MPS`) allowed by a read SLA (ns),
+/// per Eq. 21. Clamped to at least 1.
+pub fn max_partition_blocks_for_read_sla(c: &CostConstants, read_sla_ns: f64) -> usize {
+    let w = ((read_sla_ns - c.rr) / c.sr - 1.0).floor();
+    if w < 1.0 {
+        1
+    } else {
+        w as usize
+    }
+}
+
+/// Bundle both SLA families into [`SolverConstraints`].
+pub fn constraints_from_slas(
+    c: &CostConstants,
+    update_sla_ns: Option<f64>,
+    read_sla_ns: Option<f64>,
+) -> SolverConstraints {
+    SolverConstraints {
+        max_partitions: update_sla_ns.map(|s| max_partitions_for_update_sla(c, s)),
+        max_partition_blocks: read_sla_ns.map(|s| max_partition_blocks_for_read_sla(c, s)),
+    }
+}
+
+/// The worst-case insert latency (ns) implied by a partition count — the
+/// inverse of [`max_partitions_for_update_sla`], used to report achieved
+/// bounds in the Fig. 15 experiment.
+pub fn worst_insert_nanos(c: &CostConstants, partitions: usize) -> f64 {
+    (c.rr + c.rw) * (1.0 + partitions as f64)
+}
+
+/// The worst-case point-query latency (ns) implied by a maximum partition
+/// width in blocks.
+pub fn worst_point_query_nanos(c: &CostConstants, mps_blocks: usize) -> f64 {
+    c.rr + c.sr * mps_blocks as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_sla_caps_partitions() {
+        let c = CostConstants::new(100.0, 100.0, 10.0, 10.0);
+        // SLA 1000ns / (200ns per partition step) − 1 = 4.
+        assert_eq!(max_partitions_for_update_sla(&c, 1000.0), 4);
+        // Tight SLA clamps to one partition.
+        assert_eq!(max_partitions_for_update_sla(&c, 100.0), 1);
+    }
+
+    #[test]
+    fn read_sla_caps_partition_width() {
+        let c = CostConstants::new(100.0, 100.0, 10.0, 10.0);
+        // (600 − 100)/10 − 1 = 49 blocks.
+        assert_eq!(max_partition_blocks_for_read_sla(&c, 600.0), 49);
+        assert_eq!(max_partition_blocks_for_read_sla(&c, 50.0), 1);
+    }
+
+    #[test]
+    fn sla_round_trip_within_bounds() {
+        let c = CostConstants::paper();
+        for sla in [500.0, 1000.0, 5000.0, 12_500.0] {
+            let k = max_partitions_for_update_sla(&c, sla);
+            assert!(
+                worst_insert_nanos(&c, k) <= sla,
+                "k={k} violates its own SLA {sla}"
+            );
+            // One more partition would break the SLA (unless clamped).
+            if k > 1 {
+                assert!(worst_insert_nanos(&c, k + 1) > sla);
+            }
+        }
+    }
+
+    #[test]
+    fn bundle_builds_constraints() {
+        let c = CostConstants::paper();
+        let sc = constraints_from_slas(&c, Some(2000.0), Some(800.0));
+        assert!(sc.max_partitions.is_some());
+        assert!(sc.max_partition_blocks.is_some());
+        let none = constraints_from_slas(&c, None, None);
+        assert_eq!(none, SolverConstraints::none());
+    }
+}

@@ -1,0 +1,661 @@
+//! Chunked columns: the engine's horizontal unit of scale.
+//!
+//! "Each column is not a single contiguous column; instead, it is a
+//! collection of column chunks, each one stored and managed separately"
+//! (§7). Ordered modes range-partition the key domain across chunks (a
+//! fence per chunk routes operations); the `NoOrder` baseline has no
+//! ordering invariant, so its reads and deletes must broadcast to every
+//! chunk — which is precisely why it loses on point-query workloads.
+
+use crate::exec::parallel_map;
+use crate::modes::{EngineConfig, LayoutMode};
+use casper_core::Segmentation;
+use casper_storage::ghost::GhostPlan;
+use casper_storage::{
+    BlockLayout, ChunkConfig, OpCost, PartitionSpec, PartitionedChunk, SortedColumn, SortedDelta,
+    StorageError, UpdatePolicy,
+};
+
+/// Storage behind one chunk, depending on the layout mode.
+#[derive(Debug, Clone)]
+pub enum ChunkStore {
+    /// Range-partitioned chunk (NoOrder/Equi/EquiGV/Casper).
+    Partitioned(PartitionedChunk<u64>),
+    /// Fully sorted chunk (Sorted).
+    Sorted(SortedColumn<u64>),
+    /// Sorted chunk with a delta buffer (StateOfArt).
+    Delta(SortedDelta<u64>),
+}
+
+impl ChunkStore {
+    /// Live row count.
+    pub fn len(&self) -> usize {
+        match self {
+            ChunkStore::Partitioned(c) => c.live_len(),
+            ChunkStore::Sorted(c) => c.len(),
+            ChunkStore::Delta(c) => c.len_estimate(),
+        }
+    }
+
+    /// Whether the chunk holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A key column split into range chunks, with slot-aligned payload columns
+/// inside each chunk.
+#[derive(Debug)]
+pub struct ChunkedColumn {
+    chunks: Vec<ChunkStore>,
+    /// Inclusive upper key fence per chunk (ordered modes); `None` for
+    /// `NoOrder`, which broadcasts.
+    fences: Option<Vec<u64>>,
+    config: EngineConfig,
+    payload_width: usize,
+}
+
+impl ChunkedColumn {
+    /// Load a column: keys plus column-major payloads (each payload column
+    /// exactly as long as `keys`).
+    pub fn load(mut keys: Vec<u64>, mut payload_cols: Vec<Vec<u32>>, config: EngineConfig) -> Self {
+        assert!(!keys.is_empty(), "cannot load an empty column");
+        for c in &payload_cols {
+            assert_eq!(c.len(), keys.len(), "payload column length mismatch");
+        }
+        let payload_width = payload_cols.len();
+        let ordered = config.mode != LayoutMode::NoOrder;
+        if ordered {
+            // Global co-sort so chunks partition the key domain.
+            let mut perm: Vec<u32> = (0..keys.len() as u32).collect();
+            perm.sort_by_key(|&i| keys[i as usize]);
+            keys = perm.iter().map(|&i| keys[i as usize]).collect();
+            for col in &mut payload_cols {
+                *col = perm.iter().map(|&i| col[i as usize]).collect();
+            }
+        }
+        let mut chunks = Vec::new();
+        let mut fences = Vec::new();
+        let n = keys.len();
+        let per = config.chunk_values.max(1);
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + per).min(n);
+            let chunk_keys = keys[start..end].to_vec();
+            let chunk_payloads: Vec<Vec<u32>> = payload_cols
+                .iter()
+                .map(|c| c[start..end].to_vec())
+                .collect();
+            fences.push(chunk_keys.last().copied().expect("non-empty chunk"));
+            chunks.push(build_chunk(chunk_keys, chunk_payloads, &config));
+            start = end;
+        }
+        Self {
+            chunks,
+            fences: ordered.then_some(fences),
+            config,
+            payload_width,
+        }
+    }
+
+    /// Total live rows.
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(ChunkStore::len).sum()
+    }
+
+    /// Whether the column is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Payload column count.
+    pub fn payload_width(&self) -> usize {
+        self.payload_width
+    }
+
+    /// Immutable chunk access (optimizer, tests).
+    pub fn chunks(&self) -> &[ChunkStore] {
+        &self.chunks
+    }
+
+    /// Mutable chunk access (optimizer).
+    pub(crate) fn chunks_mut(&mut self) -> &mut [ChunkStore] {
+        &mut self.chunks
+    }
+
+    /// Route a key to its owning chunk; `None` means broadcast.
+    fn route(&self, key: u64) -> Option<usize> {
+        self.fences.as_ref().map(|f| {
+            f.partition_point(|&b| b < key).min(f.len() - 1)
+        })
+    }
+
+    fn maybe_raise_fence(&mut self, chunk: usize, key: u64) {
+        if let Some(f) = self.fences.as_mut() {
+            if key > f[chunk] {
+                f[chunk] = key;
+            }
+        }
+    }
+
+    /// Q1: gather `cols` payload attributes of every row with key `v`.
+    pub fn q1_point(&self, v: u64, cols: &[usize]) -> (Vec<Vec<u32>>, OpCost) {
+        let mut cost = OpCost::default();
+        let mut rows = Vec::new();
+        let targets: Vec<usize> = match self.route(v) {
+            Some(c) => vec![c],
+            None => (0..self.chunks.len()).collect(),
+        };
+        for c in targets {
+            match &self.chunks[c] {
+                ChunkStore::Partitioned(p) => {
+                    let r = p.point_query(v);
+                    cost.absorb(r.cost);
+                    for pos in r.positions {
+                        rows.push(p.payloads().gather_row(pos, cols));
+                    }
+                }
+                ChunkStore::Sorted(s) => {
+                    let (range, c2) = s.point_query(v);
+                    cost.absorb(c2);
+                    for pos in range {
+                        rows.push(s.gather_row(pos, cols));
+                    }
+                }
+                ChunkStore::Delta(d) => {
+                    let (mut r, c2) = d.point_rows(v, cols);
+                    cost.absorb(c2);
+                    rows.append(&mut r);
+                }
+            }
+        }
+        (rows, cost)
+    }
+
+    /// Q2: count rows with key in `[lo, hi)`. Chunk-parallel when the
+    /// range spans several chunks.
+    pub fn q2_count(&self, lo: u64, hi: u64) -> (u64, OpCost) {
+        let results = self.scan_chunks(lo, hi, |store| match store {
+            ChunkStore::Partitioned(p) => p.range_count(lo, hi),
+            ChunkStore::Sorted(s) => s.range_count(lo, hi),
+            ChunkStore::Delta(d) => d.range_count(lo, hi),
+        });
+        let mut total = 0u64;
+        let mut cost = OpCost::default();
+        for (n, c) in results {
+            total += n;
+            cost.absorb(c);
+        }
+        (total, cost)
+    }
+
+    /// Q3: sum the given payload columns over rows with key in `[lo, hi)`.
+    pub fn q3_sum(&self, lo: u64, hi: u64, cols: &[usize]) -> (u64, OpCost) {
+        let results = self.scan_chunks(lo, hi, |store| match store {
+            ChunkStore::Partitioned(p) => p.range_sum_payload(lo, hi, cols),
+            ChunkStore::Sorted(s) => s.range_sum_payload(lo, hi, cols),
+            ChunkStore::Delta(d) => d.range_sum_payload(lo, hi, cols),
+        });
+        let mut total = 0u64;
+        let mut cost = OpCost::default();
+        for (n, c) in results {
+            total += n;
+            cost.absorb(c);
+        }
+        (total, cost)
+    }
+
+    /// Multi-column range query (§6.4, the TPC-H Q6 shape): sum `sum_cols`
+    /// over rows whose key lies in `[lo, hi)` *and* whose `pred_col`
+    /// payload value lies in `[pred_lo, pred_hi)`.
+    ///
+    /// "Casper evaluates the first (typically the most selective) filter
+    /// and retrieves the qualifying positions to evaluate the subsequent
+    /// filters."
+    pub fn q3_sum_where(
+        &self,
+        lo: u64,
+        hi: u64,
+        sum_cols: &[usize],
+        pred_col: usize,
+        pred_lo: u32,
+        pred_hi: u32,
+    ) -> (u64, OpCost) {
+        let results = self.scan_chunks(lo, hi, |store| match store {
+            ChunkStore::Partitioned(p) => {
+                let mut pc = casper_storage::ops::PositionsConsumer::default();
+                let r = p.range_query(lo, hi, &mut pc);
+                let mut cost = r.cost;
+                let payloads = p.payloads();
+                let mut sum = 0u64;
+                let mut qualifying = 0usize;
+                let positions = pc
+                    .positions
+                    .iter()
+                    .copied()
+                    .chain(pc.runs.iter().flat_map(|r| r.clone()));
+                for pos in positions {
+                    let v = payloads.get(pred_col, pos);
+                    if pred_lo <= v && v < pred_hi {
+                        qualifying += 1;
+                        for &c in sum_cols {
+                            sum += u64::from(payloads.get(c, pos));
+                        }
+                    }
+                }
+                // One sequential pass over the predicate column plus the
+                // summed columns for the qualifying rows.
+                let vpb = (self.config.block_bytes / 4).max(1);
+                cost.seq_reads += ((1 + sum_cols.len()) * qualifying.div_ceil(vpb)) as u64;
+                (sum, cost)
+            }
+            ChunkStore::Sorted(s) => {
+                let (range, mut cost) = s.range_query(lo, hi);
+                let mut sum = 0u64;
+                for pos in range {
+                    let v = s.payload(pred_col, pos);
+                    if pred_lo <= v && v < pred_hi {
+                        for &c in sum_cols {
+                            sum += u64::from(s.payload(c, pos));
+                        }
+                    }
+                }
+                cost.seq_reads += cost.seq_reads * (1 + sum_cols.len() as u64);
+                (sum, cost)
+            }
+            ChunkStore::Delta(d) => {
+                // Evaluate the main column, then replay the delta buffer —
+                // the read-path overhead delta stores impose (§1).
+                let s = d.main();
+                let (range, cost) = s.range_query(lo, hi);
+                let mut sum = 0i128;
+                for pos in range {
+                    let v = s.payload(pred_col, pos);
+                    if pred_lo <= v && v < pred_hi {
+                        for &c in sum_cols {
+                            sum += i128::from(s.payload(c, pos));
+                        }
+                    }
+                }
+                sum += d.replay_sum_where(lo, hi, sum_cols, pred_col, pred_lo, pred_hi);
+                (sum.max(0) as u64, cost)
+            }
+        });
+        let mut total = 0u64;
+        let mut cost = OpCost::default();
+        for (n, c) in results {
+            total += n;
+            cost.absorb(c);
+        }
+        (total, cost)
+    }
+
+    /// Run `f` over every chunk overlapping `[lo, hi)`, in parallel when
+    /// profitable.
+    fn scan_chunks<R: Send>(
+        &self,
+        lo: u64,
+        hi: u64,
+        f: impl Fn(&ChunkStore) -> R + Sync,
+    ) -> Vec<R> {
+        let targets: Vec<&ChunkStore> = match (&self.fences, self.route(lo)) {
+            (Some(_), Some(first)) => {
+                let fences = self.fences.as_ref().expect("ordered");
+                let mut v = Vec::new();
+                for c in first..self.chunks.len() {
+                    // A chunk may overlap if its predecessor's fence is
+                    // below `hi`.
+                    if c > first && fences[c - 1] >= hi {
+                        break;
+                    }
+                    v.push(&self.chunks[c]);
+                }
+                v
+            }
+            _ => self.chunks.iter().collect(),
+        };
+        parallel_map(&targets, self.config.threads, |_, store| f(store))
+    }
+
+    /// Q4: insert a row.
+    pub fn q4_insert(&mut self, key: u64, payload: &[u32]) -> Result<OpCost, StorageError> {
+        let chunk = self.route(key).unwrap_or_else(|| {
+            // NoOrder: append to the last chunk with capacity.
+            self.chunks
+                .iter()
+                .rposition(|c| match c {
+                    ChunkStore::Partitioned(p) => p.tail_free() > 0 || p.ghost_total() > 0,
+                    _ => true,
+                })
+                .unwrap_or(self.chunks.len() - 1)
+        });
+        let cost = match &mut self.chunks[chunk] {
+            ChunkStore::Partitioned(p) => match p.insert(key, payload) {
+                Ok(r) => r.cost,
+                Err(StorageError::ChunkFull { capacity }) => {
+                    // "If no empty slots are available, the column is
+                    // expanded" (§3): grow by ~10% and retry once.
+                    p.grow((capacity / 10).max(64));
+                    p.insert(key, payload)?.cost
+                }
+                Err(e) => return Err(e),
+            },
+            ChunkStore::Sorted(s) => s.insert(key, payload),
+            ChunkStore::Delta(d) => d.insert(key, payload),
+        };
+        self.maybe_raise_fence(chunk, key);
+        Ok(cost)
+    }
+
+    /// Q5: delete every row with key `v`.
+    pub fn q5_delete(&mut self, v: u64) -> (u64, OpCost) {
+        let targets: Vec<usize> = match self.route(v) {
+            Some(c) => vec![c],
+            None => (0..self.chunks.len()).collect(),
+        };
+        let mut affected = 0u64;
+        let mut cost = OpCost::default();
+        for c in targets {
+            let (n, oc) = match &mut self.chunks[c] {
+                ChunkStore::Partitioned(p) => {
+                    let r = p.delete(v);
+                    (r.affected, r.cost)
+                }
+                ChunkStore::Sorted(s) => s.delete(v),
+                ChunkStore::Delta(d) => {
+                    // Only buffer a delete when the key currently exists.
+                    let (n, c0) = d.point_count(v);
+                    if n > 0 {
+                        let c1 = d.delete(v);
+                        let mut c = c0;
+                        c.absorb(c1);
+                        (n.min(1), c)
+                    } else {
+                        (0, c0)
+                    }
+                }
+            };
+            affected += n;
+            cost.absorb(oc);
+        }
+        (affected, cost)
+    }
+
+    /// Q6: update the first row with key `old` to key `new`, carrying its
+    /// payload. Falls back to delete + insert when the keys live in
+    /// different chunks.
+    pub fn q6_update(&mut self, old: u64, new: u64) -> Result<(u64, OpCost), StorageError> {
+        let (from, to) = match (self.route(old), self.route(new)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                // NoOrder: the single-partition chunks make update local to
+                // whichever chunk holds the key.
+                let mut cost = OpCost::default();
+                for c in 0..self.chunks.len() {
+                    if let ChunkStore::Partitioned(p) = &mut self.chunks[c] {
+                        let r = p.update(old, new)?;
+                        cost.absorb(r.cost);
+                        if r.affected > 0 {
+                            return Ok((r.affected, cost));
+                        }
+                    }
+                }
+                return Ok((0, cost));
+            }
+        };
+        if from == to {
+            let (n, cost) = match &mut self.chunks[from] {
+                ChunkStore::Partitioned(p) => {
+                    let r = p.update(old, new)?;
+                    (r.affected, r.cost)
+                }
+                ChunkStore::Sorted(s) => s.update(old, new),
+                ChunkStore::Delta(d) => {
+                    let (n, c0) = d.point_count(old);
+                    if n > 0 {
+                        let c1 = d.update(old, new);
+                        let mut c = c0;
+                        c.absorb(c1);
+                        (1, c)
+                    } else {
+                        (0, c0)
+                    }
+                }
+            };
+            self.maybe_raise_fence(from, new);
+            return Ok((n, cost));
+        }
+        // Cross-chunk: read the payload, delete, re-insert.
+        let all_cols: Vec<usize> = (0..self.payload_width).collect();
+        let (rows, mut cost) = self.q1_point(old, &all_cols);
+        let Some(row) = rows.into_iter().next() else {
+            return Ok((0, cost));
+        };
+        let (_, c1) = self.q5_delete(old);
+        cost.absorb(c1);
+        let c2 = self.q4_insert(new, &row)?;
+        cost.absorb(c2);
+        Ok((1, cost))
+    }
+}
+
+/// Build one chunk's store for the configured mode.
+fn build_chunk(keys: Vec<u64>, payloads: Vec<Vec<u32>>, config: &EngineConfig) -> ChunkStore {
+    let layout = BlockLayout::new::<u64>(config.block_bytes);
+    let vpb = layout.values_per_block();
+    let len = keys.len();
+    let n_blocks = layout.num_blocks(len);
+    match config.mode {
+        LayoutMode::Sorted => ChunkStore::Sorted(SortedColumn::build(keys, payloads, vpb)),
+        LayoutMode::StateOfArt => ChunkStore::Delta(SortedDelta::build(
+            keys,
+            payloads,
+            vpb,
+            ((len as f64 * config.delta_frac) as usize).max(16),
+        )),
+        LayoutMode::NoOrder => {
+            let chunk_config = ChunkConfig {
+                policy: UpdatePolicy::Dense,
+                capacity_slack: config.capacity_slack,
+                ghost_fetch_block: 1,
+            };
+            ChunkStore::Partitioned(
+                PartitionedChunk::build_with_payloads(
+                    keys,
+                    payloads,
+                    &PartitionSpec::single(n_blocks),
+                    layout,
+                    &GhostPlan::none(1),
+                    chunk_config,
+                )
+                .expect("single-partition build cannot fail"),
+            )
+        }
+        LayoutMode::Equi | LayoutMode::EquiGV | LayoutMode::Casper => {
+            let k = config.equi_partitions.min(n_blocks).max(1);
+            let spec = PartitionSpec::equi_width(n_blocks, k);
+            let (policy, ghosts) = if config.mode == LayoutMode::Equi {
+                (UpdatePolicy::Dense, GhostPlan::none(k))
+            } else {
+                let budget = (len as f64 * config.ghost_budget_frac).ceil() as usize;
+                (UpdatePolicy::Ghost, GhostPlan::even(k, budget))
+            };
+            let chunk_config = ChunkConfig {
+                policy,
+                capacity_slack: config.capacity_slack,
+                ghost_fetch_block: config.ghost_fetch_block,
+            };
+            ChunkStore::Partitioned(
+                PartitionedChunk::build_with_payloads(
+                    keys, payloads, &spec, layout, &ghosts, chunk_config,
+                )
+                .expect("equi build cannot fail"),
+            )
+        }
+    }
+}
+
+/// Rebuild a partitioned chunk with a new layout decision (used by the
+/// optimizer).
+pub(crate) fn rebuild_partitioned(
+    store: &ChunkStore,
+    seg: &Segmentation,
+    ghosts: &GhostPlan,
+    config: &EngineConfig,
+) -> ChunkStore {
+    let layout = BlockLayout::new::<u64>(config.block_bytes);
+    let (keys, payloads) = match store {
+        ChunkStore::Partitioned(p) => p.extract_live_sorted(),
+        ChunkStore::Sorted(s) => s.to_parts(),
+        ChunkStore::Delta(d) => {
+            let mut d = d.clone();
+            d.force_merge();
+            d.main().to_parts()
+        }
+    };
+    let chunk_config = ChunkConfig {
+        policy: UpdatePolicy::Ghost,
+        capacity_slack: config.capacity_slack,
+        ghost_fetch_block: config.ghost_fetch_block,
+    };
+    ChunkStore::Partitioned(
+        PartitionedChunk::build_with_payloads(
+            keys,
+            payloads,
+            &seg.to_spec(),
+            layout,
+            ghosts,
+            chunk_config,
+        )
+        .expect("rebuild with solver output cannot fail"),
+    )
+}
+
+/// Expose a chunk's block fences for Frequency-Model capture: the first key
+/// of each logical block of its sorted live data.
+pub(crate) fn chunk_block_fences(store: &ChunkStore, block_bytes: usize) -> Vec<u64> {
+    let layout = BlockLayout::new::<u64>(block_bytes);
+    let vpb = layout.values_per_block();
+    let keys: Vec<u64> = match store {
+        ChunkStore::Partitioned(p) => p.extract_live_sorted().0,
+        ChunkStore::Sorted(s) => s.values().to_vec(),
+        ChunkStore::Delta(d) => d.main().values().to_vec(),
+    };
+    keys.chunks(vpb).map(|c| c[0]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(mode: LayoutMode, rows: u64) -> ChunkedColumn {
+        let keys: Vec<u64> = (0..rows).map(|i| i * 2).collect();
+        let payload: Vec<u32> = keys.iter().map(|&k| (k % 1000) as u32).collect();
+        let mut config = EngineConfig::small(mode);
+        config.chunk_values = 1024;
+        ChunkedColumn::load(keys, vec![payload], config)
+    }
+
+    #[test]
+    fn load_splits_into_chunks() {
+        for mode in LayoutMode::all() {
+            let col = load(mode, 4000);
+            assert_eq!(col.chunk_count(), 4, "{mode:?}");
+            assert_eq!(col.len(), 4000, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn q1_finds_rows_in_every_mode() {
+        for mode in LayoutMode::all() {
+            let col = load(mode, 4000);
+            let (rows, _) = col.q1_point(2468, &[0]);
+            assert_eq!(rows.len(), 1, "{mode:?}");
+            assert_eq!(rows[0], vec![(2468 % 1000) as u32], "{mode:?}");
+            let (rows, _) = col.q1_point(2469, &[0]);
+            assert!(rows.is_empty(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn q2_counts_match_in_every_mode() {
+        for mode in LayoutMode::all() {
+            let col = load(mode, 4000);
+            let (n, _) = col.q2_count(100, 300);
+            assert_eq!(n, 100, "{mode:?}"); // even keys in [100, 300)
+            let (n, _) = col.q2_count(0, 8000);
+            assert_eq!(n, 4000, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn q3_sums_payload_in_every_mode() {
+        for mode in LayoutMode::all() {
+            let col = load(mode, 4000);
+            let (sum, _) = col.q3_sum(0, 20, &[0]);
+            // Keys 0..18 even: payloads k % 1000 = k.
+            let want: u64 = (0..10).map(|i| i * 2).sum();
+            assert_eq!(sum, want, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn q4_q5_q6_round_trip_in_every_mode() {
+        for mode in LayoutMode::all() {
+            let mut col = load(mode, 4000);
+            col.q4_insert(101, &[7]).unwrap();
+            let (rows, _) = col.q1_point(101, &[0]);
+            assert_eq!(rows, vec![vec![7]], "{mode:?} insert");
+            let (n, _) = col.q5_delete(101);
+            assert_eq!(n, 1, "{mode:?} delete");
+            assert!(col.q1_point(101, &[0]).0.is_empty(), "{mode:?}");
+            let (n, _) = col.q6_update(200, 201).unwrap();
+            assert_eq!(n, 1, "{mode:?} update");
+            let (rows, _) = col.q1_point(201, &[0]);
+            assert_eq!(rows.len(), 1, "{mode:?} updated row");
+            assert_eq!(rows[0], vec![200], "{mode:?} payload follows update");
+            assert_eq!(col.len(), 4000, "{mode:?} len conserved");
+        }
+    }
+
+    #[test]
+    fn cross_chunk_update_moves_row() {
+        for mode in LayoutMode::all() {
+            let mut col = load(mode, 4000);
+            // Key 10 lives in chunk 0; 7001 belongs to the last chunk.
+            let (n, _) = col.q6_update(10, 7001).unwrap();
+            assert_eq!(n, 1, "{mode:?}");
+            assert!(col.q1_point(10, &[0]).0.is_empty(), "{mode:?}");
+            let (rows, _) = col.q1_point(7001, &[0]);
+            assert_eq!(rows.len(), 1, "{mode:?}");
+            assert_eq!(rows[0], vec![10], "{mode:?} payload moved");
+        }
+    }
+
+    #[test]
+    fn inserts_above_all_fences_route_to_last_chunk() {
+        for mode in LayoutMode::all() {
+            let mut col = load(mode, 4000);
+            col.q4_insert(1_000_001, &[9]).unwrap();
+            let (rows, _) = col.q1_point(1_000_001, &[0]);
+            assert_eq!(rows.len(), 1, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn q2_spanning_all_chunks_uses_parallel_path() {
+        let col = load(LayoutMode::Casper, 8000);
+        let (n, _) = col.q2_count(0, u64::MAX);
+        assert_eq!(n, 8000);
+    }
+}

@@ -1,0 +1,154 @@
+//! Chunk-parallel execution helpers (§6: "Casper naturally supports
+//! multi-threaded execution since the column layouts create regions of the
+//! data that can be processed in parallel without any interference").
+//!
+//! Built on `std::thread::scope`; `crossbeam` channels distribute uneven
+//! work (the per-chunk solver calls of Fig. 11 vary with chunk content).
+
+/// Run `f(index, &mut item)` over all items, using up to `threads` workers.
+/// Items are split into contiguous stripes — ideal when work per item is
+/// uniform (scans).
+pub fn parallel_for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let stripe = items.len().div_ceil(threads);
+    std::thread::scope(|s| {
+        for (t, chunk) in items.chunks_mut(stripe).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (i, item) in chunk.iter_mut().enumerate() {
+                    f(t * stripe + i, item);
+                }
+            });
+        }
+    });
+}
+
+/// Map `f(index, &item)` over all items with work stealing via a shared
+/// atomic cursor — used when per-item work varies wildly (per-chunk layout
+/// solving). Results come back in input order.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let slot_ptr = SendPtr(slots.as_mut_ptr());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let f = &f;
+            let cursor = &cursor;
+            let slot_ptr = slot_ptr;
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                // SAFETY: each index is claimed exactly once via the atomic
+                // cursor, so no two threads write the same slot, and the
+                // scope guarantees the buffer outlives the workers.
+                unsafe {
+                    *slot_ptr.get().add(i) = Some(r);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every slot filled by the cursor loop"))
+        .collect()
+}
+
+/// Pointer wrapper asserting cross-thread transfer safety for the
+/// disjoint-write pattern in [`parallel_map`]. The accessor keeps closures
+/// capturing the wrapper itself (not the raw field), which is what carries
+/// the `Send` assertion across the spawn boundary.
+struct SendPtr<R>(*mut Option<R>);
+
+// Manual impls: the derive would demand `R: Copy`, but the pointer itself
+// is always trivially copyable.
+impl<R> Clone for SendPtr<R> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<R> Copy for SendPtr<R> {}
+
+impl<R> SendPtr<R> {
+    #[inline]
+    fn get(self) -> *mut Option<R> {
+        self.0
+    }
+}
+// SAFETY: see parallel_map — disjoint writes, scope-bounded lifetime.
+unsafe impl<R: Send> Send for SendPtr<R> {}
+unsafe impl<R: Send> Sync for SendPtr<R> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_each_mut_touches_every_item_once() {
+        let mut items = vec![0u64; 103];
+        parallel_for_each_mut(&mut items, 8, |i, x| *x = i as u64 + 1);
+        for (i, &x) in items.iter().enumerate() {
+            assert_eq!(x, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn for_each_mut_single_thread_path() {
+        let mut items = vec![1u32, 2, 3];
+        parallel_for_each_mut(&mut items, 1, |_, x| *x *= 10);
+        assert_eq!(items, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let items: Vec<usize> = (0..500).collect();
+        let out = parallel_map(&items, 7, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_handles_empty_and_tiny() {
+        let empty: Vec<u32> = vec![];
+        assert!(parallel_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[42u32], 4, |_, &x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn map_with_uneven_work() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, 8, |_, &x| {
+            // Simulate skewed work.
+            let mut acc = 0u64;
+            for i in 0..(x % 7) * 1000 {
+                acc = acc.wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            x
+        });
+        assert_eq!(out, items);
+    }
+}

@@ -1,0 +1,146 @@
+//! Latency and throughput recording for the experiment harness.
+//!
+//! The paper reports mean latency per query class, the 99.9th percentile
+//! (Fig. 15's error bars), and overall workload throughput (ops/s). The
+//! recorder keeps raw nanosecond samples per class and computes summaries
+//! on demand.
+
+/// Number of query classes tracked (Q1..Q6).
+pub const CLASSES: usize = 6;
+
+/// Raw latency samples per query class.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: [Vec<u64>; CLASSES],
+}
+
+/// Summary statistics of one class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Mean latency (ns).
+    pub mean_ns: f64,
+    /// Median (ns).
+    pub p50_ns: u64,
+    /// 99th percentile (ns).
+    pub p99_ns: u64,
+    /// 99.9th percentile (ns).
+    pub p999_ns: u64,
+    /// Maximum (ns).
+    pub max_ns: u64,
+}
+
+impl LatencyRecorder {
+    /// Fresh recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample for a query class (0-based, Q1..Q6).
+    #[inline]
+    pub fn record(&mut self, class: usize, nanos: u64) {
+        self.samples[class].push(nanos);
+    }
+
+    /// Total recorded operations.
+    pub fn total_ops(&self) -> usize {
+        self.samples.iter().map(Vec::len).sum()
+    }
+
+    /// Summary for one class, if any samples exist.
+    pub fn summary(&self, class: usize) -> Option<Summary> {
+        let s = &self.samples[class];
+        if s.is_empty() {
+            return None;
+        }
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| {
+            let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
+            sorted[idx]
+        };
+        Some(Summary {
+            count: sorted.len(),
+            mean_ns: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+            p50_ns: pct(0.50),
+            p99_ns: pct(0.99),
+            p999_ns: pct(0.999),
+            max_ns: *sorted.last().expect("non-empty"),
+        })
+    }
+
+    /// Workload throughput in operations per second given the elapsed wall
+    /// time of the run.
+    pub fn throughput_ops_per_sec(&self, elapsed: std::time::Duration) -> f64 {
+        if elapsed.is_zero() {
+            return 0.0;
+        }
+        self.total_ops() as f64 / elapsed.as_secs_f64()
+    }
+
+    /// Merge another recorder (e.g. from a worker thread).
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        for (mine, theirs) in self.samples.iter_mut().zip(&other.samples) {
+            mine.extend_from_slice(theirs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_distribution() {
+        let mut r = LatencyRecorder::new();
+        for v in 1..=1000u64 {
+            r.record(0, v);
+        }
+        let s = r.summary(0).expect("has samples");
+        assert_eq!(s.count, 1000);
+        assert!((s.mean_ns - 500.5).abs() < 1e-9);
+        assert_eq!(s.p50_ns, 500);
+        assert_eq!(s.p99_ns, 990);
+        assert_eq!(s.p999_ns, 999);
+        assert_eq!(s.max_ns, 1000);
+    }
+
+    #[test]
+    fn empty_class_has_no_summary() {
+        let r = LatencyRecorder::new();
+        assert!(r.summary(3).is_none());
+    }
+
+    #[test]
+    fn throughput_computation() {
+        let mut r = LatencyRecorder::new();
+        for _ in 0..500 {
+            r.record(1, 10);
+        }
+        let t = r.throughput_ops_per_sec(std::time::Duration::from_millis(250));
+        assert!((t - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyRecorder::new();
+        a.record(0, 1);
+        let mut b = LatencyRecorder::new();
+        b.record(0, 3);
+        b.record(5, 7);
+        a.merge(&b);
+        assert_eq!(a.total_ops(), 3);
+        assert_eq!(a.summary(0).unwrap().count, 2);
+    }
+
+    #[test]
+    fn single_sample_percentiles() {
+        let mut r = LatencyRecorder::new();
+        r.record(2, 42);
+        let s = r.summary(2).unwrap();
+        assert_eq!(s.p50_ns, 42);
+        assert_eq!(s.p999_ns, 42);
+        assert_eq!(s.max_ns, 42);
+    }
+}

@@ -1,0 +1,332 @@
+//! The optimization pipeline of Fig. 10: (A) learn the Frequency Model from
+//! a workload sample, (B) solve the layout problem, (C) apply the physical
+//! layout — per chunk, in parallel (§6.3).
+//!
+//! "The histograms are created per chunk, and, similarly, design decisions
+//! are made for each chunk without any need for communication with other
+//! chunks. This allows us to arbitrarily reduce the partitioning
+//! complexity."
+
+use crate::column::{chunk_block_fences, rebuild_partitioned, ChunkStore};
+use crate::exec::parallel_map;
+use crate::modes::LayoutMode;
+use crate::table::Table;
+use casper_core::solver::{LayoutOptimizer, SolverConstraints};
+use casper_core::{CostConstants, FrequencyModel, Op};
+use casper_core::fm::FmBuilder;
+use casper_workload::HapQuery;
+use std::time::Instant;
+
+/// Optimization options.
+#[derive(Debug, Clone)]
+pub struct OptimizeOptions {
+    /// Calibrated cost constants.
+    pub constants: CostConstants,
+    /// SLA-derived structural constraints.
+    pub constraints: SolverConstraints,
+    /// Ghost budget as a fraction of each chunk's live size.
+    pub ghost_budget_frac: f64,
+    /// Cap Casper's partition count at the Equi baseline's (§7 fairness:
+    /// "we allow Casper to have as many partitions as the equi-width
+    /// partitioning schemes").
+    pub fairness_cap: bool,
+    /// Worker threads for the per-chunk solves.
+    pub threads: usize,
+}
+
+impl Default for OptimizeOptions {
+    fn default() -> Self {
+        Self {
+            constants: CostConstants::paper(),
+            constraints: SolverConstraints::none(),
+            ghost_budget_frac: 0.001,
+            fairness_cap: true,
+            threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        }
+    }
+}
+
+/// Per-chunk outcome of one optimization pass.
+#[derive(Debug, Clone)]
+pub struct ChunkReport {
+    /// Chunk index.
+    pub chunk: usize,
+    /// Logical blocks in the chunk.
+    pub blocks: usize,
+    /// Partitions chosen by the solver.
+    pub partitions: usize,
+    /// Ghost slots allocated.
+    pub ghosts: usize,
+    /// Modeled workload cost of the chosen layout (ns).
+    pub est_cost: f64,
+    /// Wall time of the solve (ns), excluding the rebuild.
+    pub solve_nanos: u64,
+}
+
+/// Outcome of a whole optimization pass.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizeReport {
+    /// Per-chunk details.
+    pub chunks: Vec<ChunkReport>,
+}
+
+impl OptimizeReport {
+    /// Total solver wall time across chunks (the Fig. 11 quantity; note
+    /// chunks solve in parallel, so elapsed time is lower).
+    pub fn total_solve_nanos(&self) -> u64 {
+        self.chunks.iter().map(|c| c.solve_nanos).sum()
+    }
+
+    /// Total partitions across chunks.
+    pub fn total_partitions(&self) -> usize {
+        self.chunks.iter().map(|c| c.partitions).sum()
+    }
+}
+
+/// Build the per-chunk Frequency Models from a workload sample: each
+/// operation is recorded in the chunk(s) its key endpoints route to, with
+/// ranges clipped at chunk boundaries and cross-chunk updates decomposed
+/// into a delete plus an insert.
+pub fn capture_per_chunk(
+    table: &Table,
+    sample: &[HapQuery],
+) -> Vec<FrequencyModel> {
+    let block_bytes = table.column().config().block_bytes;
+    let stores = table.column().chunks();
+    // Per-chunk fences and key coverage.
+    let mut builders: Vec<FmBuilder<u64>> = stores
+        .iter()
+        .map(|s| FmBuilder::from_fences(chunk_block_fences(s, block_bytes)))
+        .collect();
+    // Chunk routing bounds: the first key of each chunk; the next chunk's
+    // first key serves as the exclusive upper limit.
+    let firsts: Vec<u64> = stores
+        .iter()
+        .map(|s| chunk_block_fences(s, block_bytes)[0])
+        .collect();
+    let route = |key: u64| -> usize {
+        match firsts.binary_search(&key) {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        }
+    };
+    let upper = |chunk: usize| -> u64 {
+        firsts.get(chunk + 1).copied().unwrap_or(u64::MAX)
+    };
+    for q in sample {
+        match q.key_op() {
+            Op::Point(v) => builders[route(v)].record_point(v),
+            Op::Insert(v) => builders[route(v)].record_insert(v),
+            Op::Delete(v) => builders[route(v)].record_delete(v),
+            Op::Range(lo, hi) => {
+                let mut c = route(lo);
+                let mut lo = lo;
+                loop {
+                    let hi_c = upper(c).min(hi);
+                    if lo < hi_c {
+                        builders[c].record_range(lo, hi_c);
+                    }
+                    if hi <= upper(c) || c + 1 >= builders.len() {
+                        break;
+                    }
+                    lo = upper(c);
+                    c += 1;
+                }
+            }
+            Op::Update(old, new) => {
+                let (a, b) = (route(old), route(new));
+                if a == b {
+                    builders[a].record_update(old, new);
+                } else {
+                    builders[a].record_delete(old);
+                    builders[b].record_insert(new);
+                }
+            }
+        }
+    }
+    builders.into_iter().map(FmBuilder::finish).collect()
+}
+
+/// Optimize a table's layout for a workload sample (Fig. 10 A→B→C).
+///
+/// Converts the table to Casper-mode partitioned chunks regardless of its
+/// previous mode; unordered (`NoOrder`) tables are first re-loaded in key
+/// order.
+pub fn optimize_table(table: &mut Table, sample: &[HapQuery], opts: &OptimizeOptions) -> OptimizeReport {
+    // Unordered columns cannot be range-chunked in place: re-load sorted.
+    if table.column().config().mode == LayoutMode::NoOrder {
+        let mut keys = Vec::with_capacity(table.len());
+        let mut cols: Vec<Vec<u32>> = (0..table.column().payload_width())
+            .map(|_| Vec::with_capacity(table.len()))
+            .collect();
+        for store in table.column().chunks() {
+            let (k, p) = match store {
+                ChunkStore::Partitioned(c) => c.extract_live_sorted(),
+                ChunkStore::Sorted(s) => s.to_parts(),
+                ChunkStore::Delta(d) => {
+                    let mut d = d.clone();
+                    d.force_merge();
+                    d.main().to_parts()
+                }
+            };
+            keys.extend(k);
+            for (dst, src) in cols.iter_mut().zip(p) {
+                dst.extend(src);
+            }
+        }
+        let mut config = *table.column().config();
+        config.mode = LayoutMode::Casper;
+        *table = Table::load(table.schema(), keys, cols, config);
+    }
+
+    let fms = capture_per_chunk(table, sample);
+    let config = *table.column().config();
+    let fairness = opts.fairness_cap.then_some(config.equi_partitions);
+    let constraints = SolverConstraints {
+        max_partitions: match (opts.constraints.max_partitions, fairness) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        },
+        max_partition_blocks: opts.constraints.max_partition_blocks,
+    };
+
+    // Solve every chunk in parallel (§6.3's embarrassingly parallel
+    // decomposition), then apply the layouts.
+    let sizes: Vec<usize> = table.column().chunks().iter().map(ChunkStore::len).collect();
+    let decisions = parallel_map(&fms, opts.threads, |i, fm| {
+        let budget = (sizes[i] as f64 * opts.ghost_budget_frac).ceil() as usize;
+        let optimizer = LayoutOptimizer {
+            constants: opts.constants,
+            constraints,
+        };
+        let t = Instant::now();
+        let d = optimizer.optimize(fm, budget);
+        (d, t.elapsed().as_nanos() as u64)
+    });
+
+    let mut report = OptimizeReport::default();
+    for (i, (decision, solve_nanos)) in decisions.into_iter().enumerate() {
+        report.chunks.push(ChunkReport {
+            chunk: i,
+            blocks: decision.seg.n_blocks(),
+            partitions: decision.seg.partition_count(),
+            ghosts: decision.ghosts.total(),
+            est_cost: decision.est_cost,
+            solve_nanos,
+        });
+        let store = &table.column().chunks()[i];
+        let rebuilt = rebuild_partitioned(store, &decision.seg, &decision.ghosts, &config);
+        table.column_mut().chunks_mut()[i] = rebuilt;
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::{EngineConfig, LayoutMode};
+    use casper_workload::{HapSchema, KeyDist, Mix, MixKind, WorkloadGenerator};
+
+    fn test_table(mode: LayoutMode) -> Table {
+        let gen = WorkloadGenerator::new(HapSchema::narrow(), 4000, KeyDist::Uniform);
+        let mut config = EngineConfig::small(mode);
+        config.chunk_values = 1024; // force several chunks
+        Table::load_from_generator(&gen, config)
+    }
+
+    #[test]
+    fn capture_routes_ops_to_chunks() {
+        let table = test_table(LayoutMode::Casper);
+        let sample = vec![
+            HapQuery::Q1 { v: 10, k: 1 },        // chunk 0
+            HapQuery::Q1 { v: 7990, k: 1 },      // last chunk
+            HapQuery::Q4 { key: 11, payload: vec![] },
+        ];
+        let fms = capture_per_chunk(&table, &sample);
+        assert_eq!(fms.len(), table.column().chunk_count());
+        assert!(fms[0].pq.iter().sum::<f64>() >= 1.0);
+        assert!(fms.last().unwrap().pq.iter().sum::<f64>() >= 1.0);
+        assert!(fms[0].ins.iter().sum::<f64>() >= 1.0);
+        for fm in &fms {
+            fm.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn capture_clips_ranges_across_chunks() {
+        let table = test_table(LayoutMode::Casper);
+        // One huge range covering every chunk.
+        let sample = vec![HapQuery::Q2 { vs: 0, ve: u64::MAX }];
+        let fms = capture_per_chunk(&table, &sample);
+        for (i, fm) in fms.iter().enumerate() {
+            assert!(
+                fm.rs.iter().sum::<f64>() >= 1.0,
+                "chunk {i} missing its clipped range start"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_chunk_update_becomes_delete_plus_insert() {
+        let table = test_table(LayoutMode::Casper);
+        let sample = vec![HapQuery::Q6 { v: 10, vnew: 7991 }];
+        let fms = capture_per_chunk(&table, &sample);
+        assert!(fms[0].de.iter().sum::<f64>() >= 1.0);
+        assert!(fms.last().unwrap().ins.iter().sum::<f64>() >= 1.0);
+    }
+
+    #[test]
+    fn optimize_improves_modeled_cost_and_keeps_results() {
+        let mut table = test_table(LayoutMode::Casper);
+        let mix = Mix::new(MixKind::HybridPointSkewed, HapSchema::narrow(), 4000);
+        let sample = mix.generate(800, 5);
+        // Reference results before optimization — read-only probes, so the
+        // two executions compare the same logical table.
+        let probes: Vec<_> = mix
+            .generate(400, 6)
+            .into_iter()
+            .filter(|q| q.is_read())
+            .collect();
+        let before: Vec<u64> = {
+            let outs = table.execute_all(&probes).unwrap();
+            outs.iter().map(|o| o.result.scalar()).collect()
+        };
+        let report = optimize_table(&mut table, &sample, &OptimizeOptions::default());
+        assert_eq!(report.chunks.len(), table.column().chunk_count());
+        assert!(report.total_partitions() >= table.column().chunk_count());
+        // Logical results unchanged by a physical re-layout.
+        let after: Vec<u64> = {
+            let outs = table.execute_all(&probes).unwrap();
+            outs.iter().map(|o| o.result.scalar()).collect()
+        };
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn optimize_converts_noorder_tables() {
+        let mut table = test_table(LayoutMode::NoOrder);
+        let mix = Mix::new(MixKind::ReadOnlySkewed, HapSchema::narrow(), 4000);
+        let sample = mix.generate(300, 9);
+        let len = table.len();
+        optimize_table(&mut table, &sample, &OptimizeOptions::default());
+        assert_eq!(table.len(), len);
+        assert_eq!(table.column().config().mode, LayoutMode::Casper);
+        // Point queries still correct after conversion.
+        let (rows, _) = table.column().q1_point(100, &[0]);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn fairness_cap_limits_partitions() {
+        let mut table = test_table(LayoutMode::Casper);
+        let mix = Mix::new(MixKind::ReadOnlySkewed, HapSchema::narrow(), 4000);
+        let sample = mix.generate(500, 11);
+        let opts = OptimizeOptions::default();
+        let report = optimize_table(&mut table, &sample, &opts);
+        let cap = table.column().config().equi_partitions;
+        for c in &report.chunks {
+            assert!(c.partitions <= cap, "chunk {} has {} partitions", c.chunk, c.partitions);
+        }
+    }
+}

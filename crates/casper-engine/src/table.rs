@@ -1,0 +1,308 @@
+//! HAP tables: a key column plus payload columns, executing Q1–Q6.
+//!
+//! The table is the engine's user-facing object: load a schema-ful dataset,
+//! execute [`casper_workload::HapQuery`] instances, and receive results
+//! with block-access costs attached. It is also the unit the optimizer
+//! re-layouts (§6.4: "Casper can be easily integrated into existing
+//! systems" — this is the generic storage-engine API surface).
+
+use crate::column::ChunkedColumn;
+use crate::modes::EngineConfig;
+use casper_storage::{OpCost, StorageError};
+use casper_workload::{HapQuery, HapSchema, WorkloadGenerator};
+
+/// Result payload of one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryResult {
+    /// Q1: materialized rows (selected payload attributes).
+    Rows(Vec<Vec<u32>>),
+    /// Q2: count.
+    Count(u64),
+    /// Q3: sum.
+    Sum(u64),
+    /// Q4/Q5/Q6: rows affected.
+    Affected(u64),
+}
+
+impl QueryResult {
+    /// The scalar the result carries (row count / count / sum / affected).
+    pub fn scalar(&self) -> u64 {
+        match self {
+            QueryResult::Rows(r) => r.len() as u64,
+            QueryResult::Count(n) | QueryResult::Sum(n) | QueryResult::Affected(n) => *n,
+        }
+    }
+}
+
+/// A query result with its storage-level access pattern.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Result payload.
+    pub result: QueryResult,
+    /// Block accesses performed.
+    pub cost: OpCost,
+}
+
+/// A loaded HAP table.
+#[derive(Debug)]
+pub struct Table {
+    column: ChunkedColumn,
+    schema: HapSchema,
+}
+
+impl Table {
+    /// Load a table from a workload generator's initial dataset.
+    pub fn load_from_generator(gen: &WorkloadGenerator, config: EngineConfig) -> Self {
+        Self::load(
+            gen.schema(),
+            gen.initial_keys(),
+            gen.initial_payload_columns(),
+            config,
+        )
+    }
+
+    /// Load a table from explicit keys + column-major payloads.
+    pub fn load(
+        schema: HapSchema,
+        keys: Vec<u64>,
+        payload_cols: Vec<Vec<u32>>,
+        config: EngineConfig,
+    ) -> Self {
+        assert_eq!(
+            payload_cols.len(),
+            schema.payload_cols,
+            "payload arity must match the schema"
+        );
+        Self {
+            column: ChunkedColumn::load(keys, payload_cols, config),
+            schema,
+        }
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.column.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.column.is_empty()
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> HapSchema {
+        self.schema
+    }
+
+    /// The underlying chunked key column.
+    pub fn column(&self) -> &ChunkedColumn {
+        &self.column
+    }
+
+    /// Mutable access for the optimizer.
+    pub fn column_mut(&mut self) -> &mut ChunkedColumn {
+        &mut self.column
+    }
+
+    /// Execute one HAP query.
+    pub fn execute(&mut self, q: &HapQuery) -> Result<QueryOutput, StorageError> {
+        Ok(match q {
+            HapQuery::Q1 { v, k } => {
+                let cols: Vec<usize> = (0..(*k).min(self.schema.payload_cols)).collect();
+                let (rows, cost) = self.column.q1_point(*v, &cols);
+                QueryOutput {
+                    result: QueryResult::Rows(rows),
+                    cost,
+                }
+            }
+            HapQuery::Q2 { vs, ve } => {
+                let (n, cost) = self.column.q2_count(*vs, *ve);
+                QueryOutput {
+                    result: QueryResult::Count(n),
+                    cost,
+                }
+            }
+            HapQuery::Q3 { vs, ve, k } => {
+                let cols: Vec<usize> = (0..(*k).min(self.schema.payload_cols)).collect();
+                let (sum, cost) = self.column.q3_sum(*vs, *ve, &cols);
+                QueryOutput {
+                    result: QueryResult::Sum(sum),
+                    cost,
+                }
+            }
+            HapQuery::Q4 { key, payload } => {
+                let cost = self.column.q4_insert(*key, payload)?;
+                QueryOutput {
+                    result: QueryResult::Affected(1),
+                    cost,
+                }
+            }
+            HapQuery::Q5 { v } => {
+                let (n, cost) = self.column.q5_delete(*v);
+                QueryOutput {
+                    result: QueryResult::Affected(n),
+                    cost,
+                }
+            }
+            HapQuery::Q6 { v, vnew } => {
+                let (n, cost) = self.column.q6_update(*v, *vnew)?;
+                QueryOutput {
+                    result: QueryResult::Affected(n),
+                    cost,
+                }
+            }
+        })
+    }
+
+    /// Multi-column range query (§6.4, the TPC-H Q6 shape): sum `sum_cols`
+    /// over rows with key in `[lo, hi)` whose `pred_col` payload lies in
+    /// `[pred_lo, pred_hi)`.
+    pub fn multi_column_sum(
+        &self,
+        lo: u64,
+        hi: u64,
+        sum_cols: &[usize],
+        pred_col: usize,
+        pred_lo: u32,
+        pred_hi: u32,
+    ) -> QueryOutput {
+        let (sum, cost) = self
+            .column
+            .q3_sum_where(lo, hi, sum_cols, pred_col, pred_lo, pred_hi);
+        QueryOutput {
+            result: QueryResult::Sum(sum),
+            cost,
+        }
+    }
+
+    /// Execute a batch, returning per-query outputs.
+    pub fn execute_all(
+        &mut self,
+        queries: &[HapQuery],
+    ) -> Result<Vec<QueryOutput>, StorageError> {
+        queries.iter().map(|q| self.execute(q)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modes::LayoutMode;
+    use casper_workload::{KeyDist, Mix, MixKind};
+
+    fn table(mode: LayoutMode) -> Table {
+        let gen = WorkloadGenerator::new(HapSchema::narrow(), 2000, KeyDist::Uniform);
+        Table::load_from_generator(&gen, EngineConfig::small(mode))
+    }
+
+    #[test]
+    fn q1_projects_k_columns() {
+        let mut t = table(LayoutMode::Casper);
+        let out = t.execute(&HapQuery::Q1 { v: 100, k: 3 }).unwrap();
+        if let QueryResult::Rows(rows) = out.result {
+            assert_eq!(rows.len(), 1);
+            assert_eq!(rows[0].len(), 3);
+            assert_eq!(rows[0], HapSchema::narrow().payload_row(100)[..3].to_vec());
+        } else {
+            panic!("wrong result kind");
+        }
+    }
+
+    #[test]
+    fn q2_count_is_exact() {
+        let mut t = table(LayoutMode::Casper);
+        let out = t.execute(&HapQuery::Q2 { vs: 0, ve: 1000 }).unwrap();
+        assert_eq!(out.result, QueryResult::Count(500));
+    }
+
+    #[test]
+    fn q3_sum_matches_reference() {
+        let mut t = table(LayoutMode::Casper);
+        let out = t
+            .execute(&HapQuery::Q3 {
+                vs: 0,
+                ve: 100,
+                k: 2,
+            })
+            .unwrap();
+        let want: u64 = (0..50u64)
+            .map(|i| {
+                let row = HapSchema::narrow().payload_row(i * 2);
+                u64::from(row[0]) + u64::from(row[1])
+            })
+            .sum();
+        assert_eq!(out.result, QueryResult::Sum(want));
+    }
+
+    #[test]
+    fn write_queries_affect_rows() {
+        let mut t = table(LayoutMode::Casper);
+        let key = 4001;
+        let payload = HapSchema::narrow().payload_row(key);
+        t.execute(&HapQuery::Q4 { key, payload }).unwrap();
+        assert_eq!(t.len(), 2001);
+        let out = t.execute(&HapQuery::Q5 { v: key }).unwrap();
+        assert_eq!(out.result, QueryResult::Affected(1));
+        assert_eq!(t.len(), 2000);
+        let out = t.execute(&HapQuery::Q6 { v: 200, vnew: 201 }).unwrap();
+        assert_eq!(out.result, QueryResult::Affected(1));
+    }
+
+    #[test]
+    fn all_modes_agree_on_results() {
+        // The six layouts are different physical designs of the same
+        // logical table: a mixed workload must produce identical results.
+        let mix = Mix::new(MixKind::HybridPointSkewed, HapSchema::narrow(), 2000);
+        let queries = mix.generate(400, 99);
+        let mut outputs: Vec<Vec<u64>> = Vec::new();
+        for mode in LayoutMode::all() {
+            let mut t = table(mode);
+            let outs = t.execute_all(&queries).unwrap();
+            outputs.push(outs.iter().map(|o| o.result.scalar()).collect());
+        }
+        for pair in outputs.windows(2) {
+            assert_eq!(pair[0], pair[1], "modes disagree on query results");
+        }
+    }
+
+    #[test]
+    fn multi_column_sum_agrees_across_modes() {
+        // Reference: recompute from the deterministic payload generator.
+        let schema = HapSchema::narrow();
+        let want: u64 = (0..2000u64)
+            .map(|i| i * 2)
+            .filter(|&k| (300..900).contains(&k))
+            .map(|k| {
+                let row = schema.payload_row(k);
+                if (100..60000).contains(&row[2]) {
+                    u64::from(row[0]) + u64::from(row[1])
+                } else {
+                    0
+                }
+            })
+            .sum();
+        for mode in LayoutMode::all() {
+            let mut t = table(mode);
+            // Dirty the delta/ghost paths a little first.
+            t.execute(&HapQuery::Q4 {
+                key: 301,
+                payload: schema.payload_row(301),
+            })
+            .unwrap();
+            t.execute(&HapQuery::Q5 { v: 301 }).unwrap();
+            let out = t.multi_column_sum(300, 900, &[0, 1], 2, 100, 60000);
+            assert_eq!(out.result, QueryResult::Sum(want), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn read_only_workload_preserves_len() {
+        let mut t = table(LayoutMode::EquiGV);
+        let before = t.len();
+        for v in (0..4000).step_by(7) {
+            t.execute(&HapQuery::Q1 { v, k: 1 }).unwrap();
+            t.execute(&HapQuery::Q2 { vs: v, ve: v + 50 }).unwrap();
+        }
+        assert_eq!(t.len(), before);
+    }
+}

@@ -1,0 +1,790 @@
+//! The range-partitioned column chunk — Casper's physical unit of storage.
+//!
+//! A [`PartitionedChunk`] owns a fixed-width key column (plus optional
+//! payload columns) organized into contiguous range partitions. Each
+//! partition holds its live values first (internally *unordered*, §3) and
+//! then `ghosts` empty slots (Fig. 5). Partitions are physically adjacent:
+//! `parts[p+1].start == parts[p].extent_end()`. Free capacity beyond the
+//! last partition forms the column *tail*, which plays the role of the
+//! paper's "(already) available empty slot at the end of the column"
+//! (Fig. 4a).
+//!
+//! The slot-transfer primitives that implement rippling live here
+//! (`pull_slot_from_right` and friends); the public
+//! operations built on them (point/range queries, insert, delete, update)
+//! are in [`crate::ops`].
+
+use crate::error::StorageError;
+use crate::ghost::GhostPlan;
+use crate::index::PartitionIndex;
+use crate::layout::{BlockLayout, PartitionSpec};
+use crate::ops::OpCost;
+use crate::partition::PartitionMeta;
+use crate::payload::PayloadSet;
+use crate::value::ColumnValue;
+use crate::UpdatePolicy;
+
+/// Build- and run-time configuration of a chunk.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkConfig {
+    /// How deletes/inserts maintain density (see [`UpdatePolicy`]).
+    pub policy: UpdatePolicy,
+    /// Extra physical slots reserved at build time, as a fraction of the
+    /// initial value count. The tail feeds ripple-inserts when no ghost
+    /// donor exists.
+    pub capacity_slack: f64,
+    /// How many ghost slots to pull per ripple (§6.1: "Casper moves a block
+    /// of ghost values every time one is necessary"). The first slot is
+    /// consumed by the triggering insert; the rest stay as ghosts of the
+    /// target partition.
+    pub ghost_fetch_block: usize,
+}
+
+impl Default for ChunkConfig {
+    fn default() -> Self {
+        Self {
+            policy: UpdatePolicy::Ghost,
+            capacity_slack: 0.05,
+            ghost_fetch_block: 1,
+        }
+    }
+}
+
+impl ChunkConfig {
+    /// Dense configuration (the paper's non-buffered baselines).
+    pub fn dense() -> Self {
+        Self {
+            policy: UpdatePolicy::Dense,
+            ..Self::default()
+        }
+    }
+}
+
+/// A range-partitioned, optionally ghost-buffered column chunk.
+#[derive(Debug, Clone)]
+pub struct PartitionedChunk<K: ColumnValue> {
+    /// Physical slots. `data.len()` is the chunk's physical capacity; slots
+    /// outside every partition extent (the tail) and ghost slots hold stale
+    /// values that are never read.
+    pub(crate) data: Vec<K>,
+    pub(crate) parts: Vec<PartitionMeta<K>>,
+    pub(crate) index: PartitionIndex<K>,
+    pub(crate) payloads: PayloadSet,
+    pub(crate) layout: BlockLayout,
+    pub(crate) config: ChunkConfig,
+    /// Total live values across partitions.
+    pub(crate) live: usize,
+}
+
+impl<K: ColumnValue> PartitionedChunk<K> {
+    /// Build a chunk from raw (unsorted) values, a block-granularity
+    /// partition spec, and a ghost plan.
+    pub fn build(
+        values: Vec<K>,
+        spec: &PartitionSpec,
+        layout: BlockLayout,
+        ghosts: &GhostPlan,
+        config: ChunkConfig,
+    ) -> Result<Self, StorageError> {
+        Self::build_with_payloads(values, Vec::new(), spec, layout, ghosts, config)
+    }
+
+    /// As [`PartitionedChunk::build`], with slot-aligned payload columns
+    /// (each exactly as long as `values`). Rows are co-sorted by key.
+    pub fn build_with_payloads(
+        mut values: Vec<K>,
+        mut payload_cols: Vec<Vec<u32>>,
+        spec: &PartitionSpec,
+        layout: BlockLayout,
+        ghosts: &GhostPlan,
+        config: ChunkConfig,
+    ) -> Result<Self, StorageError> {
+        if values.is_empty() {
+            return Err(StorageError::InvalidSpec {
+                reason: "cannot build a chunk from zero values".into(),
+            });
+        }
+        spec.validate()
+            .map_err(|reason| StorageError::InvalidSpec { reason })?;
+        if spec.n_blocks() != layout.num_blocks(values.len()) {
+            return Err(StorageError::InvalidSpec {
+                reason: format!(
+                    "spec covers {} blocks but {} values need {}",
+                    spec.n_blocks(),
+                    values.len(),
+                    layout.num_blocks(values.len())
+                ),
+            });
+        }
+        let k = spec.partition_count();
+        if ghosts.partitions() != k {
+            return Err(StorageError::GhostPlanMismatch {
+                partitions: k,
+                plan_entries: ghosts.partitions(),
+            });
+        }
+        for col in &payload_cols {
+            if col.len() != values.len() {
+                return Err(StorageError::PayloadArity {
+                    expected: values.len(),
+                    got: col.len(),
+                });
+            }
+        }
+
+        // Co-sort rows by key. Duplicate keys stay adjacent, which keeps
+        // them in the same partition as §4.1 requires (partition boundaries
+        // are at block granularity and blocks are assigned by rank).
+        if payload_cols.is_empty() {
+            values.sort_unstable();
+        } else {
+            let mut perm: Vec<u32> = (0..values.len() as u32).collect();
+            perm.sort_by_key(|&i| values[i as usize]);
+            values = perm.iter().map(|&i| values[i as usize]).collect();
+            for col in &mut payload_cols {
+                *col = perm.iter().map(|&i| col[i as usize]).collect();
+            }
+        }
+
+        let m = values.len();
+        let sizes = spec.value_sizes(m, &layout);
+        // "Duplicate values should be in the same partition" (§4.1): advance
+        // every internal boundary past any run of equal values straddling
+        // it. Partitions emptied by the adjustment keep an inherited bound
+        // and simply never receive values.
+        let mut ends: Vec<usize> = Vec::with_capacity(sizes.len());
+        let mut cum = 0usize;
+        for &s in &sizes {
+            cum += s;
+            ends.push(cum);
+        }
+        for i in 0..ends.len().saturating_sub(1) {
+            let floor = if i == 0 { 0 } else { ends[i - 1] };
+            let mut e = ends[i].max(floor);
+            while e > floor && e < m && values[e] == values[e - 1] {
+                e += 1;
+            }
+            ends[i] = e.min(m);
+        }
+        let sizes: Vec<usize> = ends
+            .iter()
+            .scan(0usize, |prev, &e| {
+                let s = e - *prev;
+                *prev = e;
+                Some(s)
+            })
+            .collect();
+        let slack = ((m as f64 * config.capacity_slack).ceil() as usize).max(64);
+        let physical = m + ghosts.total() + slack;
+
+        let mut data = vec![K::default(); physical];
+        let mut parts = Vec::with_capacity(k);
+        let mut bounds = Vec::with_capacity(k);
+        let mut cursor = 0usize; // physical write position
+        let mut consumed = 0usize; // values consumed
+        for (p, &len) in sizes.iter().enumerate() {
+            let src = &values[consumed..consumed + len];
+            data[cursor..cursor + len].copy_from_slice(src);
+            let (min, max) = if len > 0 {
+                (src[0], src[len - 1])
+            } else {
+                // Degenerate (only possible for a trailing empty partition):
+                // inherit the previous bound so the covering ranges stay
+                // monotone.
+                let prev = bounds.last().copied().unwrap_or(K::MIN_VALUE);
+                (prev, prev)
+            };
+            let g = ghosts.counts()[p];
+            parts.push(PartitionMeta {
+                start: cursor,
+                len,
+                ghosts: g,
+                min,
+                max,
+            });
+            bounds.push(max);
+            cursor += len + g;
+            consumed += len;
+        }
+
+        let mut payloads = PayloadSet::from_columns(Vec::new(), physical);
+        if !payload_cols.is_empty() {
+            // Scatter each payload column into the ghost-interleaved
+            // physical layout.
+            let mut scattered: Vec<Vec<u32>> = payload_cols
+                .iter()
+                .map(|_| vec![0u32; physical])
+                .collect();
+            for (ci, col) in payload_cols.iter().enumerate() {
+                let mut consumed = 0usize;
+                for part in &parts {
+                    scattered[ci][part.start..part.start + part.len]
+                        .copy_from_slice(&col[consumed..consumed + part.len]);
+                    consumed += part.len;
+                }
+            }
+            payloads = PayloadSet::from_columns(scattered, physical);
+        }
+
+        Ok(Self {
+            data,
+            parts,
+            index: PartitionIndex::new(bounds),
+            payloads,
+            layout,
+            config,
+            live: m,
+        })
+    }
+
+    /// Convenience constructor: a single unstructured partition over the
+    /// values (the vanilla column-store layout).
+    pub fn single_partition(
+        values: Vec<K>,
+        layout: BlockLayout,
+        config: ChunkConfig,
+    ) -> Result<Self, StorageError> {
+        let n = layout.num_blocks(values.len().max(1));
+        Self::build(
+            values,
+            &PartitionSpec::single(n),
+            layout,
+            &GhostPlan::none(1),
+            config,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// Number of live values.
+    #[inline]
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// Number of partitions.
+    #[inline]
+    pub fn partition_count(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Partition metadata.
+    #[inline]
+    pub fn partitions(&self) -> &[PartitionMeta<K>] {
+        &self.parts
+    }
+
+    /// Total ghost slots currently buffered across all partitions.
+    pub fn ghost_total(&self) -> usize {
+        self.parts.iter().map(|p| p.ghosts).sum()
+    }
+
+    /// Physical slot capacity.
+    #[inline]
+    pub fn physical_capacity(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Free slots in the tail beyond the last partition's extent.
+    pub fn tail_free(&self) -> usize {
+        self.data.len() - self.parts.last().map_or(0, |p| p.extent_end())
+    }
+
+    /// Grow the physical capacity by `extra` slots ("if no empty slots are
+    /// available, the column is expanded", §3). Payload columns grow in
+    /// lock-step.
+    pub fn grow(&mut self, extra: usize) {
+        let new_len = self.data.len() + extra;
+        self.data.resize(new_len, K::default());
+        self.payloads.grow_to(new_len);
+    }
+
+    /// The block geometry the chunk was built with.
+    #[inline]
+    pub fn layout(&self) -> BlockLayout {
+        self.layout
+    }
+
+    /// The update policy in effect.
+    #[inline]
+    pub fn policy(&self) -> UpdatePolicy {
+        self.config.policy
+    }
+
+    /// Live values of one partition (unordered).
+    pub fn partition_values(&self, p: usize) -> &[K] {
+        let m = &self.parts[p];
+        &self.data[m.start..m.live_end()]
+    }
+
+    /// Access to payload columns (read-only).
+    pub fn payloads(&self) -> &PayloadSet {
+        &self.payloads
+    }
+
+    /// Smallest live value currently in the chunk, if any.
+    pub fn min_value(&self) -> Option<K> {
+        self.parts
+            .iter()
+            .filter(|p| p.len > 0)
+            .map(|p| *self.data[p.start..p.live_end()].iter().min().expect("non-empty"))
+            .min()
+    }
+
+    /// Extract all live rows in sorted key order — used when the optimizer
+    /// re-partitions a chunk (Fig. 10, step C).
+    pub fn extract_live_sorted(&self) -> (Vec<K>, Vec<Vec<u32>>) {
+        let mut keys = Vec::with_capacity(self.live);
+        let mut positions = Vec::with_capacity(self.live);
+        for p in &self.parts {
+            for pos in p.start..p.live_end() {
+                keys.push(self.data[pos]);
+                positions.push(pos);
+            }
+        }
+        let mut perm: Vec<u32> = (0..keys.len() as u32).collect();
+        perm.sort_by_key(|&i| keys[i as usize]);
+        let sorted_keys: Vec<K> = perm.iter().map(|&i| keys[i as usize]).collect();
+        let cols = (0..self.payloads.width())
+            .map(|c| {
+                perm.iter()
+                    .map(|&i| self.payloads.get(c, positions[i as usize]))
+                    .collect()
+            })
+            .collect();
+        (sorted_keys, cols)
+    }
+
+    // ------------------------------------------------------------------
+    // Slot-transfer primitives (the ripple mechanics of §3 / Fig. 4)
+    // ------------------------------------------------------------------
+
+    /// Move one slot's row between physical positions, charging one random
+    /// read and one random write (the unit step of every ripple).
+    #[inline]
+    pub(crate) fn move_slot(&mut self, from: usize, to: usize, cost: &mut OpCost) {
+        self.data[to] = self.data[from];
+        self.payloads.move_row(from, to);
+        cost.random_reads += 1;
+        cost.random_writes += 1;
+    }
+
+    /// Donor on the right gives one slot to partition `m`.
+    ///
+    /// `donor` is either a partition `j > m` holding at least one ghost
+    /// slot, or `None` for the column tail. Every partition in `(m, j]`
+    /// shifts right by one slot (one move each, Fig. 4a). Returns the hole
+    /// position, which ends up exactly at `parts[m].extent_end()`; the
+    /// caller either consumes it (insert) or books it as a ghost of `m`.
+    pub(crate) fn pull_slot_from_right(
+        &mut self,
+        m: usize,
+        donor: Option<usize>,
+        cost: &mut OpCost,
+    ) -> usize {
+        debug_assert!(donor.map_or(true, |j| j > m));
+        // Acquire the hole: the donor's first ghost slot (the one adjacent
+        // to its live values, so the hole can exit through them), or the
+        // first tail slot.
+        let mut hole = if let Some(j) = donor {
+            debug_assert!(self.parts[j].ghosts > 0, "right donor must have ghosts");
+            self.parts[j].ghosts -= 1;
+            self.parts[j].live_end()
+        } else {
+            debug_assert!(self.tail_free() > 0, "tail donor requires free capacity");
+            self.parts.last().expect("non-empty").extent_end()
+        };
+        // Walk the hole left over partitions (m, j] (the donor included —
+        // its live region must slide right past the slot it gave up); each
+        // partition shifts right by one. A partition's first live value
+        // moves to its first ghost slot when it has ghosts (keeping live
+        // values contiguous) or straight into the traveling hole otherwise.
+        let upper = donor.map_or(self.parts.len(), |j| j + 1);
+        for t in (m + 1..upper).rev() {
+            let part = self.parts[t];
+            if part.len > 0 {
+                let target = if part.ghosts > 0 { part.live_end() } else { hole };
+                self.move_slot(part.start, target, cost);
+            }
+            // Even for an empty partition the extent shifts: the hole passes
+            // through its (ghost) region for free.
+            hole = part.start;
+            self.parts[t].start += 1;
+        }
+        debug_assert_eq!(hole, self.parts[m].extent_end());
+        hole
+    }
+
+    /// Donor on the left (`j < m`, with at least one ghost slot) gives one
+    /// slot to partition `m`. Every partition in `[j+1, m)` shifts left by
+    /// one. Returns the hole position `parts[m].start - 1`.
+    pub(crate) fn pull_slot_from_left(
+        &mut self,
+        m: usize,
+        donor: usize,
+        cost: &mut OpCost,
+    ) -> usize {
+        debug_assert!(donor < m);
+        debug_assert!(self.parts[donor].ghosts > 0, "left donor must have ghosts");
+        // The donor's last ghost slot is already adjacent to the next
+        // partition; ghost slots are interchangeable, so taking the last one
+        // costs no move.
+        self.parts[donor].ghosts -= 1;
+        let mut hole = self.parts[donor].extent_end(); // post-decrement end
+        for t in donor + 1..m {
+            let part = self.parts[t];
+            if part.len > 0 {
+                // Last live value moves into the hole at `start - 1`; the
+                // partition's ghost region (if any) slides left with it by
+                // ejecting its right-most slot as the new traveling hole.
+                self.move_slot(part.live_end() - 1, hole, cost);
+            }
+            hole = part.extent_end() - 1;
+            self.parts[t].start -= 1;
+        }
+        debug_assert_eq!(hole + 1, self.parts[m].start);
+        hole
+    }
+
+    /// Partition `m` has one surplus slot booked as its *last ghost*; push
+    /// it out to the column tail (the dense-delete ripple of Fig. 4b).
+    /// Every partition right of `m` shifts left by one.
+    pub(crate) fn push_slot_to_tail(&mut self, m: usize, cost: &mut OpCost) {
+        debug_assert!(self.parts[m].ghosts > 0);
+        self.parts[m].ghosts -= 1;
+        let mut hole = self.parts[m].extent_end();
+        for t in m + 1..self.parts.len() {
+            let part = self.parts[t];
+            if part.len > 0 {
+                self.move_slot(part.live_end() - 1, hole, cost);
+            }
+            hole = part.extent_end() - 1;
+            self.parts[t].start -= 1;
+        }
+    }
+
+    /// Locate the partition responsible for value `v` (shallow-index probe,
+    /// §3). Charges one probe on `cost`.
+    #[inline]
+    pub(crate) fn locate(&self, v: K, cost: &mut OpCost) -> usize {
+        cost.index_probes += 1;
+        self.index.locate(v)
+    }
+
+    /// Find the nearest ghost donor for partition `m`: first scanning right
+    /// (the paper ripples toward the end of the column), then left; `None`
+    /// means "use the tail" (or fail if the tail is exhausted).
+    pub(crate) fn nearest_donor(&self, m: usize) -> Option<DonorSide> {
+        let right = self.parts[m + 1..]
+            .iter()
+            .position(|p| p.ghosts > 0)
+            .map(|off| m + 1 + off);
+        let left = self.parts[..m]
+            .iter()
+            .rposition(|p| p.ghosts > 0);
+        match (right, left) {
+            (Some(r), Some(l)) => {
+                if r - m <= m - l {
+                    Some(DonorSide::Right(r))
+                } else {
+                    Some(DonorSide::Left(l))
+                }
+            }
+            (Some(r), None) => Some(DonorSide::Right(r)),
+            (None, Some(l)) => Some(DonorSide::Left(l)),
+            (None, None) => None,
+        }
+    }
+
+    /// Widen partition `m`'s covering range to include `v`, updating the
+    /// index when the upper bound grows.
+    #[inline]
+    pub(crate) fn widen_bounds(&mut self, m: usize, v: K) {
+        let part = &mut self.parts[m];
+        if v < part.min {
+            part.min = v;
+        }
+        if v > part.max {
+            part.max = v;
+            self.index.update_bound(m, v);
+        }
+    }
+
+    /// Number of logical blocks a partition's live region spans (cost unit
+    /// of the model: a query pays for whole blocks, §4.4).
+    #[inline]
+    pub(crate) fn live_blocks(&self, p: usize) -> usize {
+        let part = &self.parts[p];
+        if part.len == 0 {
+            return 0;
+        }
+        let vpb = self.layout.values_per_block();
+        (part.live_end() - 1) / vpb - part.start / vpb + 1
+    }
+
+    // ------------------------------------------------------------------
+    // Invariant checking (used heavily by tests)
+    // ------------------------------------------------------------------
+
+    /// Verify all structural invariants; returns a description of the first
+    /// violation. Intended for tests and debug assertions — O(M).
+    pub fn validate_invariants(&self) -> Result<(), String> {
+        if self.parts.is_empty() {
+            return Err("no partitions".into());
+        }
+        let mut expected_start = self.parts[0].start;
+        let mut live = 0usize;
+        for (p, part) in self.parts.iter().enumerate() {
+            if part.start != expected_start {
+                return Err(format!(
+                    "partition {p} starts at {} but previous extent ended at {expected_start}",
+                    part.start
+                ));
+            }
+            expected_start = part.extent_end();
+            live += part.len;
+            for pos in part.start..part.live_end() {
+                let v = self.data[pos];
+                if !part.covers(v) {
+                    return Err(format!(
+                        "value {v} at slot {pos} outside partition {p} range [{}, {}]",
+                        part.min, part.max
+                    ));
+                }
+            }
+            if p > 0 && self.parts[p - 1].max > part.max {
+                return Err(format!("partition bounds not monotone at {p}"));
+            }
+        }
+        if live != self.live {
+            return Err(format!("live count {live} != recorded {}", self.live));
+        }
+        if expected_start > self.data.len() {
+            return Err("partitions exceed physical capacity".into());
+        }
+        // Cross-partition separation: every live value of partition q must
+        // be strictly greater than the (fixed) upper bound of partition
+        // q−1, which is what routing by `locate` guarantees.
+        for q in 1..self.parts.len() {
+            let prev_bound = self.parts[q - 1].max;
+            let part = &self.parts[q];
+            for pos in part.start..part.live_end() {
+                if self.data[pos] <= prev_bound {
+                    return Err(format!(
+                        "value {} in partition {q} not above previous bound {prev_bound}",
+                        self.data[pos]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Which side a ghost donor was found on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DonorSide {
+    /// Donor partition index right of the target.
+    Right(usize),
+    /// Donor partition index left of the target.
+    Left(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_layout() -> BlockLayout {
+        // 2 values per block.
+        BlockLayout {
+            block_bytes: 16,
+            value_width: 8,
+        }
+    }
+
+    fn build_chunk(values: Vec<u64>, sizes: &[usize], ghosts: &[usize]) -> PartitionedChunk<u64> {
+        let spec = PartitionSpec::from_block_sizes(sizes);
+        PartitionedChunk::build(
+            values,
+            &spec,
+            tiny_layout(),
+            &GhostPlan::from_counts(ghosts.to_vec()),
+            ChunkConfig::default(),
+        )
+        .expect("build")
+    }
+
+    #[test]
+    fn build_sorts_and_partitions() {
+        let c = build_chunk(vec![8, 3, 1, 5, 7, 2, 4, 6], &[2, 2], &[0, 0]);
+        assert_eq!(c.partition_count(), 2);
+        assert_eq!(c.partition_values(0), &[1, 2, 3, 4]);
+        assert_eq!(c.partition_values(1), &[5, 6, 7, 8]);
+        assert_eq!(c.live_len(), 8);
+        c.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn build_places_ghosts_between_partitions() {
+        let c = build_chunk((1..=8).collect(), &[2, 2], &[2, 1]);
+        assert_eq!(c.parts[0].start, 0);
+        assert_eq!(c.parts[0].ghosts, 2);
+        assert_eq!(c.parts[1].start, 6); // 4 live + 2 ghosts
+        assert_eq!(c.ghost_total(), 3);
+        c.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn build_rejects_wrong_spec_width() {
+        let spec = PartitionSpec::from_block_sizes(&[1]); // 1 block for 8 values
+        let err = PartitionedChunk::build(
+            (1u64..=8).collect(),
+            &spec,
+            tiny_layout(),
+            &GhostPlan::none(1),
+            ChunkConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::InvalidSpec { .. }));
+    }
+
+    #[test]
+    fn build_rejects_ghost_plan_mismatch() {
+        let spec = PartitionSpec::from_block_sizes(&[2, 2]);
+        let err = PartitionedChunk::build(
+            (1u64..=8).collect(),
+            &spec,
+            tiny_layout(),
+            &GhostPlan::none(3),
+            ChunkConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StorageError::GhostPlanMismatch { .. }));
+    }
+
+    #[test]
+    fn build_with_payloads_cosorts() {
+        let spec = PartitionSpec::from_block_sizes(&[1, 1]);
+        let c = PartitionedChunk::build_with_payloads(
+            vec![40u64, 10, 30, 20],
+            vec![vec![4, 1, 3, 2]],
+            &spec,
+            tiny_layout(),
+            &GhostPlan::none(2),
+            ChunkConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(c.partition_values(0), &[10, 20]);
+        // Payload must follow its key.
+        assert_eq!(c.payloads().get(0, c.parts[0].start), 1);
+        assert_eq!(c.payloads().get(0, c.parts[0].start + 1), 2);
+        assert_eq!(c.payloads().get(0, c.parts[1].start), 3);
+    }
+
+    #[test]
+    fn pull_slot_from_tail_shifts_trailing_partitions() {
+        let mut c = build_chunk((1..=8).collect(), &[1, 1, 1, 1], &[0, 0, 0, 0]);
+        let mut cost = OpCost::default();
+        let hole = c.pull_slot_from_right(1, None, &mut cost);
+        // Partitions 2 and 3 each shifted right by one → 2 moves.
+        assert_eq!(cost.random_writes, 2);
+        assert_eq!(hole, c.parts[1].extent_end());
+        // All live data preserved.
+        let mut all: Vec<u64> = (0..4).flat_map(|p| c.partition_values(p).to_vec()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (1..=8).collect::<Vec<u64>>());
+        // Write the hole so invariants hold (value within partition 1's range).
+        c.data[hole] = 4;
+        c.parts[1].len += 1;
+        c.live += 1;
+        c.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn pull_slot_from_right_ghost_donor() {
+        let mut c = build_chunk((1..=8).collect(), &[1, 1, 1, 1], &[0, 0, 0, 3]);
+        let mut cost = OpCost::default();
+        let hole = c.pull_slot_from_right(0, Some(3), &mut cost);
+        assert_eq!(c.parts[3].ghosts, 2);
+        // Partitions 1, 2 and the donor's live region shift: 3 moves.
+        assert_eq!(cost.random_writes, 3);
+        assert_eq!(hole, c.parts[0].extent_end());
+        let mut all: Vec<u64> = (0..4).flat_map(|p| c.partition_values(p).to_vec()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (1..=8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn pull_slot_from_left_ghost_donor() {
+        let mut c = build_chunk((1..=8).collect(), &[1, 1, 1, 1], &[2, 0, 0, 0]);
+        let mut cost = OpCost::default();
+        let hole = c.pull_slot_from_left(3, 0, &mut cost);
+        assert_eq!(c.parts[0].ghosts, 1);
+        // Partitions 1 and 2 shift left: 2 moves.
+        assert_eq!(cost.random_writes, 2);
+        assert_eq!(hole + 1, c.parts[3].start);
+        let mut all: Vec<u64> = (0..4).flat_map(|p| c.partition_values(p).to_vec()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (1..=8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn push_slot_to_tail_restores_density() {
+        let mut c = build_chunk((1..=8).collect(), &[1, 1, 1, 1], &[0, 0, 0, 0]);
+        // Fabricate a surplus ghost in partition 1 by removing a value.
+        let le = c.parts[1].live_end();
+        c.data.copy_within(le - 1..le, c.parts[1].start); // drop one value
+        c.parts[1].len -= 1;
+        c.parts[1].ghosts += 1;
+        c.live -= 1;
+        let mut cost = OpCost::default();
+        c.push_slot_to_tail(1, &mut cost);
+        assert_eq!(cost.random_writes, 2); // partitions 2 and 3 shift left
+        assert_eq!(c.tail_free() > 0, true);
+        assert_eq!(c.ghost_total(), 0);
+        // Contiguity restored.
+        for p in 0..3 {
+            assert_eq!(c.parts[p].extent_end(), c.parts[p + 1].start);
+        }
+    }
+
+    #[test]
+    fn nearest_donor_prefers_closer_side() {
+        let c = build_chunk((1..=8).collect(), &[1, 1, 1, 1], &[1, 0, 0, 1]);
+        assert_eq!(c.nearest_donor(1), Some(DonorSide::Left(0)));
+        assert_eq!(c.nearest_donor(2), Some(DonorSide::Right(3)));
+        let c = build_chunk((1..=8).collect(), &[1, 1, 1, 1], &[0, 0, 0, 0]);
+        assert_eq!(c.nearest_donor(1), None);
+    }
+
+    #[test]
+    fn extract_live_sorted_round_trips() {
+        let c = build_chunk(vec![5, 3, 8, 1, 7, 2, 6, 4], &[2, 2], &[1, 1]);
+        let (keys, cols) = c.extract_live_sorted();
+        assert_eq!(keys, (1..=8).collect::<Vec<u64>>());
+        assert!(cols.is_empty());
+    }
+
+    #[test]
+    fn live_blocks_counts_block_span() {
+        let c = build_chunk((1..=8).collect(), &[2, 2], &[0, 0]);
+        // 2 values per block, partitions of 4 values each → 2 blocks.
+        assert_eq!(c.live_blocks(0), 2);
+        assert_eq!(c.live_blocks(1), 2);
+    }
+
+    #[test]
+    fn single_partition_constructor() {
+        let c = PartitionedChunk::single_partition(
+            vec![3u64, 1, 2],
+            tiny_layout(),
+            ChunkConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(c.partition_count(), 1);
+        assert_eq!(c.live_len(), 3);
+        c.validate_invariants().unwrap();
+    }
+}

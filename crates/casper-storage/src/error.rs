@@ -1,0 +1,76 @@
+//! Error types for the storage layer.
+
+use std::fmt;
+
+/// Errors surfaced by storage-layer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// The chunk has no free slot left (live values + ghost slots have
+    /// reached physical capacity). Chunk splitting is out of scope for this
+    /// reproduction (see DESIGN.md §7); callers should size chunks with
+    /// slack via [`crate::ChunkConfig::capacity_slack`].
+    ChunkFull {
+        /// Physical capacity of the chunk in slots.
+        capacity: usize,
+    },
+    /// A partitioning specification did not cover the chunk exactly.
+    InvalidSpec {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A ghost-value plan referenced more partitions than the spec defines.
+    GhostPlanMismatch {
+        /// Partitions in the spec.
+        partitions: usize,
+        /// Entries in the ghost plan.
+        plan_entries: usize,
+    },
+    /// A payload row had the wrong number of columns.
+    PayloadArity {
+        /// Columns the chunk stores.
+        expected: usize,
+        /// Columns the caller supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ChunkFull { capacity } => {
+                write!(f, "chunk is full (capacity {capacity} slots)")
+            }
+            StorageError::InvalidSpec { reason } => {
+                write!(f, "invalid partition spec: {reason}")
+            }
+            StorageError::GhostPlanMismatch {
+                partitions,
+                plan_entries,
+            } => write!(
+                f,
+                "ghost plan has {plan_entries} entries but spec has {partitions} partitions"
+            ),
+            StorageError::PayloadArity { expected, got } => {
+                write!(f, "payload row has {got} columns, chunk stores {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::ChunkFull { capacity: 128 };
+        assert!(e.to_string().contains("128"));
+        let e = StorageError::GhostPlanMismatch {
+            partitions: 4,
+            plan_entries: 7,
+        };
+        assert!(e.to_string().contains('4') && e.to_string().contains('7'));
+    }
+}

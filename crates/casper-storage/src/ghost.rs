@@ -1,0 +1,142 @@
+//! Ghost-value plans: how many empty buffer slots each partition receives.
+//!
+//! Ghost values (§2, §4.6) are empty slots interspersed at the end of each
+//! partition. They trade memory amplification for update performance: an
+//! insert that finds a ghost slot in its target partition avoids the ripple
+//! entirely, and a delete simply turns a live slot into a ghost.
+//!
+//! This module only describes *plans* (per-partition slot counts); the
+//! optimizer in `casper-core` computes workload-optimal plans via Eq. 18,
+//! and [`crate::PartitionedChunk`] materializes them.
+
+/// Per-partition ghost slot counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GhostPlan {
+    counts: Vec<usize>,
+}
+
+impl GhostPlan {
+    /// No ghost slots anywhere (the dense layouts of the paper's baselines).
+    pub fn none(partitions: usize) -> Self {
+        Self {
+            counts: vec![0; partitions],
+        }
+    }
+
+    /// Spread `total` ghost slots as evenly as possible (the `Equi-GV`
+    /// baseline of §7): the first `total % partitions` partitions get one
+    /// extra slot.
+    pub fn even(partitions: usize, total: usize) -> Self {
+        assert!(partitions > 0);
+        let base = total / partitions;
+        let rem = total % partitions;
+        Self {
+            counts: (0..partitions)
+                .map(|p| base + usize::from(p < rem))
+                .collect(),
+        }
+    }
+
+    /// Explicit per-partition counts.
+    pub fn from_counts(counts: Vec<usize>) -> Self {
+        Self { counts }
+    }
+
+    /// Distribute `total` slots proportionally to non-negative `weights`
+    /// using the largest-remainder method, so the counts sum to exactly
+    /// `total`. A zero weight vector degrades to [`GhostPlan::even`].
+    ///
+    /// This is the arithmetic behind Eq. 18
+    /// (`GValloc(i) = dm_part(i) / dm_tot * GVtot`).
+    pub fn proportional(weights: &[f64], total: usize) -> Self {
+        assert!(!weights.is_empty());
+        debug_assert!(weights.iter().all(|&w| w >= 0.0));
+        let sum: f64 = weights.iter().sum();
+        if sum <= 0.0 {
+            return Self::even(weights.len(), total);
+        }
+        let mut counts = Vec::with_capacity(weights.len());
+        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(weights.len());
+        let mut assigned = 0usize;
+        for (i, &w) in weights.iter().enumerate() {
+            let exact = w / sum * total as f64;
+            let floor = exact.floor() as usize;
+            assigned += floor;
+            counts.push(floor);
+            remainders.push((i, exact - floor as f64));
+        }
+        // Hand the leftover slots to the largest fractional remainders.
+        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        for &(i, _) in remainders.iter().take(total - assigned) {
+            counts[i] += 1;
+        }
+        Self { counts }
+    }
+
+    /// Per-partition slot counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total ghost slots in the plan.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Number of partitions covered.
+    pub fn partitions(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_all_zero() {
+        let p = GhostPlan::none(4);
+        assert_eq!(p.counts(), &[0, 0, 0, 0]);
+        assert_eq!(p.total(), 0);
+    }
+
+    #[test]
+    fn even_distributes_remainder_to_front() {
+        let p = GhostPlan::even(4, 10);
+        assert_eq!(p.counts(), &[3, 3, 2, 2]);
+        assert_eq!(p.total(), 10);
+    }
+
+    #[test]
+    fn proportional_sums_to_total() {
+        let p = GhostPlan::proportional(&[1.0, 2.0, 1.0], 8);
+        assert_eq!(p.total(), 8);
+        assert_eq!(p.counts(), &[2, 4, 2]);
+    }
+
+    #[test]
+    fn proportional_largest_remainder() {
+        // Exact shares: 3.33, 3.33, 3.33 → floors 3,3,3, one leftover goes
+        // to the largest remainder (ties broken by sort stability).
+        let p = GhostPlan::proportional(&[1.0, 1.0, 1.0], 10);
+        assert_eq!(p.total(), 10);
+        assert!(p.counts().iter().all(|&c| c == 3 || c == 4));
+    }
+
+    #[test]
+    fn proportional_zero_weights_falls_back_to_even() {
+        let p = GhostPlan::proportional(&[0.0, 0.0], 5);
+        assert_eq!(p.counts(), &[3, 2]);
+    }
+
+    #[test]
+    fn proptest_proportional_invariants() {
+        use proptest::prelude::*;
+        proptest!(|(weights in proptest::collection::vec(0.0f64..100.0, 1..40),
+                    total in 0usize..500)| {
+            let p = GhostPlan::proportional(&weights, total);
+            prop_assert_eq!(p.total(), total);
+            prop_assert_eq!(p.partitions(), weights.len());
+        });
+    }
+}

@@ -1,0 +1,348 @@
+//! Read operations: point and range queries over a partitioned chunk (§3,
+//! Fig. 3).
+//!
+//! * A **point query** probes the shallow index for the one partition whose
+//!   range may contain the value, then fully scans that partition with a
+//!   tight loop (values are unordered within a partition).
+//! * A **range query** probes the index for the first and last overlapping
+//!   partitions; those two are *filtered* (they may hold non-qualifying
+//!   values) while all middle partitions are *blindly consumed* — every
+//!   value qualifies, so they are handed to the consumer as whole runs.
+
+use crate::chunk::PartitionedChunk;
+use crate::ops::OpCost;
+use crate::value::ColumnValue;
+
+/// Result of a point query.
+#[derive(Debug, Clone, Default)]
+pub struct PointQueryResult {
+    /// Physical slot positions of the matching values.
+    pub positions: Vec<usize>,
+    /// Access pattern performed.
+    pub cost: OpCost,
+    /// Partition that was scanned.
+    pub partition: usize,
+}
+
+/// Result of a range query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RangeQueryResult {
+    /// Access pattern performed.
+    pub cost: OpCost,
+    /// Number of qualifying values passed to the consumer.
+    pub matched: u64,
+}
+
+/// Visitor receiving the qualifying rows of a range query.
+///
+/// The split between [`RangeConsumer::value`] and [`RangeConsumer::run`]
+/// mirrors the paper's select-operator discussion: filtered partitions
+/// produce individual positions, while the blindly-consumed middle
+/// partitions "can simply be copied to the next query operator".
+pub trait RangeConsumer<K: ColumnValue> {
+    /// One qualifying value from a filtered (first/last) partition.
+    fn value(&mut self, pos: usize, v: K);
+    /// A contiguous run of qualifying slots from a middle partition.
+    fn run(&mut self, range: std::ops::Range<usize>);
+}
+
+/// Counts qualifying rows (HAP Q2).
+#[derive(Debug, Default)]
+pub struct CountConsumer {
+    /// Number of qualifying rows seen.
+    pub count: u64,
+}
+
+impl<K: ColumnValue> RangeConsumer<K> for CountConsumer {
+    #[inline]
+    fn value(&mut self, _pos: usize, _v: K) {
+        self.count += 1;
+    }
+    #[inline]
+    fn run(&mut self, range: std::ops::Range<usize>) {
+        self.count += range.len() as u64;
+    }
+}
+
+/// Collects qualifying slot positions and runs (select returning positions).
+#[derive(Debug, Default)]
+pub struct PositionsConsumer {
+    /// Individual qualifying positions (from filtered partitions).
+    pub positions: Vec<usize>,
+    /// Whole qualifying runs (from middle partitions).
+    pub runs: Vec<std::ops::Range<usize>>,
+}
+
+impl<K: ColumnValue> RangeConsumer<K> for PositionsConsumer {
+    #[inline]
+    fn value(&mut self, pos: usize, _v: K) {
+        self.positions.push(pos);
+    }
+    #[inline]
+    fn run(&mut self, range: std::ops::Range<usize>) {
+        self.runs.push(range);
+    }
+}
+
+impl<K: ColumnValue> PartitionedChunk<K> {
+    /// Point query: return the positions of all live values equal to `v`
+    /// (Fig. 3b). Cost: one random read for the partition's first block,
+    /// sequential reads for the rest — there is "no further navigation
+    /// structure within a block" (§4.4), so the whole partition is scanned.
+    pub fn point_query(&self, v: K) -> PointQueryResult {
+        let mut cost = OpCost::default();
+        let p = self.locate(v, &mut cost);
+        let part = self.parts[p];
+        let mut positions = Vec::new();
+        if part.len > 0 && part.covers(v) {
+            // Tight scan loop over the live region.
+            let live = &self.data[part.start..part.live_end()];
+            for (i, &x) in live.iter().enumerate() {
+                if x == v {
+                    positions.push(part.start + i);
+                }
+            }
+        }
+        self.charge_partition_scan(p, &mut cost);
+        PointQueryResult {
+            positions,
+            cost,
+            partition: p,
+        }
+    }
+
+    /// Range query over the half-open interval `[lo, hi)` (Fig. 3c),
+    /// streaming qualifying rows into `consumer`.
+    pub fn range_query<C: RangeConsumer<K>>(
+        &self,
+        lo: K,
+        hi: K,
+        consumer: &mut C,
+    ) -> RangeQueryResult {
+        let mut cost = OpCost::default();
+        let mut matched = 0u64;
+        if hi <= lo {
+            return RangeQueryResult { cost, matched };
+        }
+        let first = self.locate(lo, &mut cost);
+        // Last partition overlapping [lo, hi): the one responsible for the
+        // largest value < hi.
+        cost.index_probes += 1;
+        let last = self
+            .parts
+            .iter()
+            .enumerate()
+            .take_while(|(_, p)| p.min < hi)
+            .map(|(i, _)| i)
+            .last()
+            .unwrap_or(first)
+            .max(first);
+        for p in first..=last {
+            let part = self.parts[p];
+            if part.len == 0 {
+                continue;
+            }
+            let fully_inside = lo <= part.min && part.max < hi;
+            if fully_inside && p != first && p != last {
+                // Blind middle partition: every value qualifies; hand the
+                // whole live run over. All blocks are consumed sequentially.
+                consumer.run(part.start..part.live_end());
+                matched += part.len as u64;
+                cost.seq_reads += self.live_blocks(p) as u64;
+                cost.values_scanned += part.len as u64;
+            } else {
+                // Filtered partition (first / last / partial overlap).
+                let live = &self.data[part.start..part.live_end()];
+                for (i, &x) in live.iter().enumerate() {
+                    if lo <= x && x < hi {
+                        consumer.value(part.start + i, x);
+                        matched += 1;
+                    }
+                }
+                self.charge_partition_scan(p, &mut cost);
+            }
+        }
+        RangeQueryResult { cost, matched }
+    }
+
+    /// Convenience wrapper: count rows in `[lo, hi)` (HAP Q2).
+    pub fn range_count(&self, lo: K, hi: K) -> (u64, OpCost) {
+        let mut c = CountConsumer::default();
+        let r = self.range_query(lo, hi, &mut c);
+        (c.count, r.cost)
+    }
+
+    /// Convenience wrapper: sum the given payload columns over all rows in
+    /// `[lo, hi)` (HAP Q3).
+    pub fn range_sum_payload(&self, lo: K, hi: K, cols: &[usize]) -> (u64, OpCost) {
+        let mut pc = PositionsConsumer::default();
+        let r = self.range_query(lo, hi, &mut pc);
+        let mut cost = r.cost;
+        let mut sum = self.payloads.sum_positions(cols, &pc.positions);
+        for run in &pc.runs {
+            sum += self.payloads.sum_range(cols, run.clone());
+        }
+        // Payload reads are sequential over the qualifying blocks, one scan
+        // per projected column.
+        let vpb = self.layout.values_per_block().max(1);
+        let qualifying: usize = pc.positions.len() + pc.runs.iter().map(|r| r.len()).sum::<usize>();
+        cost.seq_reads += (cols.len() * qualifying.div_ceil(vpb)) as u64;
+        (sum, cost)
+    }
+
+    /// Charge the cost of fully scanning partition `p`'s live region: one
+    /// random read to reach it, sequential reads for its remaining blocks.
+    pub(crate) fn charge_partition_scan(&self, p: usize, cost: &mut OpCost) {
+        let blocks = self.live_blocks(p) as u64;
+        if blocks > 0 {
+            cost.random_reads += 1;
+            cost.seq_reads += blocks - 1;
+        } else {
+            // Empty partition: the probe alone suffices, but charge the
+            // random read the model predicts for the ideal case.
+            cost.random_reads += 1;
+        }
+        cost.values_scanned += self.parts[p].len as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ChunkConfig;
+    use crate::ghost::GhostPlan;
+    use crate::layout::{BlockLayout, PartitionSpec};
+
+    fn tiny_layout() -> BlockLayout {
+        BlockLayout {
+            block_bytes: 16,
+            value_width: 8,
+        } // 2 values per block
+    }
+
+    fn chunk_1_to_16(sizes: &[usize]) -> PartitionedChunk<u64> {
+        PartitionedChunk::build(
+            (1..=16).collect(),
+            &PartitionSpec::from_block_sizes(sizes),
+            tiny_layout(),
+            &GhostPlan::none(sizes.len()),
+            ChunkConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn point_query_finds_value() {
+        let c = chunk_1_to_16(&[2, 2, 2, 2]);
+        let r = c.point_query(7);
+        assert_eq!(r.positions.len(), 1);
+        assert_eq!(c.data[r.positions[0]], 7);
+        assert_eq!(r.partition, 1); // values 5..8
+    }
+
+    #[test]
+    fn point_query_misses_cleanly() {
+        let c = chunk_1_to_16(&[2, 2, 2, 2]);
+        let r = c.point_query(100);
+        assert!(r.positions.is_empty());
+        // Still scanned the last partition (empty point queries cost the
+        // same, §4.4).
+        assert!(r.cost.values_scanned > 0);
+    }
+
+    #[test]
+    fn point_query_cost_scales_with_partition_size() {
+        // One partition of 8 blocks vs eight partitions of 1 block.
+        let big = chunk_1_to_16(&[8]);
+        let small = chunk_1_to_16(&[1; 8]);
+        let rb = big.point_query(3);
+        let rs = small.point_query(3);
+        assert_eq!(rb.cost.random_reads, 1);
+        assert_eq!(rb.cost.seq_reads, 7);
+        assert_eq!(rs.cost.random_reads, 1);
+        assert_eq!(rs.cost.seq_reads, 0);
+    }
+
+    #[test]
+    fn point_query_duplicates_all_found() {
+        let c = PartitionedChunk::build(
+            vec![5u64, 5, 5, 1, 2, 3, 9, 9],
+            &PartitionSpec::from_block_sizes(&[2, 2]),
+            tiny_layout(),
+            &GhostPlan::none(2),
+            ChunkConfig::default(),
+        )
+        .unwrap();
+        let r = c.point_query(5);
+        assert_eq!(r.positions.len(), 3);
+    }
+
+    #[test]
+    fn range_count_exact() {
+        let c = chunk_1_to_16(&[2, 2, 2, 2]);
+        let (n, _) = c.range_count(3, 11);
+        assert_eq!(n, 8); // 3..=10
+        let (n, _) = c.range_count(1, 17);
+        assert_eq!(n, 16);
+        let (n, _) = c.range_count(8, 8);
+        assert_eq!(n, 0);
+        let (n, _) = c.range_count(16, 16000);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn range_query_blind_middles_are_runs() {
+        let c = chunk_1_to_16(&[1, 1, 1, 1, 1, 1, 1, 1]);
+        let mut pc = PositionsConsumer::default();
+        let r = c.range_query(2, 15, &mut pc);
+        assert_eq!(r.matched, 13); // 2..=14
+        assert!(!pc.runs.is_empty(), "middle partitions must arrive as runs");
+        let run_total: usize = pc.runs.iter().map(|r| r.len()).sum();
+        assert_eq!(run_total + pc.positions.len(), 13);
+    }
+
+    #[test]
+    fn range_query_single_partition_is_filtered() {
+        let c = chunk_1_to_16(&[8]);
+        let mut pc = PositionsConsumer::default();
+        let r = c.range_query(5, 9, &mut pc);
+        assert_eq!(r.matched, 4);
+        assert!(pc.runs.is_empty());
+        assert_eq!(pc.positions.len(), 4);
+    }
+
+    #[test]
+    fn range_cost_counts_blind_blocks_sequentially() {
+        let c = chunk_1_to_16(&[2, 2, 2, 2]);
+        // Covers all four partitions: first and last filtered, two middles
+        // blind (2 blocks each).
+        let (_, cost) = c.range_count(1, 17);
+        // first partition: 1 RR + 1 SR; middles: 2+2 SR; last: 1 RR + 1 SR.
+        assert_eq!(cost.random_reads, 2);
+        assert_eq!(cost.seq_reads, 6);
+    }
+
+    #[test]
+    fn range_sum_payload_sums_only_qualifying() {
+        let keys: Vec<u64> = (1..=8).collect();
+        let pay: Vec<u32> = keys.iter().map(|&k| (k * 10) as u32).collect();
+        let c = PartitionedChunk::build_with_payloads(
+            keys,
+            vec![pay],
+            &PartitionSpec::from_block_sizes(&[1, 1, 1, 1]),
+            tiny_layout(),
+            &GhostPlan::none(4),
+            ChunkConfig::default(),
+        )
+        .unwrap();
+        let (sum, _) = c.range_sum_payload(2, 6, &[0]);
+        assert_eq!(sum, (20 + 30 + 40 + 50) as u64);
+    }
+
+    #[test]
+    fn empty_range_is_free_of_matches() {
+        let c = chunk_1_to_16(&[4, 4]);
+        let (n, _) = c.range_count(10, 5);
+        assert_eq!(n, 0);
+    }
+}

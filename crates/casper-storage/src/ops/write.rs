@@ -1,0 +1,635 @@
+//! Write operations: insert, delete, update (§3, Fig. 4, Fig. 5).
+//!
+//! All three are built on the chunk's slot-transfer primitives:
+//!
+//! * **insert** — place the value in its target partition, consuming a
+//!   local ghost slot when one exists; otherwise ripple a slot in from the
+//!   nearest donor (ghost policy) or the column tail (dense policy).
+//! * **delete** — point-query the target partition, swap-fill the matches
+//!   out of the live region, then either leave the freed slots as ghosts
+//!   (ghost policy) or ripple each hole out to the column tail (dense).
+//! * **update** — point-query the source, then ripple *directly* from
+//!   source to target partition, forward or backward — the paper's
+//!   optimization over delete-then-insert.
+
+use crate::chunk::{DonorSide, PartitionedChunk};
+use crate::error::StorageError;
+use crate::ops::OpCost;
+use crate::value::ColumnValue;
+use crate::UpdatePolicy;
+
+/// Result of a write operation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteResult {
+    /// Rows affected (0 when a delete/update found no match).
+    pub affected: u64,
+    /// Access pattern performed.
+    pub cost: OpCost,
+    /// Partitions whose contents were touched (source..=target span for
+    /// ripples); used by the engine for contention accounting.
+    pub partitions_touched: u64,
+}
+
+impl<K: ColumnValue> PartitionedChunk<K> {
+    /// Insert `v` (with an optional payload row — pass `&[]` for key-only
+    /// chunks).
+    pub fn insert(&mut self, v: K, payload: &[u32]) -> Result<WriteResult, StorageError> {
+        if !self.payloads.is_empty() && payload.len() != self.payloads.width() {
+            return Err(StorageError::PayloadArity {
+                expected: self.payloads.width(),
+                got: payload.len(),
+            });
+        }
+        let mut cost = OpCost::default();
+        let m = self.locate(v, &mut cost);
+        let slot = self.acquire_slot(m, &mut cost)?;
+        self.data[slot] = v;
+        if !self.payloads.is_empty() {
+            self.payloads.set_row(slot, payload);
+        }
+        cost.random_writes += 1;
+        self.parts[m].len += 1;
+        self.live += 1;
+        self.widen_bounds(m, v);
+        Ok(WriteResult {
+            affected: 1,
+            cost,
+            partitions_touched: 1,
+        })
+    }
+
+    /// Acquire a free slot at the end of partition `m`'s live region,
+    /// consuming a ghost or rippling one in. The returned slot is booked
+    /// into the partition's live region boundary (caller increments `len`).
+    fn acquire_slot(&mut self, m: usize, cost: &mut OpCost) -> Result<usize, StorageError> {
+        let part = self.parts[m];
+        // Fast path: the partition buffers its own ghost slot (Fig. 5) —
+        // "inserts use empty slots".
+        if part.ghosts > 0 {
+            self.parts[m].ghosts -= 1;
+            return Ok(part.live_end());
+        }
+        match self.config.policy {
+            UpdatePolicy::Dense => {
+                // Ripple from the column tail (Fig. 4a).
+                if self.tail_free() == 0 {
+                    return Err(StorageError::ChunkFull {
+                        capacity: self.data.len(),
+                    });
+                }
+                Ok(self.pull_slot_from_right(m, None, cost))
+            }
+            UpdatePolicy::Ghost => {
+                // Nearest donor first; fall back to the tail. Fetch a block
+                // of ghosts per §6.1 so neighbouring inserts benefit too.
+                let fetch = self.config.ghost_fetch_block.max(1);
+                match self.nearest_donor(m) {
+                    Some(DonorSide::Right(j)) => {
+                        // Pull up to `fetch` slots: the first feeds the
+                        // insert, the rest accumulate as ghosts of `m` so
+                        // neighbouring inserts avoid future ripples.
+                        let available = self.parts[j].ghosts.min(fetch);
+                        let first = self.pull_slot_from_right(m, Some(j), cost);
+                        for _ in 1..available {
+                            // Book the previous hole as a ghost of `m`
+                            // before pulling the next one so the extents
+                            // stay consistent.
+                            self.parts[m].ghosts += 1;
+                            self.pull_slot_from_right(m, Some(j), cost);
+                        }
+                        Ok(first)
+                    }
+                    Some(DonorSide::Left(j)) => {
+                        // Left donors hand over exactly one slot: the hole
+                        // arrives immediately *before* the live region, so
+                        // the partition extends leftwards and the new value
+                        // is written at its new first slot (partitions are
+                        // internally unordered). Block prefetch is a
+                        // forward-only optimization.
+                        let hole = self.pull_slot_from_left(m, j, cost);
+                        self.parts[m].start = hole;
+                        Ok(hole)
+                    }
+                    None => {
+                        if self.tail_free() == 0 {
+                            return Err(StorageError::ChunkFull {
+                                capacity: self.data.len(),
+                            });
+                        }
+                        Ok(self.pull_slot_from_right(m, None, cost))
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ensure the partition covering `v` buffers at least `count` ghost
+    /// slots, pulling them from the nearest donors (or the tail).
+    ///
+    /// This is the decoupled ghost rippling of §6.1: "we decouple the ghost
+    /// value rippling from the transaction since it does not affect
+    /// correctness. Hence, even if a transaction is rolled back, the
+    /// already completed fetching of ghost values will persist."
+    pub fn prefetch_ghosts(&mut self, v: K, count: usize) -> OpCost {
+        let mut cost = OpCost::default();
+        let m = self.locate(v, &mut cost);
+        while self.parts[m].ghosts < count {
+            match self.nearest_donor(m) {
+                Some(DonorSide::Right(j)) if j != m => {
+                    self.pull_slot_from_right(m, Some(j), &mut cost);
+                    self.parts[m].ghosts += 1;
+                }
+                Some(DonorSide::Left(j)) if j != m => {
+                    let hole = self.pull_slot_from_left(m, j, &mut cost);
+                    // The hole lands in front of the live region: rotate one
+                    // live value into it so the ghost sits at the end, where
+                    // the layout keeps buffer slots.
+                    let part = self.parts[m];
+                    if part.len > 0 {
+                        self.move_slot(part.live_end() - 1, hole, &mut cost);
+                    }
+                    self.parts[m].start -= 1;
+                    self.parts[m].ghosts += 1;
+                }
+                _ => {
+                    if self.tail_free() == 0 {
+                        break; // physically out of space: prefetch is best-effort
+                    }
+                    self.pull_slot_from_right(m, None, &mut cost);
+                    self.parts[m].ghosts += 1;
+                }
+            }
+        }
+        cost
+    }
+
+    /// Delete every live value equal to `v`. Returns the number of rows
+    /// removed (`del_card` in the paper's cost analysis).
+    pub fn delete(&mut self, v: K) -> WriteResult {
+        let mut cost = OpCost::default();
+        let m = self.locate(v, &mut cost);
+        // The embedded point query (§4.4: "a delete requires a point
+        // query").
+        self.charge_partition_scan(m, &mut cost);
+        let part = self.parts[m];
+        let mut removed = 0usize;
+        if part.len > 0 && part.covers(v) {
+            // Swap-fill matches out of the live region (Fig. 4b: deleted
+            // slots move to the end of the partition).
+            let mut pos = part.start;
+            let mut live_end = part.live_end();
+            while pos < live_end {
+                if self.data[pos] == v {
+                    live_end -= 1;
+                    if pos != live_end {
+                        self.move_slot(live_end, pos, &mut cost);
+                    } else {
+                        cost.random_writes += 1;
+                    }
+                    removed += 1;
+                } else {
+                    pos += 1;
+                }
+            }
+        }
+        if removed == 0 {
+            return WriteResult {
+                affected: 0,
+                cost,
+                partitions_touched: 1,
+            };
+        }
+        self.parts[m].len -= removed;
+        self.parts[m].ghosts += removed;
+        self.live -= removed;
+        let mut partitions_touched = 1u64;
+        if self.config.policy == UpdatePolicy::Dense {
+            // Ripple every hole out to the column tail to restore density.
+            for _ in 0..removed {
+                self.push_slot_to_tail(m, &mut cost);
+            }
+            partitions_touched += (self.parts.len() - 1 - m) as u64;
+        }
+        WriteResult {
+            affected: removed as u64,
+            cost,
+            partitions_touched,
+        }
+    }
+
+    /// Update the first live value equal to `old` to become `new` — the
+    /// direct ripple update of §3 ("the shallow index is probed twice to
+    /// find the source and the destination partitions, followed by a direct
+    /// ripple update between these two partitions").
+    pub fn update(&mut self, old: K, new: K) -> Result<WriteResult, StorageError> {
+        let mut cost = OpCost::default();
+        let m = self.locate(old, &mut cost);
+        self.charge_partition_scan(m, &mut cost);
+        let part = self.parts[m];
+        let mut found: Option<usize> = None;
+        if part.len > 0 && part.covers(old) {
+            let live = &self.data[part.start..part.live_end()];
+            found = live
+                .iter()
+                .position(|&x| x == old)
+                .map(|off| part.start + off);
+        }
+        let Some(pos) = found else {
+            return Ok(WriteResult {
+                affected: 0,
+                cost,
+                partitions_touched: 1,
+            });
+        };
+        let t = self.locate(new, &mut cost);
+        if t == m {
+            // Same partition: overwrite in place (unordered internally).
+            self.data[pos] = new;
+            cost.random_writes += 1;
+            self.widen_bounds(m, new);
+            return Ok(WriteResult {
+                affected: 1,
+                cost,
+                partitions_touched: 1,
+            });
+        }
+        // Remove `old` from its partition: swap the last live value into
+        // its place, leaving a surplus slot at the live boundary
+        // (the (RR + 2RW) fixed term of Eq. 12).
+        let last = self.parts[m].live_end() - 1;
+        if pos != last {
+            self.move_slot(last, pos, &mut cost);
+        } else {
+            cost.random_writes += 1;
+        }
+        self.parts[m].len -= 1;
+        self.parts[m].ghosts += 1;
+        let slot = match self.config.policy {
+            UpdatePolicy::Ghost if self.parts[t].ghosts > 0 => {
+                // Both sides buffered: no ripple at all (the contention
+                // reduction §6.1 highlights).
+                self.parts[t].ghosts -= 1;
+                self.parts[t].live_end()
+            }
+            _ => {
+                // Direct ripple between source and target, consuming the
+                // surplus slot we just created in `m`.
+                if t > m {
+                    let hole = self.pull_slot_from_left(t, m, &mut cost);
+                    self.parts[t].start = hole;
+                    hole
+                } else {
+                    self.pull_slot_from_right(t, Some(m), &mut cost)
+                }
+            }
+        };
+        self.data[slot] = new;
+        cost.random_writes += 1;
+        self.parts[t].len += 1;
+        self.widen_bounds(t, new);
+        Ok(WriteResult {
+            affected: 1,
+            cost,
+            partitions_touched: (m.abs_diff(t) + 1) as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ChunkConfig;
+    use crate::ghost::GhostPlan;
+    use crate::layout::{BlockLayout, PartitionSpec};
+
+    fn tiny_layout() -> BlockLayout {
+        BlockLayout {
+            block_bytes: 16,
+            value_width: 8,
+        } // 2 values per block
+    }
+
+    fn build(
+        values: Vec<u64>,
+        sizes: &[usize],
+        ghosts: &[usize],
+        config: ChunkConfig,
+    ) -> PartitionedChunk<u64> {
+        PartitionedChunk::build(
+            values,
+            &PartitionSpec::from_block_sizes(sizes),
+            tiny_layout(),
+            &GhostPlan::from_counts(ghosts.to_vec()),
+            config,
+        )
+        .unwrap()
+    }
+
+    fn all_values(c: &PartitionedChunk<u64>) -> Vec<u64> {
+        let mut v: Vec<u64> = (0..c.partition_count())
+            .flat_map(|p| c.partition_values(p).to_vec())
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn insert_with_local_ghost_is_one_write() {
+        let mut c = build((1..=8).collect(), &[1, 1, 1, 1], &[0, 1, 0, 0], ChunkConfig::default());
+        let r = c.insert(4, &[]).unwrap(); // partition 1 covers 3..=4
+        assert_eq!(r.affected, 1);
+        assert_eq!(r.cost.random_writes, 1);
+        assert_eq!(r.cost.random_reads, 0);
+        assert_eq!(c.live_len(), 9);
+        assert_eq!(c.ghost_total(), 0);
+        c.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_dense_ripples_from_tail() {
+        let mut c = build((1..=8).collect(), &[1, 1, 1, 1], &[0; 4], ChunkConfig::dense());
+        let r = c.insert(3, &[]).unwrap(); // partition 1
+        // Partitions 2 and 3 shift (2 moves) + the value write.
+        assert_eq!(r.cost.random_writes, 3);
+        assert_eq!(c.live_len(), 9);
+        assert_eq!(all_values(&c), vec![1, 2, 3, 3, 4, 5, 6, 7, 8]);
+        c.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_ghost_policy_uses_nearest_donor() {
+        let mut c = build(
+            (1..=8).collect(),
+            &[1, 1, 1, 1],
+            &[0, 0, 1, 0],
+            ChunkConfig::default(),
+        );
+        let r = c.insert(1, &[]).unwrap(); // partition 0; donor is partition 2
+        // Ripple over partitions 1 and 2 (2 moves) + value write.
+        assert_eq!(r.cost.random_writes, 3);
+        assert_eq!(c.ghost_total(), 0);
+        assert_eq!(all_values(&c), vec![1, 1, 2, 3, 4, 5, 6, 7, 8]);
+        c.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_ghost_policy_left_donor() {
+        let mut c = build(
+            (1..=8).collect(),
+            &[1, 1, 1, 1],
+            &[1, 0, 0, 0],
+            ChunkConfig::default(),
+        );
+        let r = c.insert(8, &[]).unwrap(); // partition 3; donor partition 0
+        assert_eq!(r.affected, 1);
+        assert_eq!(c.ghost_total(), 0);
+        assert_eq!(all_values(&c), vec![1, 2, 3, 4, 5, 6, 7, 8, 8]);
+        c.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_new_maximum_extends_last_partition() {
+        let mut c = build((1..=8).collect(), &[2, 2], &[0, 1], ChunkConfig::default());
+        c.insert(1000, &[]).unwrap();
+        let r = c.point_query(1000);
+        assert_eq!(r.positions.len(), 1);
+        assert_eq!(r.partition, 1);
+        c.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_below_minimum_goes_to_first_partition() {
+        let mut c = build((10..=17).collect(), &[2, 2], &[1, 0], ChunkConfig::default());
+        c.insert(1, &[]).unwrap();
+        let r = c.point_query(1);
+        assert_eq!(r.positions.len(), 1);
+        assert_eq!(r.partition, 0);
+        c.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_until_full_errors() {
+        let mut c = build((1..=8).collect(), &[2, 2], &[0, 0], ChunkConfig::dense());
+        let mut inserted = 0;
+        loop {
+            match c.insert(4, &[]) {
+                Ok(_) => inserted += 1,
+                Err(StorageError::ChunkFull { .. }) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+            assert!(inserted < 10_000, "chunk never filled");
+        }
+        assert_eq!(c.live_len(), 8 + inserted);
+        c.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_ghost_policy_leaves_ghosts() {
+        let mut c = build((1..=8).collect(), &[1, 1, 1, 1], &[0; 4], ChunkConfig::default());
+        let r = c.delete(5);
+        assert_eq!(r.affected, 1);
+        assert_eq!(c.live_len(), 7);
+        assert_eq!(c.ghost_total(), 1);
+        assert_eq!(c.parts[2].ghosts, 1);
+        assert!(c.point_query(5).positions.is_empty());
+        c.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_dense_ripples_to_tail() {
+        let mut c = build((1..=8).collect(), &[1, 1, 1, 1], &[0; 4], ChunkConfig::dense());
+        let before_tail = c.tail_free();
+        let r = c.delete(3); // partition 1: two trailing partitions shift
+        assert_eq!(r.affected, 1);
+        assert_eq!(c.ghost_total(), 0);
+        assert_eq!(c.tail_free(), before_tail + 1);
+        assert_eq!(all_values(&c), vec![1, 2, 4, 5, 6, 7, 8]);
+        c.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_multiple_matches() {
+        let mut c = build(
+            vec![5, 5, 5, 1, 2, 3, 9, 9],
+            &[2, 2],
+            &[0, 0],
+            ChunkConfig::default(),
+        );
+        let r = c.delete(5);
+        assert_eq!(r.affected, 3);
+        assert_eq!(c.live_len(), 5);
+        assert!(c.point_query(5).positions.is_empty());
+        c.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_missing_value_is_noop_with_cost() {
+        let mut c = build((1..=8).collect(), &[2, 2], &[0, 0], ChunkConfig::default());
+        let r = c.delete(100);
+        assert_eq!(r.affected, 0);
+        assert!(r.cost.values_scanned > 0);
+        assert_eq!(c.live_len(), 8);
+    }
+
+    #[test]
+    fn update_same_partition_in_place() {
+        let mut c = build((1..=8).collect(), &[2, 2], &[0, 0], ChunkConfig::default());
+        let r = c.update(3, 4).unwrap();
+        assert_eq!(r.affected, 1);
+        assert_eq!(r.partitions_touched, 1);
+        assert_eq!(all_values(&c), vec![1, 2, 4, 4, 5, 6, 7, 8]);
+        c.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn update_forward_ripple_dense() {
+        let mut c = build((1..=8).collect(), &[1, 1, 1, 1], &[0; 4], ChunkConfig::dense());
+        // 1 lives in partition 0; 8 maps to partition 3 → forward ripple.
+        let r = c.update(1, 8).unwrap();
+        assert_eq!(r.affected, 1);
+        assert_eq!(r.partitions_touched, 4);
+        assert_eq!(all_values(&c), vec![2, 3, 4, 5, 6, 7, 8, 8]);
+        c.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn update_backward_ripple_dense() {
+        let mut c = build((1..=8).collect(), &[1, 1, 1, 1], &[0; 4], ChunkConfig::dense());
+        let r = c.update(8, 1).unwrap();
+        assert_eq!(r.affected, 1);
+        assert_eq!(r.partitions_touched, 4);
+        assert_eq!(all_values(&c), vec![1, 1, 2, 3, 4, 5, 6, 7]);
+        c.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn update_ghost_both_sides_avoids_ripple() {
+        let mut c = build(
+            (1..=8).collect(),
+            &[1, 1, 1, 1],
+            &[0, 0, 0, 1],
+            ChunkConfig::default(),
+        );
+        let r = c.update(1, 8).unwrap();
+        assert_eq!(r.affected, 1);
+        // Swap-out write + value write only; no ripple moves.
+        assert!(r.cost.random_writes <= 2, "cost was {:?}", r.cost);
+        assert_eq!(c.parts[0].ghosts, 1); // source gained a ghost
+        assert_eq!(c.parts[3].ghosts, 0); // target consumed its ghost
+        assert_eq!(all_values(&c), vec![2, 3, 4, 5, 6, 7, 8, 8]);
+        c.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn update_missing_value_is_noop() {
+        let mut c = build((1..=8).collect(), &[2, 2], &[0, 0], ChunkConfig::default());
+        let r = c.update(100, 1).unwrap();
+        assert_eq!(r.affected, 0);
+        assert_eq!(c.live_len(), 8);
+    }
+
+    #[test]
+    fn insert_with_payload_row() {
+        let mut c = PartitionedChunk::build_with_payloads(
+            (1..=8).collect(),
+            vec![(1..=8).map(|k| (k * 10) as u32).collect()],
+            &PartitionSpec::from_block_sizes(&[2, 2]),
+            tiny_layout(),
+            &GhostPlan::from_counts(vec![1, 1]),
+            ChunkConfig::default(),
+        )
+        .unwrap();
+        c.insert(3, &[35]).unwrap();
+        let r = c.point_query(3);
+        assert_eq!(r.positions.len(), 2);
+        let vals: Vec<u32> = r.positions.iter().map(|&p| c.payloads().get(0, p)).collect();
+        assert!(vals.contains(&30) && vals.contains(&35));
+    }
+
+    #[test]
+    fn payload_arity_checked_on_insert() {
+        let mut c = PartitionedChunk::build_with_payloads(
+            (1..=4).collect(),
+            vec![vec![1, 2, 3, 4], vec![5, 6, 7, 8]],
+            &PartitionSpec::from_block_sizes(&[2]),
+            tiny_layout(),
+            &GhostPlan::from_counts(vec![1]),
+            ChunkConfig::default(),
+        )
+        .unwrap();
+        assert!(matches!(
+            c.insert(2, &[9]),
+            Err(StorageError::PayloadArity { .. })
+        ));
+    }
+
+    #[test]
+    fn ghost_fetch_block_prefetches_slots() {
+        let mut cfg = ChunkConfig::default();
+        cfg.ghost_fetch_block = 3;
+        let mut c = build((1..=8).collect(), &[1, 1, 1, 1], &[0, 0, 0, 4], cfg);
+        c.insert(1, &[]).unwrap();
+        // One slot consumed by the insert, two more prefetched as ghosts of
+        // partition 0.
+        assert_eq!(c.parts[0].ghosts, 2);
+        assert_eq!(c.parts[3].ghosts, 1);
+        assert_eq!(all_values(&c), vec![1, 1, 2, 3, 4, 5, 6, 7, 8]);
+        c.validate_invariants().unwrap();
+    }
+
+    #[test]
+    fn interleaved_workload_preserves_multiset() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        for &policy in &[UpdatePolicy::Ghost, UpdatePolicy::Dense] {
+            let mut cfg = ChunkConfig::default();
+            cfg.policy = policy;
+            cfg.capacity_slack = 0.5;
+            let ghosts = if policy == UpdatePolicy::Ghost {
+                vec![2, 2, 2, 2]
+            } else {
+                vec![0, 0, 0, 0]
+            };
+            let mut c = build((1..=32).map(|x| x * 10).collect(), &[4, 4, 4, 4], &ghosts, cfg);
+            let mut reference: Vec<u64> = (1..=32).map(|x| x * 10).collect();
+            for _ in 0..300 {
+                match rng.gen_range(0..4) {
+                    0 => {
+                        let v = rng.gen_range(0..400);
+                        if c.insert(v, &[]).is_ok() {
+                            reference.push(v);
+                        }
+                    }
+                    1 => {
+                        let v = rng.gen_range(0..400);
+                        let r = c.delete(v);
+                        for _ in 0..r.affected {
+                            let idx = reference.iter().position(|&x| x == v).unwrap();
+                            reference.swap_remove(idx);
+                        }
+                    }
+                    2 => {
+                        let old = rng.gen_range(0..400);
+                        let new = rng.gen_range(0..400);
+                        let r = c.update(old, new).unwrap();
+                        if r.affected == 1 {
+                            let idx = reference.iter().position(|&x| x == old).unwrap();
+                            reference[idx] = new;
+                        }
+                    }
+                    _ => {
+                        let v = rng.gen_range(0..400);
+                        let got = c.point_query(v).positions.len();
+                        let want = reference.iter().filter(|&&x| x == v).count();
+                        assert_eq!(got, want, "point query mismatch for {v}");
+                    }
+                }
+                c.validate_invariants()
+                    .unwrap_or_else(|e| panic!("invariant violated ({policy:?}): {e}"));
+                let mut expect = reference.clone();
+                expect.sort_unstable();
+                assert_eq!(all_values(&c), expect);
+            }
+        }
+    }
+}

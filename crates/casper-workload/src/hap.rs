@@ -1,0 +1,204 @@
+//! The HAP benchmark schema and query templates (§7.1).
+//!
+//! Two tables: *narrow* (16 columns) and *wide* (160 columns), each with an
+//! 8-byte integer primary key `a0` and 4-byte payload columns
+//! `a1..ap`. Six queries:
+//!
+//! ```sql
+//! Q1: SELECT a1,...,ak FROM R WHERE a0 = v
+//! Q2: SELECT count(*) FROM R WHERE a0 ∈ [vs, ve)
+//! Q3: SELECT a1+...+ak FROM R WHERE a0 ∈ [vs, ve)
+//! Q4: INSERT INTO R VALUES (a0, a1, ..., ap)
+//! Q5: DELETE FROM R WHERE a0 = v
+//! Q6: UPDATE R SET a0 = vnew WHERE a0 = v
+//! ```
+
+use casper_core::Op;
+
+/// Table schema: a key column plus `payload_cols` 4-byte attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HapSchema {
+    /// Number of payload columns (`p`).
+    pub payload_cols: usize,
+}
+
+impl HapSchema {
+    /// The narrow table: 16 columns total (key + 15 payloads).
+    pub fn narrow() -> Self {
+        Self { payload_cols: 15 }
+    }
+
+    /// The wide table: 160 columns total (key + 159 payloads).
+    pub fn wide() -> Self {
+        Self { payload_cols: 159 }
+    }
+
+    /// Total column count including the key.
+    pub fn total_cols(&self) -> usize {
+        self.payload_cols + 1
+    }
+
+    /// Bytes per row (8-byte key + 4-byte payloads).
+    pub fn row_bytes(&self) -> usize {
+        8 + 4 * self.payload_cols
+    }
+
+    /// Deterministic payload row for a key (generators use this so inserts
+    /// are self-describing and tests can verify payload integrity).
+    pub fn payload_row(&self, key: u64) -> Vec<u32> {
+        (0..self.payload_cols)
+            .map(|c| (key.wrapping_mul(2654435761).wrapping_add(c as u64) & 0xFFFF) as u32)
+            .collect()
+    }
+}
+
+/// One HAP query instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HapQuery {
+    /// Q1: point select of `k` payload attributes.
+    Q1 {
+        /// Key to look up.
+        v: u64,
+        /// Projectivity: number of payload columns fetched.
+        k: usize,
+    },
+    /// Q2: count rows with key in `[vs, ve)`.
+    Q2 {
+        /// Range start (inclusive).
+        vs: u64,
+        /// Range end (exclusive).
+        ve: u64,
+    },
+    /// Q3: sum `k` payload attributes over rows with key in `[vs, ve)`.
+    Q3 {
+        /// Range start (inclusive).
+        vs: u64,
+        /// Range end (exclusive).
+        ve: u64,
+        /// Projectivity.
+        k: usize,
+    },
+    /// Q4: insert a full row.
+    Q4 {
+        /// New key.
+        key: u64,
+        /// Payload values (arity = schema payload columns).
+        payload: Vec<u32>,
+    },
+    /// Q5: delete by key.
+    Q5 {
+        /// Key to delete.
+        v: u64,
+    },
+    /// Q6: fix a key error (`UPDATE R SET a0 = vnew WHERE a0 = v`).
+    Q6 {
+        /// Old (erroneous) key.
+        v: u64,
+        /// Corrected key.
+        vnew: u64,
+    },
+}
+
+impl HapQuery {
+    /// The key-column access pattern of this query, for Frequency Model
+    /// capture (payload columns ride along with the key's partitioning).
+    pub fn key_op(&self) -> Op<u64> {
+        match self {
+            HapQuery::Q1 { v, .. } => Op::Point(*v),
+            HapQuery::Q2 { vs, ve } => Op::Range(*vs, *ve),
+            HapQuery::Q3 { vs, ve, .. } => Op::Range(*vs, *ve),
+            HapQuery::Q4 { key, .. } => Op::Insert(*key),
+            HapQuery::Q5 { v } => Op::Delete(*v),
+            HapQuery::Q6 { v, vnew } => Op::Update(*v, *vnew),
+        }
+    }
+
+    /// Whether this query only reads.
+    pub fn is_read(&self) -> bool {
+        matches!(self, HapQuery::Q1 { .. } | HapQuery::Q2 { .. } | HapQuery::Q3 { .. })
+    }
+
+    /// Short name ("Q1".."Q6") for reporting.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HapQuery::Q1 { .. } => "Q1",
+            HapQuery::Q2 { .. } => "Q2",
+            HapQuery::Q3 { .. } => "Q3",
+            HapQuery::Q4 { .. } => "Q4",
+            HapQuery::Q5 { .. } => "Q5",
+            HapQuery::Q6 { .. } => "Q6",
+        }
+    }
+
+    /// Index 0..6 for metric arrays.
+    pub fn index(&self) -> usize {
+        match self {
+            HapQuery::Q1 { .. } => 0,
+            HapQuery::Q2 { .. } => 1,
+            HapQuery::Q3 { .. } => 2,
+            HapQuery::Q4 { .. } => 3,
+            HapQuery::Q5 { .. } => 4,
+            HapQuery::Q6 { .. } => 5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schemas_match_paper() {
+        assert_eq!(HapSchema::narrow().total_cols(), 16);
+        assert_eq!(HapSchema::wide().total_cols(), 160);
+        assert_eq!(HapSchema::narrow().row_bytes(), 8 + 60);
+    }
+
+    #[test]
+    fn payload_row_is_deterministic() {
+        let s = HapSchema::narrow();
+        assert_eq!(s.payload_row(42), s.payload_row(42));
+        assert_ne!(s.payload_row(42), s.payload_row(43));
+        assert_eq!(s.payload_row(42).len(), 15);
+    }
+
+    #[test]
+    fn key_ops_map_to_core_ops() {
+        assert_eq!(HapQuery::Q1 { v: 5, k: 3 }.key_op(), Op::Point(5));
+        assert_eq!(HapQuery::Q2 { vs: 1, ve: 9 }.key_op(), Op::Range(1, 9));
+        assert_eq!(
+            HapQuery::Q3 { vs: 1, ve: 9, k: 2 }.key_op(),
+            Op::Range(1, 9)
+        );
+        assert_eq!(
+            HapQuery::Q4 { key: 7, payload: vec![] }.key_op(),
+            Op::Insert(7)
+        );
+        assert_eq!(HapQuery::Q5 { v: 7 }.key_op(), Op::Delete(7));
+        assert_eq!(HapQuery::Q6 { v: 7, vnew: 8 }.key_op(), Op::Update(7, 8));
+    }
+
+    #[test]
+    fn read_write_classification() {
+        assert!(HapQuery::Q1 { v: 1, k: 1 }.is_read());
+        assert!(HapQuery::Q2 { vs: 0, ve: 1 }.is_read());
+        assert!(!HapQuery::Q5 { v: 1 }.is_read());
+        assert!(!HapQuery::Q6 { v: 1, vnew: 2 }.is_read());
+    }
+
+    #[test]
+    fn names_and_indexes_align() {
+        let qs = [
+            HapQuery::Q1 { v: 0, k: 1 },
+            HapQuery::Q2 { vs: 0, ve: 1 },
+            HapQuery::Q3 { vs: 0, ve: 1, k: 1 },
+            HapQuery::Q4 { key: 0, payload: vec![] },
+            HapQuery::Q5 { v: 0 },
+            HapQuery::Q6 { v: 0, vnew: 1 },
+        ];
+        for (i, q) in qs.iter().enumerate() {
+            assert_eq!(q.index(), i);
+            assert_eq!(q.name(), format!("Q{}", i + 1));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # casper-workload
+//!
+//! The **HAP (Hybrid Access Patterns)** benchmark of §7.1 and the workload
+//! generators behind every experiment in the paper's evaluation.
+//!
+//! HAP is a "physical" benchmark for storage-engine access paths, based on
+//! the ADAPT benchmark: two tables (narrow, 16 columns; wide, 160 columns)
+//! with an 8-byte integer key `a0` and 4-byte payload columns, and six
+//! query templates [`hap::HapQuery`] (point select, count range, sum range,
+//! insert, delete, key-fixing update).
+//!
+//! [`mix`] assembles the named workload mixes of Figs. 12–15 (hybrid,
+//! read-only, update-only × uniform/skewed, plus UDI1/UDI2/YCSB-A2), and
+//! [`zipf`] provides the key-access distributions (uniform, Zipf,
+//! latest-skew, hot-range).
+
+pub mod generator;
+pub mod hap;
+pub mod mix;
+pub mod zipf;
+
+pub use generator::{KeyDist, WorkloadGenerator};
+pub use hap::{HapQuery, HapSchema};
+pub use mix::{Mix, MixKind};

@@ -1,0 +1,70 @@
+//! Compression and the partitioning synergy (§6.2): dictionary and
+//! frame-of-reference codecs, predicate pushdown on encoded data, and why
+//! finer partitions compress better — plus RLE's update problem.
+//!
+//! ```sh
+//! cargo run --release --example compressed_scans
+//! ```
+
+use casper::storage::compress::{compression_ratio, Codec, Dictionary, ForBlock, Rle};
+
+fn main() {
+    // A TPC-H-flavoured column: ~2000 distinct order totals, clustered.
+    let values: Vec<u64> = (0..262_144u64)
+        .map(|i| 900_000 + (i.wrapping_mul(2654435761) % 2000) * 50)
+        .collect();
+    let plain_bytes = values.len() * 8;
+    println!("column: {} values, {} KB plain", values.len(), plain_bytes / 1024);
+
+    // Dictionary: order-preserving codes.
+    let dict = Dictionary::encode(&values);
+    println!(
+        "dictionary: {} distinct values, {:?} codes, {} KB ({:.1}x)",
+        dict.dict().len(),
+        dict.width(),
+        dict.encoded_bytes() / 1024,
+        compression_ratio(plain_bytes, dict.encoded_bytes())
+    );
+    let in_range = dict.count_in_range(950_000, 980_000);
+    println!("  predicate pushdown count [950k, 980k): {in_range} rows, no decompression");
+
+    // Frame of reference over the whole column vs per-partition fragments.
+    let whole = ForBlock::encode(&values);
+    println!(
+        "frame-of-reference (whole column): width {:?}, {} KB ({:.1}x)",
+        whole.width(),
+        whole.encoded_bytes() / 1024,
+        compression_ratio(plain_bytes, whole.encoded_bytes())
+    );
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+    for parts in [16usize, 256] {
+        let frag = sorted.len() / parts;
+        let bytes: usize = sorted
+            .chunks(frag)
+            .map(|c| ForBlock::encode(c).encoded_bytes())
+            .sum();
+        println!(
+            "frame-of-reference over {parts} sorted partitions: {} KB ({:.1}x) — \
+             narrower ranges, narrower offsets",
+            bytes / 1024,
+            compression_ratio(plain_bytes, bytes)
+        );
+    }
+    println!(
+        "→ §6.2's synergy: \"Casper tends to finely partition areas that attract\n\
+         more queries, thus enabling better delta compression\"."
+    );
+
+    // RLE: stellar ratio on sorted data, terrible update story.
+    let rle = Rle::encode(&sorted);
+    println!(
+        "\nRLE (sorted): {} runs, {} KB ({:.1}x) — but one update touches ~{} values\n\
+         (decode + re-encode), vs 1 for dictionary/FoR. That is why Casper\n\
+         prefers dictionary/delta schemes for updatable columns.",
+        rle.runs().len(),
+        rle.encoded_bytes() / 1024,
+        compression_ratio(plain_bytes, rle.encoded_bytes()),
+        rle.update_cost_model()
+    );
+}

@@ -1,0 +1,160 @@
+//! Property-based model test at the engine level: every layout mode,
+//! driven by arbitrary HAP query interleavings over a payload-carrying
+//! table, must agree with a naive reference model — including payload
+//! contents, which exercises the ripple mirroring across all columns.
+
+use casper::engine::{EngineConfig, LayoutMode, Table};
+use casper::workload::{HapQuery, HapSchema};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Act {
+    Point(u16),
+    Range(u16, u16),
+    Sum(u16, u16),
+    Insert(u16),
+    Delete(u16),
+    Update(u16, u16),
+}
+
+fn act() -> impl Strategy<Value = Act> {
+    prop_oneof![
+        any::<u16>().prop_map(Act::Point),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Act::Range(a.min(b), a.max(b))),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Act::Sum(a.min(b), a.max(b))),
+        any::<u16>().prop_map(Act::Insert),
+        any::<u16>().prop_map(Act::Delete),
+        (any::<u16>(), any::<u16>()).prop_map(|(a, b)| Act::Update(a, b)),
+    ]
+}
+
+fn to_query(a: &Act, schema: HapSchema) -> HapQuery {
+    match *a {
+        Act::Point(v) => HapQuery::Q1 {
+            v: u64::from(v),
+            k: 3,
+        },
+        Act::Range(a, b) => HapQuery::Q2 {
+            vs: u64::from(a),
+            ve: u64::from(b) + 1,
+        },
+        Act::Sum(a, b) => HapQuery::Q3 {
+            vs: u64::from(a),
+            ve: u64::from(b) + 1,
+            k: 2,
+        },
+        Act::Insert(v) => HapQuery::Q4 {
+            key: u64::from(v),
+            payload: schema.payload_row(u64::from(v)),
+        },
+        Act::Delete(v) => HapQuery::Q5 { v: u64::from(v) },
+        Act::Update(a, b) => HapQuery::Q6 {
+            v: u64::from(a),
+            vnew: u64::from(b),
+        },
+    }
+}
+
+/// Reference: a plain Vec of (key, payload) rows.
+fn reference_execute(rows: &mut Vec<(u64, Vec<u32>)>, q: &HapQuery) -> u64 {
+    match q {
+        HapQuery::Q1 { v, .. } => rows.iter().filter(|(k, _)| k == v).count() as u64,
+        HapQuery::Q2 { vs, ve } => {
+            rows.iter().filter(|(k, _)| (*vs..*ve).contains(k)).count() as u64
+        }
+        HapQuery::Q3 { vs, ve, k } => rows
+            .iter()
+            .filter(|(key, _)| (*vs..*ve).contains(key))
+            .map(|(_, p)| p[..*k].iter().map(|&x| u64::from(x)).sum::<u64>())
+            .sum(),
+        HapQuery::Q4 { key, payload } => {
+            rows.push((*key, payload.clone()));
+            1
+        }
+        HapQuery::Q5 { v } => {
+            let n = rows.len();
+            rows.retain(|(k, _)| k != v);
+            (n - rows.len()) as u64
+        }
+        HapQuery::Q6 { v, vnew } => match rows.iter_mut().find(|(k, _)| k == v) {
+            Some(r) => {
+                r.0 = *vnew;
+                1
+            }
+            None => 0,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_modes_agree_with_reference(
+        initial in proptest::collection::vec(any::<u16>(), 32..200),
+        acts in proptest::collection::vec(act(), 1..60),
+        mode_idx in 0usize..6,
+    ) {
+        let schema = HapSchema::narrow();
+        let keys: Vec<u64> = initial.iter().map(|&k| u64::from(k)).collect();
+        let payload_cols: Vec<Vec<u32>> = (0..schema.payload_cols)
+            .map(|c| keys.iter().map(|&k| schema.payload_row(k)[c]).collect())
+            .collect();
+        let mode = LayoutMode::all()[mode_idx];
+        let mut config = EngineConfig::small(mode);
+        config.chunk_values = 64; // force many chunks
+        config.capacity_slack = 1.0;
+        let mut table = Table::load(schema, keys.clone(), payload_cols, config);
+        let mut reference: Vec<(u64, Vec<u32>)> =
+            keys.iter().map(|&k| (k, schema.payload_row(k))).collect();
+        for (i, a) in acts.iter().enumerate() {
+            let q = to_query(a, schema);
+            let got = table.execute(&q).expect("execute").result.scalar();
+            let want = reference_execute(&mut reference, &q);
+            prop_assert_eq!(got, want, "{:?} diverged at act {} ({:?})", mode, i, q);
+        }
+        prop_assert_eq!(table.len(), reference.len());
+    }
+}
+
+#[test]
+fn wide_table_160_columns_round_trips() {
+    let schema = HapSchema::wide();
+    assert_eq!(schema.total_cols(), 160);
+    let keys: Vec<u64> = (0..2048u64).map(|i| i * 2).collect();
+    let payload_cols: Vec<Vec<u32>> = (0..schema.payload_cols)
+        .map(|c| keys.iter().map(|&k| schema.payload_row(k)[c]).collect())
+        .collect();
+    for mode in [LayoutMode::Casper, LayoutMode::StateOfArt, LayoutMode::Sorted] {
+        let mut config = EngineConfig::small(mode);
+        config.chunk_values = 1024;
+        let mut table = Table::load(schema, keys.clone(), payload_cols.clone(), config);
+        // Project deep columns on a point read.
+        let out = table
+            .execute(&HapQuery::Q1 { v: 100, k: 159 })
+            .expect("q1");
+        if let casper::engine::QueryResult::Rows(rows) = out.result {
+            assert_eq!(rows.len(), 1, "{mode:?}");
+            assert_eq!(rows[0], schema.payload_row(100)[..159].to_vec(), "{mode:?}");
+        } else {
+            panic!("wrong result kind");
+        }
+        // Ripple a row across partitions and check all 159 columns follow.
+        table
+            .execute(&HapQuery::Q6 { v: 100, vnew: 3999 })
+            .expect("q6");
+        let out = table
+            .execute(&HapQuery::Q1 { v: 3999, k: 159 })
+            .expect("q1 after move");
+        if let casper::engine::QueryResult::Rows(rows) = out.result {
+            assert_eq!(rows.len(), 1, "{mode:?}");
+            assert_eq!(
+                rows[0],
+                schema.payload_row(100)[..159].to_vec(),
+                "{mode:?}: payload must follow the key through the ripple"
+            );
+        } else {
+            panic!("wrong result kind");
+        }
+    }
+}
