@@ -3,8 +3,8 @@
 //! partition-size synergy (narrower fragments → narrower FoR offsets →
 //! faster scans).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use casper_storage::compress::{Codec, Dictionary, ForBlock, Rle};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const VALUES: usize = 1 << 16;
 
@@ -47,7 +47,9 @@ fn bench_scan(c: &mut Criterion) {
     group.bench_function("plain", |b| {
         b.iter(|| {
             std::hint::black_box(
-                data.iter().filter(|&&v| (30_000..200_000).contains(&v)).count(),
+                data.iter()
+                    .filter(|&&v| (30_000..200_000).contains(&v))
+                    .count(),
             )
         })
     });

@@ -2,9 +2,9 @@
 //! partition count (Fig. 2a's right axis) and the ghost-value fast path
 //! (Fig. 2b).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use casper_storage::ghost::GhostPlan;
 use casper_storage::{BlockLayout, ChunkConfig, PartitionSpec, PartitionedChunk, UpdatePolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 const VALUES: usize = 1 << 16;
 
@@ -93,7 +93,7 @@ fn bench_direct_ripple_update(c: &mut Criterion) {
                 i += 1;
                 // Move a value `span` partitions to the right and back,
                 // keeping the chunk in steady state.
-                let src = (i * 2909) % per_part & !1;
+                let src = ((i * 2909) % per_part) & !1;
                 let dst = src + span as u64 * per_part;
                 let r1 = chunk.update(src, dst).expect("fwd");
                 let r2 = chunk.update(dst, src).expect("bwd");
@@ -104,5 +104,10 @@ fn bench_direct_ripple_update(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ripple_insert, bench_ghost_insert, bench_direct_ripple_update);
+criterion_group!(
+    benches,
+    bench_ripple_insert,
+    bench_ghost_insert,
+    bench_direct_ripple_update
+);
 criterion_main!(benches);

@@ -2,11 +2,11 @@
 //! scaling in the block count (Fig. 11's per-chunk cost) and the B&B on
 //! the literal Eq. 20 model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use casper_core::cost::{BlockTerms, CostConstants};
 use casper_core::fm::{AccessDistribution, WorkloadSpec};
 use casper_core::solver::{bip, dp, SolverConstraints};
 use casper_core::FrequencyModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn terms(n: usize) -> BlockTerms {
     let fm = FrequencyModel::from_distributions(

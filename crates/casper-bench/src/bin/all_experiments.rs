@@ -13,7 +13,10 @@ fn main() {
             "fig09_model_verification",
             &["--values=1000000", "--partitions=100", "--quick"],
         ),
-        ("fig11_scalability", &["--max-size=100000000", "--budget-ms=5000"]),
+        (
+            "fig11_scalability",
+            &["--max-size=100000000", "--budget-ms=5000"],
+        ),
         ("fig12_throughput", &["--rows=262144", "--ops=2000"]),
         ("fig13_latency_breakdown", &["--rows=262144", "--ops=2000"]),
         ("fig14_ghost_values", &["--rows=262144", "--ops=2000"]),
@@ -28,9 +31,7 @@ fn main() {
     let mut failures = Vec::new();
     for (bin, extra) in quick_args {
         println!("\n################ {bin} ################");
-        let status = Command::new(exe_dir.join(bin))
-            .args(extra.iter())
-            .status();
+        let status = Command::new(exe_dir.join(bin)).args(extra.iter()).status();
         match status {
             Ok(s) if s.success() => {}
             other => {

@@ -44,8 +44,17 @@ fn main() {
     let queries = mix.generate(rc.ops, rc.seed);
 
     let mut report = TableReport::new(
-        format!("Fig. 1 — headline comparison (rows={}, ops={})", rc.rows, rc.ops),
-        &["design", "point q us", "range q (Q6) us", "insert us", "kops"],
+        format!(
+            "Fig. 1 — headline comparison (rows={}, ops={})",
+            rc.rows, rc.ops
+        ),
+        &[
+            "design",
+            "point q us",
+            "range q (Q6) us",
+            "insert us",
+            "kops",
+        ],
     );
     let mut throughputs = Vec::new();
     for (mode, label) in modes {

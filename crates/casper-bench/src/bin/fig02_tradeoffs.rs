@@ -35,7 +35,10 @@ fn panel_a(n_blocks: usize) {
         report.row(&[
             k.to_string(),
             format!("{:.4}", cost_of_segmentation(&seg, &read_terms) / base_read),
-            format!("{:.4}", cost_of_segmentation(&seg, &write_terms) / base_write),
+            format!(
+                "{:.4}",
+                cost_of_segmentation(&seg, &write_terms) / base_write
+            ),
         ]);
         k *= 2;
     }
@@ -49,7 +52,9 @@ fn panel_b(values: usize, partitions: usize) {
     let spec = PartitionSpec::equi_width(n_blocks, partitions);
     let k = spec.partition_count();
     let mut report = TableReport::new(
-        format!("Fig. 2b — measured cost vs memory amplification ({values} values, {k} partitions)"),
+        format!(
+            "Fig. 2b — measured cost vs memory amplification ({values} values, {k} partitions)"
+        ),
         &["mem amplification", "insert us", "point query us"],
     );
     let n_ops = 2000u64;
@@ -72,14 +77,14 @@ fn panel_b(values: usize, partitions: usize) {
         // they ripple.
         let t = Instant::now();
         for i in 0..n_ops {
-            let v = (i * 48271) % (2 * values as u64) | 1;
+            let v = ((i * 48271) % (2 * values as u64)) | 1;
             chunk.insert(v, &[]).expect("insert");
         }
         let ins_us = t.elapsed().as_nanos() as f64 / n_ops as f64 / 1000.0;
         let t = Instant::now();
         let mut acc = 0usize;
         for i in 0..n_ops {
-            let v = (i * 16807) % (2 * values as u64) & !1;
+            let v = ((i * 16807) % (2 * values as u64)) & !1;
             acc += chunk.point_query(v).positions.len();
         }
         std::hint::black_box(acc);

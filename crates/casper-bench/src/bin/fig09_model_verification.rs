@@ -55,7 +55,7 @@ fn panel_a(values: usize, partitions: usize) {
     for m in (0..k).step_by(step) {
         let base = m as u64 * per_part;
         for i in 0..4u64 {
-            let v = base + (i * 7121) % per_part | 1;
+            let v = (base + (i * 7121) % per_part) | 1;
             chunk.insert(v, &[]).expect("warm insert");
         }
     }
@@ -67,7 +67,7 @@ fn panel_a(values: usize, partitions: usize) {
         let base = m as u64 * per_part;
         let t = Instant::now();
         for i in 0..samples as u64 {
-            let v = base + (i * 2909) % per_part | 1;
+            let v = (base + (i * 2909) % per_part) | 1;
             chunk.insert(v, &[]).expect("insert");
         }
         measured_us.push((m, t.elapsed().as_nanos() as f64 / samples as f64 / 1000.0));
@@ -78,13 +78,12 @@ fn panel_a(values: usize, partitions: usize) {
         .map(|&(m, us)| ((1 + k - m) as f64, us * 1000.0))
         .collect();
     let (_, slope) = fit_linear(&pts);
-    let fitted = casper_core::CostConstants::new(
-        (slope / 2.0).max(0.1),
-        (slope / 2.0).max(0.1),
-        1.0,
-        1.0,
+    let fitted =
+        casper_core::CostConstants::new((slope / 2.0).max(0.1), (slope / 2.0).max(0.1), 1.0, 1.0);
+    println!(
+        "fitted (RR+RW) from insert measurements: {:.1} ns per partition step",
+        slope
     );
-    println!("fitted (RR+RW) from insert measurements: {:.1} ns per partition step", slope);
     let mut report = TableReport::new(
         format!("Fig. 9a — insert cost vs partition id ({values} values, {k} partitions)"),
         &["partition", "measured us", "model us", "ratio"],
@@ -135,7 +134,7 @@ fn panel_b() {
         let t = Instant::now();
         let mut acc = 0usize;
         for i in 0..samples {
-            let v = lo + ((i * 6271) % (hi - lo + 1)) & !1;
+            let v = (lo + ((i * 6271) % (hi - lo + 1))) & !1;
             acc += chunk.point_query(v).positions.len();
         }
         std::hint::black_box(acc);
@@ -149,13 +148,13 @@ fn panel_b() {
     let (intercept, slope) = fit_linear(&pts);
     // A near-zero (or negative) fitted intercept degenerates the 1-block
     // prediction; fall back to the smallest measured partition's latency.
-    let intercept = if intercept > 1.0 { intercept } else { measured_ns[0].2 };
-    let fitted = casper_core::CostConstants::new(
-        intercept,
-        intercept,
-        slope.max(0.1),
-        slope.max(0.1),
-    );
+    let intercept = if intercept > 1.0 {
+        intercept
+    } else {
+        measured_ns[0].2
+    };
+    let fitted =
+        casper_core::CostConstants::new(intercept, intercept, slope.max(0.1), slope.max(0.1));
     println!(
         "fitted from point-query measurements: RR = {:.0} ns, SR = {:.0} ns per 4KB block",
         intercept.max(1.0),
@@ -167,7 +166,13 @@ fn panel_b() {
             spec.partition_count(),
             values_total
         ),
-        &["partition", "part values", "measured us", "model us", "ratio"],
+        &[
+            "partition",
+            "part values",
+            "measured us",
+            "model us",
+            "ratio",
+        ],
     );
     for &(p, blocks, ns) in &measured_ns {
         let model = predicted_point_query_nanos(&fitted, blocks);

@@ -52,7 +52,10 @@ fn main() {
         "Fig. 11: partitioning-decision latency vs data size",
         &[
             ("block-values=N", "values per block (default 512 = 4KB/8B)"),
-            ("budget-ms=N", "skip+extrapolate single jobs beyond this (default 30000)"),
+            (
+                "budget-ms=N",
+                "skip+extrapolate single jobs beyond this (default 30000)",
+            ),
             ("threads=N", "parallelism for chunked variants"),
             ("max-size=N", "largest data size (default 1e9)"),
         ],
@@ -86,7 +89,11 @@ fn main() {
     let mut report = TableReport::new(
         format!("Fig. 11 — partitioning decision latency (ms), {threads} threads"),
         &[
-            "data size", "single job", "chunked-100", "chunked-1000", "chunked-10000",
+            "data size",
+            "single job",
+            "chunked-100",
+            "chunked-1000",
+            "chunked-10000",
             "chunked-100000",
         ],
     );

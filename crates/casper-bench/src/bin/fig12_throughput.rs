@@ -24,7 +24,10 @@ fn main() {
             ("seed=N", "workload seed (default 42)"),
             ("threads=N", "worker threads"),
             ("chunk-values=N", "values per chunk (default 1M)"),
-            ("equi-partitions=N", "partitions per chunk for Equi/cap (default 64)"),
+            (
+                "equi-partitions=N",
+                "partitions per chunk for Equi/cap (default 64)",
+            ),
             ("ghosts=F", "ghost budget fraction (default 0.001)"),
         ],
     );
@@ -46,8 +49,15 @@ fn main() {
             rc.rows, rc.ops
         ),
         &[
-            "workload", "Casper", "Equi-GV", "Equi", "St-of-art", "Sorted", "No Order",
-            "SoA kops", "paper Casper",
+            "workload",
+            "Casper",
+            "Equi-GV",
+            "Equi",
+            "St-of-art",
+            "Sorted",
+            "No Order",
+            "SoA kops",
+            "paper Casper",
         ],
     );
 

@@ -29,7 +29,11 @@ fn main() {
     let panels: [(&str, MixKind, [usize; 3]); 3] = [
         ("(a) hybrid skewed", MixKind::HybridPointSkewed, [0, 3, 5]),
         ("(b) read-only skewed", MixKind::ReadOnlySkewed, [0, 1, 5]),
-        ("(c) update-only uniform", MixKind::UpdateOnlyUniform, [3, 4, 5]),
+        (
+            "(c) update-only uniform",
+            MixKind::UpdateOnlyUniform,
+            [3, 4, 5],
+        ),
     ];
     let class_names = ["Q1", "Q2", "Q3", "Q4", "Q5", "Q6"];
     let modes = [
@@ -47,10 +51,8 @@ fn main() {
             .chain(["kops".to_string()])
             .collect();
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-        let mut report = TableReport::new(
-            format!("Fig. 13 {panel} — {}", kind.label()),
-            &header_refs,
-        );
+        let mut report =
+            TableReport::new(format!("Fig. 13 {panel} — {}", kind.label()), &header_refs);
         for mode in modes {
             eprintln!("[fig13] {panel}: {}", mode.label());
             let out = casper_bench::runner::run_mix(kind, mode, &rc);
@@ -67,9 +69,6 @@ fn main() {
             report.row(&cells);
         }
         report.print();
-        report.write_csv(&format!(
-            "fig13_{}",
-            panel.chars().nth(1).unwrap_or('x')
-        ));
+        report.write_csv(&format!("fig13_{}", panel.chars().nth(1).unwrap_or('x')));
     }
 }

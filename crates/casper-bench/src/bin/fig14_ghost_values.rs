@@ -29,7 +29,10 @@ fn main() {
         MixKind::YcsbA2,
     ];
     let mut report = TableReport::new(
-        format!("Fig. 14 — insert latency (us) vs ghost budget (rows={})", rc.rows),
+        format!(
+            "Fig. 14 — insert latency (us) vs ghost budget (rows={})",
+            rc.rows
+        ),
         &["workload", "0.01%", "0.1%", "1%", "10%"],
     );
     for kind in mixes {

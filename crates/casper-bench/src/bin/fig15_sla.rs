@@ -42,7 +42,13 @@ fn main() {
     let mut report = TableReport::new(
         "Fig. 15 — insert SLA sweep (Q1 89% / Q4 10% / Q6 1%)",
         &[
-            "insert SLA us", "max parts", "Q1 us", "Q4 us", "Q4 p99.9 us", "Q6 us", "kops",
+            "insert SLA us",
+            "max parts",
+            "Q1 us",
+            "Q4 us",
+            "Q4 p99.9 us",
+            "Q6 us",
+            "kops",
         ],
     );
     for sla_us in slas_us {

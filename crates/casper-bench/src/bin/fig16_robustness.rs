@@ -13,10 +13,10 @@
 use casper_bench::{Args, TableReport};
 use casper_core::cost::{BlockTerms, CostConstants};
 use casper_core::fm::{AccessDistribution, WorkloadSpec};
+use casper_core::ghost_alloc::allocate_ghosts;
 use casper_core::robust::{evaluate_robustness, mass_shift, rotational_shift};
 use casper_core::solver::{dp, SolverConstraints};
 use casper_core::FrequencyModel;
-use casper_core::ghost_alloc::allocate_ghosts;
 use casper_storage::{BlockLayout, ChunkConfig, PartitionedChunk};
 use rand::prelude::*;
 use std::time::Instant;
@@ -27,11 +27,17 @@ fn fig16a_fm(n: usize) -> FrequencyModel {
         &WorkloadSpec {
             point: Some((
                 5000.0,
-                AccessDistribution::Gaussian { mean: 0.75, std: 0.12 },
+                AccessDistribution::Gaussian {
+                    mean: 0.75,
+                    std: 0.12,
+                },
             )),
             insert: Some((
                 5000.0,
-                AccessDistribution::Gaussian { mean: 0.25, std: 0.12 },
+                AccessDistribution::Gaussian {
+                    mean: 0.25,
+                    std: 0.12,
+                },
             )),
             ..WorkloadSpec::none()
         },
@@ -102,7 +108,10 @@ fn main() {
         &[
             ("values=N", "chunk values (default 262144)"),
             ("ops=N", "measured ops per grid point (default 20000)"),
-            ("model-only", "skip execution, report model-based normalization"),
+            (
+                "model-only",
+                "skip execution, report model-based normalization",
+            ),
         ],
     );
     let values = args.usize_or("values", 1 << 18);
@@ -145,10 +154,20 @@ fn main() {
                 let seed = (rot * 100.0) as u64 * 1000 + ((ms + 1.0) * 100.0) as u64;
                 // Two interleaved rounds each, keeping the minimum: the
                 // first round of a fresh chunk pays first-touch page faults.
-                let trained_ns = measure(&shifted, &trained, values, ops, seed)
-                    .min(measure(&shifted, &trained, values, ops, seed + 7));
-                let oracle_ns = measure(&shifted, &oracle_seg, values, ops, seed)
-                    .min(measure(&shifted, &oracle_seg, values, ops, seed + 7));
+                let trained_ns = measure(&shifted, &trained, values, ops, seed).min(measure(
+                    &shifted,
+                    &trained,
+                    values,
+                    ops,
+                    seed + 7,
+                ));
+                let oracle_ns = measure(&shifted, &oracle_seg, values, ops, seed).min(measure(
+                    &shifted,
+                    &oracle_seg,
+                    values,
+                    ops,
+                    seed + 7,
+                ));
                 trained_ns / oracle_ns.max(1e-9)
             };
             cells.push(format!("{norm:.3}"));

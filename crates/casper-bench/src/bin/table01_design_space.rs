@@ -23,16 +23,46 @@ fn main() {
     );
     let rc = RunConfig::from_args(&args);
     let rows: [(&str, LayoutMode, &str, &str, &str); 6] = [
-        ("No Order", LayoutMode::NoOrder, "insertion order", "in-place", "none"),
+        (
+            "No Order",
+            LayoutMode::NoOrder,
+            "insertion order",
+            "in-place",
+            "none",
+        ),
         ("Sorted", LayoutMode::Sorted, "sorted", "in-place", "none"),
-        ("State-of-art", LayoutMode::StateOfArt, "sorted", "out-of-place", "global (delta)"),
+        (
+            "State-of-art",
+            LayoutMode::StateOfArt,
+            "sorted",
+            "out-of-place",
+            "global (delta)",
+        ),
         ("Equi", LayoutMode::Equi, "partitioned", "in-place", "none"),
-        ("Equi-GV", LayoutMode::EquiGV, "partitioned", "hybrid", "per-partition"),
-        ("Casper", LayoutMode::Casper, "partitioned (optimal)", "hybrid", "per-partition (Eq. 18)"),
+        (
+            "Equi-GV",
+            LayoutMode::EquiGV,
+            "partitioned",
+            "hybrid",
+            "per-partition",
+        ),
+        (
+            "Casper",
+            LayoutMode::Casper,
+            "partitioned (optimal)",
+            "hybrid",
+            "per-partition (Eq. 18)",
+        ),
     ];
     let mut report = TableReport::new(
         "Table 1 — design space of column layouts, instantiated",
-        &["mode", "data organization", "update policy", "buffering", "kops (hybrid)"],
+        &[
+            "mode",
+            "data organization",
+            "update policy",
+            "buffering",
+            "kops (hybrid)",
+        ],
     );
     for (label, mode, org, policy, buffering) in rows {
         eprintln!("[table01] {label}");

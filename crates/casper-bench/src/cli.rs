@@ -18,6 +18,7 @@ impl Args {
     }
 
     /// Parse from an explicit iterator (tests).
+    #[allow(clippy::should_implement_trait)] // not a FromIterator: parses, doesn't collect
     pub fn from_iter(args: impl IntoIterator<Item = String>) -> Self {
         let mut values = HashMap::new();
         let mut help = false;
@@ -45,7 +46,11 @@ impl Args {
     /// Integer with default.
     pub fn usize_or(&self, key: &str, default: usize) -> usize {
         self.get(key)
-            .map(|v| v.replace('_', "").parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}")))
+            .map(|v| {
+                v.replace('_', "")
+                    .parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v}"))
+            })
             .unwrap_or(default)
     }
 
@@ -57,7 +62,10 @@ impl Args {
     /// Float with default.
     pub fn f64_or(&self, key: &str, default: f64) -> f64 {
         self.get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number, got {v}"))
+            })
             .unwrap_or(default)
     }
 

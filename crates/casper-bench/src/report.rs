@@ -87,7 +87,11 @@ impl TableReport {
         let _ = writeln!(
             f,
             "{}",
-            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
             let _ = writeln!(

@@ -255,13 +255,11 @@ mod tests {
         let coarse = Segmentation::equi(n, 2);
         let fine = Segmentation::equi(n, 8);
         assert!(
-            cost_of_segmentation(&fine, &read_terms)
-                < cost_of_segmentation(&coarse, &read_terms),
+            cost_of_segmentation(&fine, &read_terms) < cost_of_segmentation(&coarse, &read_terms),
             "reads favor more partitions"
         );
         assert!(
-            cost_of_segmentation(&fine, &write_terms)
-                > cost_of_segmentation(&coarse, &write_terms),
+            cost_of_segmentation(&fine, &write_terms) > cost_of_segmentation(&coarse, &write_terms),
             "inserts favor fewer partitions"
         );
     }

@@ -52,9 +52,7 @@ mod tests {
         assert!((worst / base - 101.0 / 2.0).abs() < 1e-9);
         // Strictly decreasing in m.
         for m in 1..100 {
-            assert!(
-                predicted_insert_nanos(&c, 100, m) < predicted_insert_nanos(&c, 100, m - 1)
-            );
+            assert!(predicted_insert_nanos(&c, 100, m) < predicted_insert_nanos(&c, 100, m - 1));
         }
     }
 

@@ -45,9 +45,9 @@ impl AccessDistribution {
         assert!(n > 0);
         let mut w: Vec<f64> = match self {
             AccessDistribution::Uniform => vec![1.0; n],
-            AccessDistribution::Zipf { theta } => {
-                (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(*theta)).collect()
-            }
+            AccessDistribution::Zipf { theta } => (0..n)
+                .map(|i| 1.0 / ((i + 1) as f64).powf(*theta))
+                .collect(),
             AccessDistribution::ZipfRecent { theta } => (0..n)
                 .map(|i| 1.0 / ((n - i) as f64).powf(*theta))
                 .collect(),

@@ -145,7 +145,12 @@ impl std::fmt::Display for Segmentation {
             }
             write!(f, "{}", r.len())?;
         }
-        write!(f, "] ({} parts / {} blocks)", self.partition_count(), self.n_blocks())
+        write!(
+            f,
+            "] ({} parts / {} blocks)",
+            self.partition_count(),
+            self.n_blocks()
+        )
     }
 }
 

@@ -377,7 +377,10 @@ mod tests {
             &SolverConstraints::none(),
         );
         assert!(small.normalized_latency() < large.normalized_latency());
-        assert!(small.normalized_latency() < 1.25, "small shift should be absorbed");
+        assert!(
+            small.normalized_latency() < 1.25,
+            "small shift should be absorbed"
+        );
         assert!(large.normalized_latency() > 1.05, "large shift should cost");
     }
 }

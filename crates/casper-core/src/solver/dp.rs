@@ -244,7 +244,11 @@ mod tests {
         let sizes = sol.seg.sizes();
         // First partitions (read region) must be narrower than the last
         // (insert region).
-        assert!(sizes[0] <= 2, "hot read region coarser than expected: {}", sol.seg);
+        assert!(
+            sizes[0] <= 2,
+            "hot read region coarser than expected: {}",
+            sol.seg
+        );
         assert!(
             *sizes.last().unwrap() >= 4,
             "insert region finer than expected: {}",

@@ -18,7 +18,10 @@ pub const MAX_BLOCKS: usize = 22;
 /// Panics when `N > MAX_BLOCKS` or no admissible layout exists.
 pub fn solve(terms: &BlockTerms, constraints: &SolverConstraints) -> Solution {
     let n = terms.n_blocks();
-    assert!(n >= 1 && n <= MAX_BLOCKS, "exhaustive solver capped at {MAX_BLOCKS} blocks");
+    assert!(
+        (1..=MAX_BLOCKS).contains(&n),
+        "exhaustive solver capped at {MAX_BLOCKS} blocks"
+    );
     let mut best: Option<Solution> = None;
     for mask in 0u32..(1u32 << (n - 1)) {
         let mut p: Vec<bool> = (0..n - 1).map(|i| mask & (1 << i) != 0).collect();
@@ -28,7 +31,7 @@ pub fn solve(terms: &BlockTerms, constraints: &SolverConstraints) -> Solution {
             continue;
         }
         let cost = cost_of_segmentation(&seg, terms);
-        if best.as_ref().map_or(true, |b| cost < b.cost) {
+        if best.as_ref().is_none_or(|b| cost < b.cost) {
             best = Some(Solution { seg, cost });
         }
     }
@@ -37,7 +40,7 @@ pub fn solve(terms: &BlockTerms, constraints: &SolverConstraints) -> Solution {
 
 /// Count the admissible layouts (used to report search-space sizes).
 pub fn admissible_count(n: usize, constraints: &SolverConstraints) -> u64 {
-    assert!(n >= 1 && n <= MAX_BLOCKS);
+    assert!((1..=MAX_BLOCKS).contains(&n));
     let mut count = 0u64;
     for mask in 0u32..(1u32 << (n - 1)) {
         let mut p: Vec<bool> = (0..n - 1).map(|i| mask & (1 << i) != 0).collect();

@@ -46,10 +46,10 @@ impl SolverConstraints {
     /// Whether a segmentation satisfies the constraints.
     pub fn admits(&self, seg: &Segmentation) -> bool {
         self.max_partitions
-            .map_or(true, |k| seg.partition_count() <= k)
+            .is_none_or(|k| seg.partition_count() <= k)
             && self
                 .max_partition_blocks
-                .map_or(true, |w| seg.max_partition_blocks() <= w)
+                .is_none_or(|w| seg.max_partition_blocks() <= w)
     }
 
     /// Whether any segmentation of `n` blocks can satisfy the constraints
@@ -171,12 +171,11 @@ mod tests {
     fn optimizer_respects_constraints() {
         let mut fm = FrequencyModel::new(10);
         fm.pq = vec![10.0; 10];
-        let opt = LayoutOptimizer::new(CostConstants::paper()).with_constraints(
-            SolverConstraints {
+        let opt =
+            LayoutOptimizer::new(CostConstants::paper()).with_constraints(SolverConstraints {
                 max_partitions: Some(3),
                 max_partition_blocks: None,
-            },
-        );
+            });
         let d = opt.optimize(&fm, 0);
         assert!(d.seg.partition_count() <= 3);
     }

@@ -150,9 +150,9 @@ fn current_segmentation(store: &ChunkStore, n_blocks: usize) -> Segmentation {
                 }
             }
             if ends.last() != Some(&n_blocks) {
-                if ends.last().map_or(false, |&e| e > n_blocks) {
+                if ends.last().is_some_and(|&e| e > n_blocks) {
                     // Rounding overflow: clamp the tail.
-                    while ends.last().map_or(false, |&e| e >= n_blocks) {
+                    while ends.last().is_some_and(|&e| e >= n_blocks) {
                         ends.pop();
                     }
                 }
@@ -169,7 +169,7 @@ fn current_segmentation(store: &ChunkStore, n_blocks: usize) -> Segmentation {
 mod tests {
     use super::*;
     use crate::modes::{EngineConfig, LayoutMode};
-    use casper_workload::{HapSchema, Mix, MixKind, WorkloadGenerator, KeyDist};
+    use casper_workload::{HapSchema, KeyDist, Mix, MixKind, WorkloadGenerator};
 
     fn table() -> Table {
         let gen = WorkloadGenerator::new(HapSchema::narrow(), 8192, KeyDist::Uniform);
@@ -191,7 +191,10 @@ mod tests {
     fn too_few_samples_defers() {
         let mut table = table();
         let mut ctl = controller(1.1);
-        assert_eq!(ctl.maybe_reoptimize(&mut table), AdaptDecision::TooFewSamples);
+        assert_eq!(
+            ctl.maybe_reoptimize(&mut table),
+            AdaptDecision::TooFewSamples
+        );
     }
 
     #[test]
@@ -213,7 +216,10 @@ mod tests {
         // The second check finds the layout near-optimal and keeps it.
         match ctl.maybe_reoptimize(&mut table) {
             AdaptDecision::KeepLayout { predicted_speedup } => {
-                assert!(predicted_speedup < 1.1, "residual speedup {predicted_speedup}");
+                assert!(
+                    predicted_speedup < 1.1,
+                    "residual speedup {predicted_speedup}"
+                );
             }
             other => panic!("expected to keep the new layout, got {other:?}"),
         }

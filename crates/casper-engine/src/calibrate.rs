@@ -59,7 +59,9 @@ pub fn calibrate(config: &CalibrationConfig) -> CostConstants {
     let mut perm: Vec<u32> = (0..n as u32).collect();
     let mut state = 0x9e3779b97f4a7c15u64;
     for i in (1..n).rev() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         let j = (state % (i as u64 + 1)) as usize;
         perm.swap(i, j);
     }
@@ -132,12 +134,7 @@ pub fn calibrate(config: &CalibrationConfig) -> CostConstants {
             .collect(),
     );
 
-    CostConstants::new(
-        rr.max(0.1),
-        rw.max(0.1),
-        sr.max(0.01),
-        sw.max(0.01),
-    )
+    CostConstants::new(rr.max(0.1), rw.max(0.1), sr.max(0.01), sw.max(0.01))
 }
 
 #[cfg(test)]

@@ -135,9 +135,9 @@ impl ChunkedColumn {
 
     /// Route a key to its owning chunk; `None` means broadcast.
     fn route(&self, key: u64) -> Option<usize> {
-        self.fences.as_ref().map(|f| {
-            f.partition_point(|&b| b < key).min(f.len() - 1)
-        })
+        self.fences
+            .as_ref()
+            .map(|f| f.partition_point(|&b| b < key).min(f.len() - 1))
     }
 
     fn maybe_raise_fence(&mut self, chunk: usize, key: u64) {
@@ -149,35 +149,35 @@ impl ChunkedColumn {
     }
 
     /// Q1: gather `cols` payload attributes of every row with key `v`.
+    /// Ordered modes probe exactly one chunk; `NoOrder` must broadcast to
+    /// every chunk, which runs chunk-parallel like the range scans.
     pub fn q1_point(&self, v: u64, cols: &[usize]) -> (Vec<Vec<u32>>, OpCost) {
+        let targets: Vec<&ChunkStore> = match self.route(v) {
+            Some(c) => vec![&self.chunks[c]],
+            None => self.chunks.iter().collect(),
+        };
+        let results = parallel_map(&targets, self.config.threads, |_, store| match store {
+            ChunkStore::Partitioned(p) => {
+                let r = p.point_query(v);
+                let rows: Vec<Vec<u32>> = r
+                    .positions
+                    .into_iter()
+                    .map(|pos| p.payloads().gather_row(pos, cols))
+                    .collect();
+                (rows, r.cost)
+            }
+            ChunkStore::Sorted(s) => {
+                let (range, c2) = s.point_query(v);
+                let rows: Vec<Vec<u32>> = range.map(|pos| s.gather_row(pos, cols)).collect();
+                (rows, c2)
+            }
+            ChunkStore::Delta(d) => d.point_rows(v, cols),
+        });
         let mut cost = OpCost::default();
         let mut rows = Vec::new();
-        let targets: Vec<usize> = match self.route(v) {
-            Some(c) => vec![c],
-            None => (0..self.chunks.len()).collect(),
-        };
-        for c in targets {
-            match &self.chunks[c] {
-                ChunkStore::Partitioned(p) => {
-                    let r = p.point_query(v);
-                    cost.absorb(r.cost);
-                    for pos in r.positions {
-                        rows.push(p.payloads().gather_row(pos, cols));
-                    }
-                }
-                ChunkStore::Sorted(s) => {
-                    let (range, c2) = s.point_query(v);
-                    cost.absorb(c2);
-                    for pos in range {
-                        rows.push(s.gather_row(pos, cols));
-                    }
-                }
-                ChunkStore::Delta(d) => {
-                    let (mut r, c2) = d.point_rows(v, cols);
-                    cost.absorb(c2);
-                    rows.append(&mut r);
-                }
-            }
+        for (mut r, c) in results {
+            rows.append(&mut r);
+            cost.absorb(c);
         }
         (rows, cost)
     }
@@ -497,7 +497,12 @@ fn build_chunk(keys: Vec<u64>, payloads: Vec<Vec<u32>>, config: &EngineConfig) -
             };
             ChunkStore::Partitioned(
                 PartitionedChunk::build_with_payloads(
-                    keys, payloads, &spec, layout, &ghosts, chunk_config,
+                    keys,
+                    payloads,
+                    &spec,
+                    layout,
+                    &ghosts,
+                    chunk_config,
                 )
                 .expect("equi build cannot fail"),
             )

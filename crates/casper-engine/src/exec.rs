@@ -53,7 +53,6 @@ where
         for _ in 0..threads {
             let f = &f;
             let cursor = &cursor;
-            let slot_ptr = slot_ptr;
             s.spawn(move || loop {
                 let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= items.len() {
@@ -135,6 +134,81 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(parallel_map(&empty, 4, |_, &x| x).is_empty());
         assert_eq!(parallel_map(&[42u32], 4, |_, &x| x + 1), vec![43]);
+    }
+
+    #[test]
+    fn map_slot_writes_handle_droppable_results() {
+        // Regression for the unsafe SendPtr slot writes: results that own
+        // heap memory (and run Drop) must be written exactly once per slot
+        // and dropped exactly once overall.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        struct Tracked(String);
+        impl Tracked {
+            fn new(s: String) -> Self {
+                LIVE.fetch_add(1, Ordering::SeqCst);
+                Tracked(s)
+            }
+        }
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        let items: Vec<usize> = (0..257).collect();
+        let shared = Arc::new(());
+        let shared2 = Arc::clone(&shared);
+        let out = parallel_map(&items, 8, move |_, &x| {
+            let _keep = Arc::clone(&shared2);
+            format!("item-{x}")
+        });
+        assert_eq!(out.len(), 257);
+        assert_eq!(out[256], "item-256");
+        drop(out);
+
+        let tracked = parallel_map(&items, 8, |_, &x| Tracked::new(format!("v{x}")));
+        assert_eq!(LIVE.load(Ordering::SeqCst), 257);
+        for (i, t) in tracked.iter().enumerate() {
+            assert_eq!(t.0, format!("v{i}"));
+        }
+        drop(tracked);
+        assert_eq!(
+            LIVE.load(Ordering::SeqCst),
+            0,
+            "each result dropped exactly once"
+        );
+        assert_eq!(Arc::strong_count(&shared), 1);
+    }
+
+    #[test]
+    fn map_more_threads_than_items() {
+        let items = vec![1u32, 2, 3];
+        let out = parallel_map(&items, 64, |_, &x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn for_each_mut_more_threads_than_items_and_empty() {
+        let mut items: Vec<u8> = Vec::new();
+        parallel_for_each_mut(&mut items, 8, |_, _| unreachable!("no items"));
+        let mut items = vec![5u64; 3];
+        parallel_for_each_mut(&mut items, 100, |i, x| *x += i as u64);
+        assert_eq!(items, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn for_each_mut_striping_keeps_global_indices() {
+        // Stripe boundaries must not reset the index: item i always sees i.
+        for threads in [2usize, 3, 5, 7, 13] {
+            let mut items = vec![usize::MAX; 101];
+            parallel_for_each_mut(&mut items, threads, |i, x| *x = i);
+            for (i, &x) in items.iter().enumerate() {
+                assert_eq!(x, i, "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -8,12 +8,12 @@
 //! complexity."
 
 use crate::column::{chunk_block_fences, rebuild_partitioned, ChunkStore};
-use crate::exec::parallel_map;
+use crate::exec::{parallel_for_each_mut, parallel_map};
 use crate::modes::LayoutMode;
 use crate::table::Table;
+use casper_core::fm::FmBuilder;
 use casper_core::solver::{LayoutOptimizer, SolverConstraints};
 use casper_core::{CostConstants, FrequencyModel, Op};
-use casper_core::fm::FmBuilder;
 use casper_workload::HapQuery;
 use std::time::Instant;
 
@@ -87,10 +87,7 @@ impl OptimizeReport {
 /// operation is recorded in the chunk(s) its key endpoints route to, with
 /// ranges clipped at chunk boundaries and cross-chunk updates decomposed
 /// into a delete plus an insert.
-pub fn capture_per_chunk(
-    table: &Table,
-    sample: &[HapQuery],
-) -> Vec<FrequencyModel> {
+pub fn capture_per_chunk(table: &Table, sample: &[HapQuery]) -> Vec<FrequencyModel> {
     let block_bytes = table.column().config().block_bytes;
     let stores = table.column().chunks();
     // Per-chunk fences and key coverage.
@@ -111,9 +108,7 @@ pub fn capture_per_chunk(
             Err(i) => i - 1,
         }
     };
-    let upper = |chunk: usize| -> u64 {
-        firsts.get(chunk + 1).copied().unwrap_or(u64::MAX)
-    };
+    let upper = |chunk: usize| -> u64 { firsts.get(chunk + 1).copied().unwrap_or(u64::MAX) };
     for q in sample {
         match q.key_op() {
             Op::Point(v) => builders[route(v)].record_point(v),
@@ -153,7 +148,11 @@ pub fn capture_per_chunk(
 /// Converts the table to Casper-mode partitioned chunks regardless of its
 /// previous mode; unordered (`NoOrder`) tables are first re-loaded in key
 /// order.
-pub fn optimize_table(table: &mut Table, sample: &[HapQuery], opts: &OptimizeOptions) -> OptimizeReport {
+pub fn optimize_table(
+    table: &mut Table,
+    sample: &[HapQuery],
+    opts: &OptimizeOptions,
+) -> OptimizeReport {
     // Unordered columns cannot be range-chunked in place: re-load sorted.
     if table.column().config().mode == LayoutMode::NoOrder {
         let mut keys = Vec::with_capacity(table.len());
@@ -193,7 +192,12 @@ pub fn optimize_table(table: &mut Table, sample: &[HapQuery], opts: &OptimizeOpt
 
     // Solve every chunk in parallel (§6.3's embarrassingly parallel
     // decomposition), then apply the layouts.
-    let sizes: Vec<usize> = table.column().chunks().iter().map(ChunkStore::len).collect();
+    let sizes: Vec<usize> = table
+        .column()
+        .chunks()
+        .iter()
+        .map(ChunkStore::len)
+        .collect();
     let decisions = parallel_map(&fms, opts.threads, |i, fm| {
         let budget = (sizes[i] as f64 * opts.ghost_budget_frac).ceil() as usize;
         let optimizer = LayoutOptimizer {
@@ -206,19 +210,23 @@ pub fn optimize_table(table: &mut Table, sample: &[HapQuery], opts: &OptimizeOpt
     });
 
     let mut report = OptimizeReport::default();
-    for (i, (decision, solve_nanos)) in decisions.into_iter().enumerate() {
+    for (i, (decision, solve_nanos)) in decisions.iter().enumerate() {
         report.chunks.push(ChunkReport {
             chunk: i,
             blocks: decision.seg.n_blocks(),
             partitions: decision.seg.partition_count(),
             ghosts: decision.ghosts.total(),
             est_cost: decision.est_cost,
-            solve_nanos,
+            solve_nanos: *solve_nanos,
         });
-        let store = &table.column().chunks()[i];
-        let rebuilt = rebuild_partitioned(store, &decision.seg, &decision.ghosts, &config);
-        table.column_mut().chunks_mut()[i] = rebuilt;
     }
+    // Step C: materialize the new layouts. Rebuilds are independent per
+    // chunk (extract → re-sort → re-partition), so they stripe across the
+    // same worker budget as the solve.
+    parallel_for_each_mut(table.column_mut().chunks_mut(), opts.threads, |i, store| {
+        let (decision, _) = &decisions[i];
+        *store = rebuild_partitioned(store, &decision.seg, &decision.ghosts, &config);
+    });
     report
 }
 
@@ -239,9 +247,12 @@ mod tests {
     fn capture_routes_ops_to_chunks() {
         let table = test_table(LayoutMode::Casper);
         let sample = vec![
-            HapQuery::Q1 { v: 10, k: 1 },        // chunk 0
-            HapQuery::Q1 { v: 7990, k: 1 },      // last chunk
-            HapQuery::Q4 { key: 11, payload: vec![] },
+            HapQuery::Q1 { v: 10, k: 1 },   // chunk 0
+            HapQuery::Q1 { v: 7990, k: 1 }, // last chunk
+            HapQuery::Q4 {
+                key: 11,
+                payload: vec![],
+            },
         ];
         let fms = capture_per_chunk(&table, &sample);
         assert_eq!(fms.len(), table.column().chunk_count());
@@ -257,7 +268,10 @@ mod tests {
     fn capture_clips_ranges_across_chunks() {
         let table = test_table(LayoutMode::Casper);
         // One huge range covering every chunk.
-        let sample = vec![HapQuery::Q2 { vs: 0, ve: u64::MAX }];
+        let sample = vec![HapQuery::Q2 {
+            vs: 0,
+            ve: u64::MAX,
+        }];
         let fms = capture_per_chunk(&table, &sample);
         for (i, fm) in fms.iter().enumerate() {
             assert!(
@@ -326,7 +340,12 @@ mod tests {
         let report = optimize_table(&mut table, &sample, &opts);
         let cap = table.column().config().equi_partitions;
         for c in &report.chunks {
-            assert!(c.partitions <= cap, "chunk {} has {} partitions", c.chunk, c.partitions);
+            assert!(
+                c.partitions <= cap,
+                "chunk {} has {} partitions",
+                c.chunk,
+                c.partitions
+            );
         }
     }
 }

@@ -176,10 +176,7 @@ impl Table {
     }
 
     /// Execute a batch, returning per-query outputs.
-    pub fn execute_all(
-        &mut self,
-        queries: &[HapQuery],
-    ) -> Result<Vec<QueryOutput>, StorageError> {
+    pub fn execute_all(&mut self, queries: &[HapQuery]) -> Result<Vec<QueryOutput>, StorageError> {
         queries.iter().map(|q| self.execute(q)).collect()
     }
 }

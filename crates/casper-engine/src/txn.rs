@@ -180,7 +180,13 @@ impl TxnManager {
     /// Buffer an insert, immediately prefetching ghost slots for the target
     /// partition (§6.1's decoupled rippling — persists even if `txn`
     /// aborts).
-    pub fn buffer_insert(&self, txn: &mut Transaction, table: &mut Table, key: u64, payload: Vec<u32>) {
+    pub fn buffer_insert(
+        &self,
+        txn: &mut Transaction,
+        table: &mut Table,
+        key: u64,
+        payload: Vec<u32>,
+    ) {
         for store in table.column_mut().chunks_mut() {
             if let ChunkStore::Partitioned(chunk) = store {
                 // Best effort: only the owning chunk benefits, and
@@ -380,7 +386,11 @@ mod tests {
         assert_eq!(mgr.point_count(&txn, &t, 100), 0);
         mgr.abort(txn);
         let fresh = mgr.begin();
-        assert_eq!(mgr.point_count(&fresh, &t, 5001), 0, "abort discards writes");
+        assert_eq!(
+            mgr.point_count(&fresh, &t, 5001),
+            0,
+            "abort discards writes"
+        );
         assert_eq!(mgr.point_count(&fresh, &t, 100), 1);
     }
 

@@ -17,6 +17,7 @@
 use crate::error::StorageError;
 use crate::ghost::GhostPlan;
 use crate::index::PartitionIndex;
+use crate::kernels::ZoneMap;
 use crate::layout::{BlockLayout, PartitionSpec};
 use crate::ops::OpCost;
 use crate::partition::PartitionMeta;
@@ -68,6 +69,9 @@ pub struct PartitionedChunk<K: ColumnValue> {
     /// values that are never read.
     pub(crate) data: Vec<K>,
     pub(crate) parts: Vec<PartitionMeta<K>>,
+    /// Tight per-partition min/max over live values, kept in lock-step with
+    /// `parts` by the write paths; read paths prune on it before scanning.
+    pub(crate) zones: Vec<ZoneMap<K>>,
     pub(crate) index: PartitionIndex<K>,
     pub(crate) payloads: PayloadSet,
     pub(crate) layout: BlockLayout,
@@ -179,6 +183,7 @@ impl<K: ColumnValue> PartitionedChunk<K> {
 
         let mut data = vec![K::default(); physical];
         let mut parts = Vec::with_capacity(k);
+        let mut zones = Vec::with_capacity(k);
         let mut bounds = Vec::with_capacity(k);
         let mut cursor = 0usize; // physical write position
         let mut consumed = 0usize; // values consumed
@@ -202,6 +207,11 @@ impl<K: ColumnValue> PartitionedChunk<K> {
                 min,
                 max,
             });
+            zones.push(if len > 0 {
+                ZoneMap { min, max }
+            } else {
+                ZoneMap::empty()
+            });
             bounds.push(max);
             cursor += len + g;
             consumed += len;
@@ -211,10 +221,8 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         if !payload_cols.is_empty() {
             // Scatter each payload column into the ghost-interleaved
             // physical layout.
-            let mut scattered: Vec<Vec<u32>> = payload_cols
-                .iter()
-                .map(|_| vec![0u32; physical])
-                .collect();
+            let mut scattered: Vec<Vec<u32>> =
+                payload_cols.iter().map(|_| vec![0u32; physical]).collect();
             for (ci, col) in payload_cols.iter().enumerate() {
                 let mut consumed = 0usize;
                 for part in &parts {
@@ -229,6 +237,7 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         Ok(Self {
             data,
             parts,
+            zones,
             index: PartitionIndex::new(bounds),
             payloads,
             layout,
@@ -324,12 +333,34 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         &self.payloads
     }
 
+    /// Per-partition zone maps (tight live min/max), parallel to
+    /// [`PartitionedChunk::partitions`].
+    #[inline]
+    pub fn zones(&self) -> &[ZoneMap<K>] {
+        &self.zones
+    }
+
+    /// Recompute partition `m`'s zone map from its live values. Called by
+    /// write paths only when a boundary value was removed — in which case
+    /// the caller has already paid a full partition scan, so this keeps
+    /// zone maintenance within the operation's existing cost envelope.
+    #[inline]
+    pub(crate) fn recompute_zone(&mut self, m: usize) {
+        let part = self.parts[m];
+        self.zones[m] = ZoneMap::from_values(&self.data[part.start..part.live_end()]);
+    }
+
     /// Smallest live value currently in the chunk, if any.
     pub fn min_value(&self) -> Option<K> {
         self.parts
             .iter()
             .filter(|p| p.len > 0)
-            .map(|p| *self.data[p.start..p.live_end()].iter().min().expect("non-empty"))
+            .map(|p| {
+                *self.data[p.start..p.live_end()]
+                    .iter()
+                    .min()
+                    .expect("non-empty")
+            })
             .min()
     }
 
@@ -384,7 +415,7 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         donor: Option<usize>,
         cost: &mut OpCost,
     ) -> usize {
-        debug_assert!(donor.map_or(true, |j| j > m));
+        debug_assert!(donor.is_none_or(|j| j > m));
         // Acquire the hole: the donor's first ghost slot (the one adjacent
         // to its live values, so the hole can exit through them), or the
         // first tail slot.
@@ -405,7 +436,11 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         for t in (m + 1..upper).rev() {
             let part = self.parts[t];
             if part.len > 0 {
-                let target = if part.ghosts > 0 { part.live_end() } else { hole };
+                let target = if part.ghosts > 0 {
+                    part.live_end()
+                } else {
+                    hole
+                };
                 self.move_slot(part.start, target, cost);
             }
             // Even for an empty partition the extent shifts: the hole passes
@@ -481,9 +516,7 @@ impl<K: ColumnValue> PartitionedChunk<K> {
             .iter()
             .position(|p| p.ghosts > 0)
             .map(|off| m + 1 + off);
-        let left = self.parts[..m]
-            .iter()
-            .rposition(|p| p.ghosts > 0);
+        let left = self.parts[..m].iter().rposition(|p| p.ghosts > 0);
         match (right, left) {
             (Some(r), Some(l)) => {
                 if r - m <= m - l {
@@ -556,6 +589,24 @@ impl<K: ColumnValue> PartitionedChunk<K> {
             }
             if p > 0 && self.parts[p - 1].max > part.max {
                 return Err(format!("partition bounds not monotone at {p}"));
+            }
+            // Zone maps must cover every live value (tightness is a
+            // performance property; covering is the correctness one).
+            let zone = self.zones[p];
+            if part.len == 0 {
+                if !zone.is_empty() {
+                    return Err(format!("partition {p} is empty but its zone is {zone:?}"));
+                }
+            } else {
+                for pos in part.start..part.live_end() {
+                    let v = self.data[pos];
+                    if !zone.contains(v) {
+                        return Err(format!(
+                            "value {v} at slot {pos} outside partition {p} zone [{}, {}]",
+                            zone.min, zone.max
+                        ));
+                    }
+                }
             }
         }
         if live != self.live {
@@ -692,7 +743,9 @@ mod tests {
         assert_eq!(cost.random_writes, 2);
         assert_eq!(hole, c.parts[1].extent_end());
         // All live data preserved.
-        let mut all: Vec<u64> = (0..4).flat_map(|p| c.partition_values(p).to_vec()).collect();
+        let mut all: Vec<u64> = (0..4)
+            .flat_map(|p| c.partition_values(p).to_vec())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (1..=8).collect::<Vec<u64>>());
         // Write the hole so invariants hold (value within partition 1's range).
@@ -711,7 +764,9 @@ mod tests {
         // Partitions 1, 2 and the donor's live region shift: 3 moves.
         assert_eq!(cost.random_writes, 3);
         assert_eq!(hole, c.parts[0].extent_end());
-        let mut all: Vec<u64> = (0..4).flat_map(|p| c.partition_values(p).to_vec()).collect();
+        let mut all: Vec<u64> = (0..4)
+            .flat_map(|p| c.partition_values(p).to_vec())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (1..=8).collect::<Vec<u64>>());
     }
@@ -725,7 +780,9 @@ mod tests {
         // Partitions 1 and 2 shift left: 2 moves.
         assert_eq!(cost.random_writes, 2);
         assert_eq!(hole + 1, c.parts[3].start);
-        let mut all: Vec<u64> = (0..4).flat_map(|p| c.partition_values(p).to_vec()).collect();
+        let mut all: Vec<u64> = (0..4)
+            .flat_map(|p| c.partition_values(p).to_vec())
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (1..=8).collect::<Vec<u64>>());
     }
@@ -742,7 +799,7 @@ mod tests {
         let mut cost = OpCost::default();
         c.push_slot_to_tail(1, &mut cost);
         assert_eq!(cost.random_writes, 2); // partitions 2 and 3 shift left
-        assert_eq!(c.tail_free() > 0, true);
+        assert!(c.tail_free() > 0);
         assert_eq!(c.ghost_total(), 0);
         // Contiguity restored.
         for p in 0..3 {

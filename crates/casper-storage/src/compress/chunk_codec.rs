@@ -76,7 +76,7 @@ impl<K: ColumnValue> CompressedChunk<K> {
         let mut total = 0u64;
         let mut prev_bound: Option<K> = None;
         for (frag, &bound) in self.fragments.iter().zip(&self.bounds) {
-            let below = prev_bound.map_or(false, |p| p >= hi);
+            let below = prev_bound.is_some_and(|p| p >= hi);
             prev_bound = Some(bound);
             if below {
                 break;

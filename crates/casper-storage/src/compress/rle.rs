@@ -59,7 +59,7 @@ impl<K: ColumnValue> Codec<K> for Rle<K> {
     fn decode(&self) -> Vec<K> {
         let mut out = Vec::with_capacity(self.total);
         for &(v, n) in &self.runs {
-            out.extend(std::iter::repeat(v).take(n as usize));
+            out.extend(std::iter::repeat_n(v, n as usize));
         }
         out
     }
@@ -104,7 +104,7 @@ mod tests {
 
     #[test]
     fn repetitive_data_compresses_hard() {
-        let vals: Vec<u64> = std::iter::repeat(7u64).take(10_000).collect();
+        let vals: Vec<u64> = std::iter::repeat_n(7u64, 10_000).collect();
         let r = Rle::encode(&vals);
         assert_eq!(r.runs().len(), 1);
         assert!(r.encoded_bytes() < 10_000 * 8 / 100);

@@ -374,7 +374,10 @@ mod tests {
             d.insert(k, &[]);
         }
         let c = d.insert(10, &[]); // must shift all 20 buffered entries
-        assert!(c.seq_writes > 0, "ordered insertion must pay a shift: {c:?}");
+        assert!(
+            c.seq_writes > 0,
+            "ordered insertion must pay a shift: {c:?}"
+        );
         assert!(d.delta_len() == 21);
         // Buffer sorted → range counting via binary search stays exact.
         assert_eq!(d.range_count(10, 40).0, 21);

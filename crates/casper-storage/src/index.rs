@@ -139,11 +139,7 @@ impl<K: ColumnValue> PartitionIndex<K> {
         }
         let rank = match &self.tree {
             Some(t) => t.lower_bound(v),
-            None => self
-                .bounds
-                .iter()
-                .position(|&b| b >= v)
-                .unwrap_or(k),
+            None => self.bounds.iter().position(|&b| b >= v).unwrap_or(k),
         };
         rank.min(k - 1)
     }

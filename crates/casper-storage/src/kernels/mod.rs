@@ -1,0 +1,371 @@
+//! Branchless, batch-oriented scan kernels — the tight loops behind every
+//! read path of the partitioned chunk.
+//!
+//! The paper's performance argument (§3–§4) assumes partition scans run "as
+//! fast as the hardware allows": point queries fully scan exactly one
+//! partition, range queries filter only the first/last overlapping
+//! partitions. These kernels make that true in practice:
+//!
+//! * predicates are evaluated **branchlessly** (`bool` → integer
+//!   accumulation), so the inner loops auto-vectorize and their cost does
+//!   not depend on match selectivity;
+//! * values are processed in **fixed-width lanes** of [`LANE_WIDTH`]
+//!   values, one `u64` bitmap word per lane, instead of per-value
+//!   `Vec::push`;
+//! * qualifying positions are decoded from bitmap words with
+//!   count-trailing-zeros iteration, and masked payload aggregation
+//!   ([`sum_payload_masked`]) consumes the words directly without ever
+//!   materializing a position list.
+//!
+//! The [`zone`] submodule provides the per-partition min/max zone maps that
+//! let the read paths in [`crate::ops`] prune partitions before any of
+//! these kernels touch data.
+//!
+//! Every kernel has a pure-scalar reference twin in
+//! [`crate::ops::scalar`]; property tests assert bit-exact result
+//! equivalence and `casper-bench`'s `scan_ops` bench tracks the speedup.
+
+pub mod zone;
+
+pub use zone::ZoneMap;
+
+use crate::value::ColumnValue;
+
+/// Values per lane: one bitmap word (`u64`) describes one lane.
+pub const LANE_WIDTH: usize = 64;
+
+/// Values per count-then-collect sub-chunk in [`select_eq_into`]: large
+/// enough that the vectorized count pass dominates, small enough that the
+/// scalar collect pass over a matching sub-chunk stays cheap.
+const SELECT_SUBCHUNK: usize = 1024;
+
+/// Count live values equal to `v`.
+///
+/// Branchless: the comparison result is accumulated as an integer, so the
+/// loop body is identical for hits and misses and auto-vectorizes.
+#[inline]
+pub fn count_eq<K: ColumnValue>(lane: &[K], v: K) -> u64 {
+    let mut acc = 0u64;
+    for &x in lane {
+        acc += u64::from(x == v);
+    }
+    acc
+}
+
+/// Count live values in the half-open interval `[lo, hi)`.
+///
+/// The two-sided test collapses to a *single* unsigned compare through the
+/// order-preserving `u64` mapping: `x ∈ [lo, hi)` ⇔
+/// `ord(x) - ord(lo) < ord(hi) - ord(lo)` in wrapping arithmetic — half the
+/// comparison work per element and an easier auto-vectorization target.
+#[inline]
+pub fn count_range<K: ColumnValue>(lane: &[K], lo: K, hi: K) -> u64 {
+    if hi <= lo {
+        return 0;
+    }
+    let base = lo.to_ordered_u64();
+    let span = hi.to_ordered_u64().wrapping_sub(base);
+    let mut acc = 0u64;
+    for &x in lane {
+        acc += u64::from(x.to_ordered_u64().wrapping_sub(base) < span);
+    }
+    acc
+}
+
+/// Find the minimum and maximum of a slice in one branch-predictable pass.
+/// Returns `None` for an empty slice.
+#[inline]
+pub fn min_max<K: ColumnValue>(lane: &[K]) -> Option<(K, K)> {
+    let (&first, rest) = lane.split_first()?;
+    let mut lo = first;
+    let mut hi = first;
+    for &x in rest {
+        lo = if x < lo { x } else { lo };
+        hi = if x > hi { x } else { hi };
+    }
+    Some((lo, hi))
+}
+
+/// Append the positions (offset by `base`) of every value equal to `v`.
+///
+/// Count-then-collect per sub-chunk: a vectorized [`count_eq`] pass decides
+/// whether a sub-chunk holds any match at all; only matching sub-chunks
+/// (rare — point queries touch a handful of duplicates in one partition)
+/// pay the position-materializing scalar pass. Misses therefore run at the
+/// full branchless scan rate with zero output work.
+pub fn select_eq_into<K: ColumnValue>(lane: &[K], v: K, base: usize, out: &mut Vec<usize>) {
+    for (ci, chunk) in lane.chunks(SELECT_SUBCHUNK).enumerate() {
+        let hits = count_eq(chunk, v);
+        if hits == 0 {
+            continue;
+        }
+        out.reserve(hits as usize);
+        let chunk_base = base + ci * SELECT_SUBCHUNK;
+        for (i, &x) in chunk.iter().enumerate() {
+            if x == v {
+                out.push(chunk_base + i);
+            }
+        }
+    }
+}
+
+/// Evaluate `[lo, hi)` over the lane, appending one bitmap word per
+/// [`LANE_WIDTH`] values (bit `i` of word `w` ⇔ `lane[w * 64 + i]`
+/// qualifies; a final partial lane produces a zero-padded word). Returns the
+/// number of qualifying values.
+pub fn select_range_bitmap<K: ColumnValue>(lane: &[K], lo: K, hi: K, out: &mut Vec<u64>) -> u64 {
+    if hi <= lo {
+        out.extend(std::iter::repeat_n(0, lane.len().div_ceil(LANE_WIDTH)));
+        return 0;
+    }
+    let base = lo.to_ordered_u64();
+    let span = hi.to_ordered_u64().wrapping_sub(base);
+    let mut matched = 0u64;
+    let mut chunks = lane.chunks_exact(LANE_WIDTH);
+    for chunk in &mut chunks {
+        let mut word = 0u64;
+        for (bit, &x) in chunk.iter().enumerate() {
+            word |= u64::from(x.to_ordered_u64().wrapping_sub(base) < span) << bit;
+        }
+        matched += u64::from(word.count_ones());
+        out.push(word);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut word = 0u64;
+        for (bit, &x) in rem.iter().enumerate() {
+            word |= u64::from(x.to_ordered_u64().wrapping_sub(base) < span) << bit;
+        }
+        matched += u64::from(word.count_ones());
+        out.push(word);
+    }
+    matched
+}
+
+/// Fused filter + aggregate: over every `i` where `keys[i] ∈ [lo, hi)`,
+/// count the match and sum `payload[i]` (widened) in one branchless
+/// multiply-masked pass — no bitmap materialization, no position list
+/// (HAP Q3's hot loop). Returns `(matched, sum)` so callers need no
+/// separate counting pass over the key lane.
+pub fn sum_payload_range<K: ColumnValue>(keys: &[K], payload: &[u32], lo: K, hi: K) -> (u64, u64) {
+    debug_assert_eq!(keys.len(), payload.len());
+    if hi <= lo {
+        return (0, 0);
+    }
+    let base = lo.to_ordered_u64();
+    let span = hi.to_ordered_u64().wrapping_sub(base);
+    let mut matched = 0u64;
+    let mut acc = 0u64;
+    for (&x, &p) in keys.iter().zip(payload) {
+        let mask = u64::from(x.to_ordered_u64().wrapping_sub(base) < span);
+        matched += mask;
+        acc += mask * u64::from(p);
+    }
+    (matched, acc)
+}
+
+/// Sum `payload[i]` (widened to `u64`) for every position `i` whose bit is
+/// set in the bitmap produced by [`select_range_bitmap`] over the same
+/// lane. Positions beyond `payload.len()` must be clear in the mask.
+pub fn sum_payload_masked(payload: &[u32], mask: &[u64]) -> u64 {
+    debug_assert!(payload.len() <= mask.len() * LANE_WIDTH);
+    let mut acc = 0u64;
+    for (w, &word) in mask.iter().enumerate() {
+        let lane_base = w * LANE_WIDTH;
+        if word == u64::MAX {
+            // Dense lane: straight-line sum, no bit decoding.
+            for &p in &payload[lane_base..lane_base + LANE_WIDTH] {
+                acc += u64::from(p);
+            }
+        } else {
+            let mut bits = word;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                acc += u64::from(payload[lane_base + bit]);
+                bits &= bits - 1;
+            }
+        }
+    }
+    acc
+}
+
+/// Invoke `f(position, value)` for every set bit of `mask`, where bit `i`
+/// corresponds to `lane[i]` at chunk position `base + i`.
+pub fn for_each_match<K: ColumnValue>(
+    lane: &[K],
+    mask: &[u64],
+    base: usize,
+    mut f: impl FnMut(usize, K),
+) {
+    for (w, &word) in mask.iter().enumerate() {
+        let lane_base = w * LANE_WIDTH;
+        let mut bits = word;
+        while bits != 0 {
+            let bit = bits.trailing_zeros() as usize;
+            let off = lane_base + bit;
+            f(base + off, lane[off]);
+            bits &= bits - 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lane() -> Vec<u64> {
+        // 150 values (2 full lanes + partial), shuffled-ish with duplicates.
+        (0..150u64).map(|i| (i * 37) % 100).collect()
+    }
+
+    #[test]
+    fn count_eq_matches_filter() {
+        let data = lane();
+        for v in [0u64, 13, 99, 250] {
+            let want = data.iter().filter(|&&x| x == v).count() as u64;
+            assert_eq!(count_eq(&data, v), want, "v={v}");
+        }
+        assert_eq!(count_eq::<u64>(&[], 5), 0);
+    }
+
+    #[test]
+    fn count_range_matches_filter() {
+        let data = lane();
+        for (lo, hi) in [(0u64, 100), (10, 10), (30, 20), (5, 60), (90, 1000)] {
+            let want = data.iter().filter(|&&x| lo <= x && x < hi).count() as u64;
+            assert_eq!(count_range(&data, lo, hi), want, "[{lo}, {hi})");
+        }
+    }
+
+    #[test]
+    fn min_max_matches_iterator() {
+        let data = lane();
+        let (lo, hi) = min_max(&data).unwrap();
+        assert_eq!(lo, *data.iter().min().unwrap());
+        assert_eq!(hi, *data.iter().max().unwrap());
+        assert_eq!(min_max::<u64>(&[]), None);
+        assert_eq!(min_max(&[7u64]), Some((7, 7)));
+    }
+
+    #[test]
+    fn select_eq_positions_with_base_offset() {
+        let data = lane();
+        let mut out = Vec::new();
+        select_eq_into(&data, 13, 1000, &mut out);
+        let want: Vec<usize> = data
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x == 13)
+            .map(|(i, _)| 1000 + i)
+            .collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn bitmap_width_and_count() {
+        let data = lane(); // 150 values → 3 words
+        let mut mask = Vec::new();
+        let matched = select_range_bitmap(&data, 20, 70, &mut mask);
+        assert_eq!(mask.len(), 3);
+        let want = data.iter().filter(|&&x| (20..70).contains(&x)).count() as u64;
+        assert_eq!(matched, want);
+        assert_eq!(
+            mask.iter().map(|w| w.count_ones() as u64).sum::<u64>(),
+            want
+        );
+        // Padding bits of the final partial lane must be clear.
+        assert_eq!(mask[2] >> (150 - 2 * LANE_WIDTH), 0);
+    }
+
+    #[test]
+    fn masked_sum_equals_scalar_sum() {
+        let keys = lane();
+        let payload: Vec<u32> = (0..keys.len() as u32).map(|i| i * 3 + 1).collect();
+        let mut mask = Vec::new();
+        select_range_bitmap(&keys, 25, 75, &mut mask);
+        let want: u64 = keys
+            .iter()
+            .zip(&payload)
+            .filter(|(&k, _)| (25..75).contains(&k))
+            .map(|(_, &p)| u64::from(p))
+            .sum();
+        assert_eq!(sum_payload_masked(&payload, &mask), want);
+    }
+
+    #[test]
+    fn fused_sum_matches_masked_sum_and_count() {
+        let keys = lane();
+        let payload: Vec<u32> = (0..keys.len() as u32).map(|i| i * 7 + 2).collect();
+        for (lo, hi) in [(0u64, 100), (25, 75), (99, 99), (80, 10), (0, 1)] {
+            let mut mask = Vec::new();
+            let expected_count = select_range_bitmap(&keys, lo, hi, &mut mask);
+            let (matched, sum) = sum_payload_range(&keys, &payload, lo, hi);
+            assert_eq!(sum, sum_payload_masked(&payload, &mask), "[{lo}, {hi})");
+            assert_eq!(matched, expected_count, "[{lo}, {hi}) count");
+        }
+    }
+
+    #[test]
+    fn select_eq_spanning_subchunk_boundary() {
+        // Matches on both sides of the SELECT_SUBCHUNK boundary must all be
+        // collected with correct global positions.
+        let mut data = vec![0u64; SELECT_SUBCHUNK * 2 + 37];
+        for &i in &[
+            0usize,
+            SELECT_SUBCHUNK - 1,
+            SELECT_SUBCHUNK,
+            SELECT_SUBCHUNK * 2 + 36,
+        ] {
+            data[i] = 42;
+        }
+        let mut out = Vec::new();
+        select_eq_into(&data, 42, 10, &mut out);
+        assert_eq!(
+            out,
+            vec![
+                10,
+                10 + SELECT_SUBCHUNK - 1,
+                10 + SELECT_SUBCHUNK,
+                10 + SELECT_SUBCHUNK * 2 + 36
+            ]
+        );
+    }
+
+    #[test]
+    fn masked_sum_dense_lane_fast_path() {
+        let payload: Vec<u32> = (0..128u32).collect();
+        let mask = vec![u64::MAX, u64::MAX];
+        assert_eq!(
+            sum_payload_masked(&payload, &mask),
+            (0..128u64).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn for_each_match_yields_positions_and_values() {
+        let data = lane();
+        let mut mask = Vec::new();
+        select_range_bitmap(&data, 40, 45, &mut mask);
+        let mut got = Vec::new();
+        for_each_match(&data, &mask, 500, |pos, val| got.push((pos, val)));
+        let want: Vec<(usize, u64)> = data
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| (40..45).contains(&x))
+            .map(|(i, &x)| (500 + i, x))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn kernels_handle_exact_lane_multiples() {
+        let data: Vec<u64> = (0..128).collect();
+        let mut mask = Vec::new();
+        let m = select_range_bitmap(&data, 0, 128, &mut mask);
+        assert_eq!(m, 128);
+        assert_eq!(mask, vec![u64::MAX, u64::MAX]);
+        let mut out = Vec::new();
+        select_eq_into(&data, 127, 0, &mut out);
+        assert_eq!(out, vec![127]);
+    }
+}

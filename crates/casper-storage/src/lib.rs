@@ -30,6 +30,7 @@ pub mod delta;
 pub mod error;
 pub mod ghost;
 pub mod index;
+pub mod kernels;
 pub mod layout;
 pub mod ops;
 pub mod partition;
@@ -40,6 +41,7 @@ pub mod value;
 pub use chunk::{ChunkConfig, PartitionedChunk};
 pub use delta::SortedDelta;
 pub use error::StorageError;
+pub use kernels::ZoneMap;
 pub use layout::{BlockLayout, PartitionSpec};
 pub use ops::{OpCost, PointQueryResult, RangeConsumer, WriteResult};
 pub use partition::PartitionMeta;

@@ -6,10 +6,13 @@
 //! and scan counters. `casper-core`'s cost model predicts exactly these
 //! quantities, which is how Fig. 9 (cost-model verification) is reproduced.
 
-mod read;
+pub(crate) mod read;
+pub mod scalar;
 mod write;
 
-pub use read::{CountConsumer, PointQueryResult, PositionsConsumer, RangeConsumer, RangeQueryResult};
+pub use read::{
+    CountConsumer, PointQueryResult, PositionsConsumer, RangeConsumer, RangeQueryResult,
+};
 pub use write::WriteResult;
 
 /// Block-level access counts incurred by one operation.

@@ -1,15 +1,27 @@
 //! Read operations: point and range queries over a partitioned chunk (§3,
-//! Fig. 3).
+//! Fig. 3), executed through the branchless batch kernels of
+//! [`crate::kernels`] with zone-map pruning.
 //!
 //! * A **point query** probes the shallow index for the one partition whose
-//!   range may contain the value, then fully scans that partition with a
-//!   tight loop (values are unordered within a partition).
+//!   range may contain the value. The partition's zone map (tight live
+//!   min/max) is consulted *before* any block is touched: a value outside
+//!   the zone resolves from metadata alone. Otherwise the partition is
+//!   scanned with the branchless [`crate::kernels::select_eq_into`] kernel
+//!   (values are unordered within a partition, so the whole live region is
+//!   examined — §4.4).
 //! * A **range query** probes the index for the first and last overlapping
-//!   partitions; those two are *filtered* (they may hold non-qualifying
-//!   values) while all middle partitions are *blindly consumed* — every
-//!   value qualifies, so they are handed to the consumer as whole runs.
+//!   partitions. Partitions whose zone does not intersect `[lo, hi)` are
+//!   pruned; partitions whose zone lies fully inside are *blindly consumed*
+//!   as whole runs (including first/last, which the covering bounds alone
+//!   could not prove); the rest are *filtered* through the bitmap kernel
+//!   [`crate::kernels::select_range_bitmap`].
+//!
+//! The pure-scalar reference paths live in [`crate::ops::scalar`]; property
+//! tests assert result equivalence and the `scan_ops` bench tracks the
+//! speedup.
 
 use crate::chunk::PartitionedChunk;
+use crate::kernels;
 use crate::ops::OpCost;
 use crate::value::ColumnValue;
 
@@ -44,6 +56,9 @@ pub trait RangeConsumer<K: ColumnValue> {
     fn value(&mut self, pos: usize, v: K);
     /// A contiguous run of qualifying slots from a middle partition.
     fn run(&mut self, range: std::ops::Range<usize>);
+    /// Called once when the query finishes, so buffering consumers (e.g.
+    /// position coalescers) can emit pending state. Default: no-op.
+    fn flush(&mut self) {}
 }
 
 /// Counts qualifying rows (HAP Q2).
@@ -65,45 +80,91 @@ impl<K: ColumnValue> RangeConsumer<K> for CountConsumer {
 }
 
 /// Collects qualifying slot positions and runs (select returning positions).
+///
+/// Adjacent positions arriving from filtered partitions are coalesced into
+/// runs, so a filtered partition whose qualifying rows happen to be
+/// physically contiguous costs O(1) output instead of one entry per row.
+/// Isolated positions still land in [`PositionsConsumer::positions`].
 #[derive(Debug, Default)]
 pub struct PositionsConsumer {
-    /// Individual qualifying positions (from filtered partitions).
+    /// Individual (non-adjacent) qualifying positions.
     pub positions: Vec<usize>,
-    /// Whole qualifying runs (from middle partitions).
+    /// Qualifying runs: blind middle partitions plus coalesced adjacent
+    /// positions from filtered partitions.
     pub runs: Vec<std::ops::Range<usize>>,
+    pending: Option<std::ops::Range<usize>>,
+}
+
+impl PositionsConsumer {
+    /// Total qualifying slots collected (positions plus run lengths).
+    pub fn total(&self) -> usize {
+        self.positions.len() + self.runs.iter().map(|r| r.len()).sum::<usize>()
+    }
+
+    fn flush_pending(&mut self) {
+        if let Some(r) = self.pending.take() {
+            if r.len() == 1 {
+                self.positions.push(r.start);
+            } else {
+                self.runs.push(r);
+            }
+        }
+    }
 }
 
 impl<K: ColumnValue> RangeConsumer<K> for PositionsConsumer {
     #[inline]
     fn value(&mut self, pos: usize, _v: K) {
-        self.positions.push(pos);
+        match &mut self.pending {
+            Some(r) if r.end == pos => r.end = pos + 1,
+            _ => {
+                self.flush_pending();
+                self.pending = Some(pos..pos + 1);
+            }
+        }
     }
     #[inline]
     fn run(&mut self, range: std::ops::Range<usize>) {
+        self.flush_pending();
         self.runs.push(range);
     }
+    fn flush(&mut self) {
+        self.flush_pending();
+    }
+}
+
+/// One partition surviving zone pruning in a range scan, as presented to
+/// the visitor of `scan_range_partitions`.
+enum RangePart<'a, K: ColumnValue> {
+    /// Zone fully inside `[lo, hi)`: every live value qualifies.
+    Blind(&'a crate::partition::PartitionMeta<K>),
+    /// Zone partially overlapping: the live slice must be filtered.
+    Filtered(&'a crate::partition::PartitionMeta<K>, &'a [K]),
 }
 
 impl<K: ColumnValue> PartitionedChunk<K> {
     /// Point query: return the positions of all live values equal to `v`
-    /// (Fig. 3b). Cost: one random read for the partition's first block,
-    /// sequential reads for the rest — there is "no further navigation
-    /// structure within a block" (§4.4), so the whole partition is scanned.
+    /// (Fig. 3b).
+    ///
+    /// Cost: the zone map answers out-of-zone probes from metadata alone
+    /// (index probe only, no block access). In-zone probes pay the full
+    /// partition scan — one random read for the first block, sequential
+    /// reads for the rest — because there is "no further navigation
+    /// structure within a block" (§4.4).
     pub fn point_query(&self, v: K) -> PointQueryResult {
         let mut cost = OpCost::default();
         let p = self.locate(v, &mut cost);
         let part = self.parts[p];
         let mut positions = Vec::new();
-        if part.len > 0 && part.covers(v) {
-            // Tight scan loop over the live region.
-            let live = &self.data[part.start..part.live_end()];
-            for (i, &x) in live.iter().enumerate() {
-                if x == v {
-                    positions.push(part.start + i);
-                }
-            }
+        if part.len > 0 && self.zones[p].contains(v) {
+            kernels::select_eq_into(
+                &self.data[part.start..part.live_end()],
+                v,
+                part.start,
+                &mut positions,
+            );
+            self.charge_partition_scan(p, &mut cost);
         }
-        self.charge_partition_scan(p, &mut cost);
         PointQueryResult {
             positions,
             cost,
@@ -124,7 +185,127 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         if hi <= lo {
             return RangeQueryResult { cost, matched };
         }
-        let first = self.locate(lo, &mut cost);
+        let mut mask: Vec<u64> = Vec::new();
+        self.scan_range_partitions(lo, hi, &mut cost, |part| match part {
+            RangePart::Blind(meta) => {
+                // Every live value qualifies: hand the whole run over.
+                consumer.run(meta.start..meta.live_end());
+                matched += meta.len as u64;
+            }
+            RangePart::Filtered(meta, live) => {
+                // Branchless bitmap evaluation, then decode matches.
+                mask.clear();
+                matched += kernels::select_range_bitmap(live, lo, hi, &mut mask);
+                kernels::for_each_match(live, &mask, meta.start, |pos, val| {
+                    consumer.value(pos, val);
+                });
+            }
+        });
+        consumer.flush();
+        RangeQueryResult { cost, matched }
+    }
+
+    /// Convenience wrapper: count rows in `[lo, hi)` (HAP Q2).
+    pub fn range_count(&self, lo: K, hi: K) -> (u64, OpCost) {
+        let mut cost = OpCost::default();
+        let mut count = 0u64;
+        if hi <= lo {
+            return (count, cost);
+        }
+        self.scan_range_partitions(lo, hi, &mut cost, |part| match part {
+            RangePart::Blind(meta) => count += meta.len as u64,
+            // Pure count: no positions materialized at all.
+            RangePart::Filtered(_, live) => count += kernels::count_range(live, lo, hi),
+        });
+        (count, cost)
+    }
+
+    /// Convenience wrapper: sum the given payload columns over all rows in
+    /// `[lo, hi)` (HAP Q3). Filtered partitions aggregate through the fused
+    /// filter+sum kernel ([`kernels::sum_payload_range`], which also yields
+    /// the qualifying-row count); blind partitions use the contiguous-run
+    /// sum.
+    pub fn range_sum_payload(&self, lo: K, hi: K, cols: &[usize]) -> (u64, OpCost) {
+        let mut cost = OpCost::default();
+        if hi <= lo {
+            return (0, cost);
+        }
+        let mut sum = 0u64;
+        let mut qualifying = 0usize;
+        self.scan_range_partitions(lo, hi, &mut cost, |part| match part {
+            RangePart::Blind(meta) => {
+                sum += self.payloads.sum_range(cols, meta.start..meta.live_end());
+                qualifying += meta.len;
+            }
+            RangePart::Filtered(meta, live) => {
+                for (ci, &c) in cols.iter().enumerate() {
+                    let (m, s) = kernels::sum_payload_range(
+                        live,
+                        self.payloads.column_slice(c, meta.start..meta.live_end()),
+                        lo,
+                        hi,
+                    );
+                    sum += s;
+                    // The fused pass already counted the matches; take the
+                    // count once (every column sees the same key lane).
+                    if ci == 0 {
+                        qualifying += m as usize;
+                    }
+                }
+            }
+        });
+        // Payload reads are sequential over the qualifying blocks, one scan
+        // per projected column.
+        let vpb = self.layout.values_per_block().max(1);
+        cost.seq_reads += (cols.len() * qualifying.div_ceil(vpb)) as u64;
+        (sum, cost)
+    }
+
+    /// Shared driver for the range read paths: computes the partition span,
+    /// prunes on zone maps, classifies each surviving partition blind vs
+    /// filtered, and performs all block-cost accounting. The first
+    /// partition actually read pays the random jump; everything after
+    /// streams sequentially.
+    fn scan_range_partitions(
+        &self,
+        lo: K,
+        hi: K,
+        cost: &mut OpCost,
+        mut visit: impl FnMut(RangePart<'_, K>),
+    ) {
+        let (first, last) = self.range_partition_span(lo, hi, cost);
+        let mut first_touch = true;
+        for p in first..=last {
+            let part = &self.parts[p];
+            let zone = self.zones[p];
+            if part.len == 0 || !zone.intersects(lo, hi) {
+                continue; // zone-map pruning: no block of `p` is read
+            }
+            if zone.inside(lo, hi) {
+                visit(RangePart::Blind(part));
+                let blocks = self.live_blocks(p) as u64;
+                if first_touch {
+                    cost.random_reads += 1;
+                    cost.seq_reads += blocks.saturating_sub(1);
+                } else {
+                    cost.seq_reads += blocks;
+                }
+                cost.values_scanned += part.len as u64;
+            } else {
+                visit(RangePart::Filtered(
+                    part,
+                    &self.data[part.start..part.live_end()],
+                ));
+                self.charge_partition_scan(p, cost);
+            }
+            first_touch = false;
+        }
+    }
+
+    /// First and last partition indices overlapping `[lo, hi)`. Charges the
+    /// two shallow-index probes on `cost`.
+    pub(crate) fn range_partition_span(&self, lo: K, hi: K, cost: &mut OpCost) -> (usize, usize) {
+        let first = self.locate(lo, cost);
         // Last partition overlapping [lo, hi): the one responsible for the
         // largest value < hi.
         cost.index_probes += 1;
@@ -137,57 +318,7 @@ impl<K: ColumnValue> PartitionedChunk<K> {
             .last()
             .unwrap_or(first)
             .max(first);
-        for p in first..=last {
-            let part = self.parts[p];
-            if part.len == 0 {
-                continue;
-            }
-            let fully_inside = lo <= part.min && part.max < hi;
-            if fully_inside && p != first && p != last {
-                // Blind middle partition: every value qualifies; hand the
-                // whole live run over. All blocks are consumed sequentially.
-                consumer.run(part.start..part.live_end());
-                matched += part.len as u64;
-                cost.seq_reads += self.live_blocks(p) as u64;
-                cost.values_scanned += part.len as u64;
-            } else {
-                // Filtered partition (first / last / partial overlap).
-                let live = &self.data[part.start..part.live_end()];
-                for (i, &x) in live.iter().enumerate() {
-                    if lo <= x && x < hi {
-                        consumer.value(part.start + i, x);
-                        matched += 1;
-                    }
-                }
-                self.charge_partition_scan(p, &mut cost);
-            }
-        }
-        RangeQueryResult { cost, matched }
-    }
-
-    /// Convenience wrapper: count rows in `[lo, hi)` (HAP Q2).
-    pub fn range_count(&self, lo: K, hi: K) -> (u64, OpCost) {
-        let mut c = CountConsumer::default();
-        let r = self.range_query(lo, hi, &mut c);
-        (c.count, r.cost)
-    }
-
-    /// Convenience wrapper: sum the given payload columns over all rows in
-    /// `[lo, hi)` (HAP Q3).
-    pub fn range_sum_payload(&self, lo: K, hi: K, cols: &[usize]) -> (u64, OpCost) {
-        let mut pc = PositionsConsumer::default();
-        let r = self.range_query(lo, hi, &mut pc);
-        let mut cost = r.cost;
-        let mut sum = self.payloads.sum_positions(cols, &pc.positions);
-        for run in &pc.runs {
-            sum += self.payloads.sum_range(cols, run.clone());
-        }
-        // Payload reads are sequential over the qualifying blocks, one scan
-        // per projected column.
-        let vpb = self.layout.values_per_block().max(1);
-        let qualifying: usize = pc.positions.len() + pc.runs.iter().map(|r| r.len()).sum::<usize>();
-        cost.seq_reads += (cols.len() * qualifying.div_ceil(vpb)) as u64;
-        (sum, cost)
+        (first, last)
     }
 
     /// Charge the cost of fully scanning partition `p`'s live region: one
@@ -231,6 +362,18 @@ mod tests {
         .unwrap()
     }
 
+    /// Even keys 2..=32 so the domain has gaps inside every zone.
+    fn chunk_even_2_to_32(sizes: &[usize]) -> PartitionedChunk<u64> {
+        PartitionedChunk::build(
+            (1..=16).map(|x| x * 2).collect(),
+            &PartitionSpec::from_block_sizes(sizes),
+            tiny_layout(),
+            &GhostPlan::none(sizes.len()),
+            ChunkConfig::default(),
+        )
+        .unwrap()
+    }
+
     #[test]
     fn point_query_finds_value() {
         let c = chunk_1_to_16(&[2, 2, 2, 2]);
@@ -241,13 +384,26 @@ mod tests {
     }
 
     #[test]
-    fn point_query_misses_cleanly() {
+    fn point_query_out_of_zone_is_pruned() {
         let c = chunk_1_to_16(&[2, 2, 2, 2]);
-        let r = c.point_query(100);
+        let r = c.point_query(100); // beyond every zone
         assert!(r.positions.is_empty());
-        // Still scanned the last partition (empty point queries cost the
-        // same, §4.4).
+        // The zone map resolved the miss from metadata: no blocks touched.
+        assert_eq!(r.cost.values_scanned, 0);
+        assert_eq!(r.cost.random_reads + r.cost.seq_reads, 0);
+        assert_eq!(r.cost.index_probes, 1);
+    }
+
+    #[test]
+    fn point_query_in_zone_miss_still_scans() {
+        let c = chunk_even_2_to_32(&[2, 2, 2, 2]);
+        // 9 is inside partition 1's zone [10..16]? No: zones are [2,8],
+        // [10,16], [18,24], [26,32]. Query 11: in-zone gap value.
+        let r = c.point_query(11);
+        assert!(r.positions.is_empty());
+        // Empty point queries inside the zone cost the same as hits (§4.4).
         assert!(r.cost.values_scanned > 0);
+        assert!(r.cost.random_reads >= 1);
     }
 
     #[test]
@@ -297,29 +453,62 @@ mod tests {
         let r = c.range_query(2, 15, &mut pc);
         assert_eq!(r.matched, 13); // 2..=14
         assert!(!pc.runs.is_empty(), "middle partitions must arrive as runs");
-        let run_total: usize = pc.runs.iter().map(|r| r.len()).sum();
-        assert_eq!(run_total + pc.positions.len(), 13);
+        assert_eq!(pc.total(), 13);
     }
 
     #[test]
-    fn range_query_single_partition_is_filtered() {
+    fn range_query_single_partition_coalesces_adjacent_matches() {
         let c = chunk_1_to_16(&[8]);
         let mut pc = PositionsConsumer::default();
         let r = c.range_query(5, 9, &mut pc);
         assert_eq!(r.matched, 4);
-        assert!(pc.runs.is_empty());
-        assert_eq!(pc.positions.len(), 4);
+        assert_eq!(pc.total(), 4);
+        // The filtered partition's four adjacent matches coalesce into one
+        // run instead of four scattered positions.
+        assert_eq!(pc.runs.len(), 1);
+        assert!(pc.positions.is_empty());
     }
 
     #[test]
-    fn range_cost_counts_blind_blocks_sequentially() {
+    fn positions_consumer_keeps_isolated_positions() {
+        let mut pc = PositionsConsumer::default();
+        <PositionsConsumer as RangeConsumer<u64>>::value(&mut pc, 3, 0);
+        <PositionsConsumer as RangeConsumer<u64>>::value(&mut pc, 7, 0);
+        <PositionsConsumer as RangeConsumer<u64>>::value(&mut pc, 8, 0);
+        <PositionsConsumer as RangeConsumer<u64>>::value(&mut pc, 9, 0);
+        <PositionsConsumer as RangeConsumer<u64>>::flush(&mut pc);
+        assert_eq!(pc.positions, vec![3]);
+        assert_eq!(pc.runs, vec![7..10]);
+        assert_eq!(pc.total(), 4);
+    }
+
+    #[test]
+    fn range_cost_zone_blind_boundaries() {
         let c = chunk_1_to_16(&[2, 2, 2, 2]);
-        // Covers all four partitions: first and last filtered, two middles
-        // blind (2 blocks each).
+        // Covers all four partitions exactly. The zone maps prove even the
+        // first and last partitions are fully inside, so all 8 blocks are
+        // consumed blindly: one random jump, then sequential streaming.
         let (_, cost) = c.range_count(1, 17);
-        // first partition: 1 RR + 1 SR; middles: 2+2 SR; last: 1 RR + 1 SR.
+        assert_eq!(cost.random_reads, 1);
+        assert_eq!(cost.seq_reads, 7);
+        // A range that clips the boundary partitions must filter them:
+        // partitions 0 and 3 pay a random read each, middles stay blind.
+        let (n, cost) = c.range_count(2, 16);
+        assert_eq!(n, 14);
         assert_eq!(cost.random_reads, 2);
         assert_eq!(cost.seq_reads, 6);
+    }
+
+    #[test]
+    fn range_query_prunes_disjoint_zones() {
+        // Partition zones: [2,8], [10,16], [18,24], [26,32].
+        let c = chunk_even_2_to_32(&[2, 2, 2, 2]);
+        // [9, 10): inside partition 1's covering range but outside its
+        // zone — pruned without scanning.
+        let (n, cost) = c.range_count(9, 10);
+        assert_eq!(n, 0);
+        assert_eq!(cost.values_scanned, 0);
+        assert_eq!(cost.random_reads + cost.seq_reads, 0);
     }
 
     #[test]
@@ -344,5 +533,26 @@ mod tests {
         let c = chunk_1_to_16(&[4, 4]);
         let (n, _) = c.range_count(10, 5);
         assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn kernel_paths_agree_with_scalar_reference() {
+        let c = chunk_even_2_to_32(&[2, 1, 3, 2]);
+        for v in 0..40u64 {
+            assert_eq!(
+                c.point_query(v).positions,
+                c.point_query_scalar(v).positions,
+                "point({v})"
+            );
+        }
+        for lo in 0..36u64 {
+            for hi in lo..38 {
+                assert_eq!(
+                    c.range_count(lo, hi).0,
+                    c.range_count_scalar(lo, hi).0,
+                    "count[{lo},{hi})"
+                );
+            }
+        }
     }
 }

@@ -51,6 +51,7 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         self.parts[m].len += 1;
         self.live += 1;
         self.widen_bounds(m, v);
+        self.zones[m].include(v);
         Ok(WriteResult {
             affected: 1,
             cost,
@@ -202,6 +203,11 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         self.parts[m].len -= removed;
         self.parts[m].ghosts += removed;
         self.live -= removed;
+        if self.zones[m].on_boundary(v) {
+            // A boundary value left the partition; the scan above already
+            // paid for the pass, so re-tighten the zone now.
+            self.recompute_zone(m);
+        }
         let mut partitions_touched = 1u64;
         if self.config.policy == UpdatePolicy::Dense {
             // Ripple every hole out to the column tail to restore density.
@@ -247,6 +253,11 @@ impl<K: ColumnValue> PartitionedChunk<K> {
             self.data[pos] = new;
             cost.random_writes += 1;
             self.widen_bounds(m, new);
+            if self.zones[m].on_boundary(old) {
+                self.recompute_zone(m);
+            } else {
+                self.zones[m].include(new);
+            }
             return Ok(WriteResult {
                 affected: 1,
                 cost,
@@ -264,6 +275,9 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         }
         self.parts[m].len -= 1;
         self.parts[m].ghosts += 1;
+        if self.zones[m].on_boundary(old) {
+            self.recompute_zone(m);
+        }
         let slot = match self.config.policy {
             UpdatePolicy::Ghost if self.parts[t].ghosts > 0 => {
                 // Both sides buffered: no ripple at all (the contention
@@ -287,6 +301,7 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         cost.random_writes += 1;
         self.parts[t].len += 1;
         self.widen_bounds(t, new);
+        self.zones[t].include(new);
         Ok(WriteResult {
             affected: 1,
             cost,
@@ -335,7 +350,12 @@ mod tests {
 
     #[test]
     fn insert_with_local_ghost_is_one_write() {
-        let mut c = build((1..=8).collect(), &[1, 1, 1, 1], &[0, 1, 0, 0], ChunkConfig::default());
+        let mut c = build(
+            (1..=8).collect(),
+            &[1, 1, 1, 1],
+            &[0, 1, 0, 0],
+            ChunkConfig::default(),
+        );
         let r = c.insert(4, &[]).unwrap(); // partition 1 covers 3..=4
         assert_eq!(r.affected, 1);
         assert_eq!(r.cost.random_writes, 1);
@@ -347,9 +367,14 @@ mod tests {
 
     #[test]
     fn insert_dense_ripples_from_tail() {
-        let mut c = build((1..=8).collect(), &[1, 1, 1, 1], &[0; 4], ChunkConfig::dense());
+        let mut c = build(
+            (1..=8).collect(),
+            &[1, 1, 1, 1],
+            &[0; 4],
+            ChunkConfig::dense(),
+        );
         let r = c.insert(3, &[]).unwrap(); // partition 1
-        // Partitions 2 and 3 shift (2 moves) + the value write.
+                                           // Partitions 2 and 3 shift (2 moves) + the value write.
         assert_eq!(r.cost.random_writes, 3);
         assert_eq!(c.live_len(), 9);
         assert_eq!(all_values(&c), vec![1, 2, 3, 3, 4, 5, 6, 7, 8]);
@@ -365,7 +390,7 @@ mod tests {
             ChunkConfig::default(),
         );
         let r = c.insert(1, &[]).unwrap(); // partition 0; donor is partition 2
-        // Ripple over partitions 1 and 2 (2 moves) + value write.
+                                           // Ripple over partitions 1 and 2 (2 moves) + value write.
         assert_eq!(r.cost.random_writes, 3);
         assert_eq!(c.ghost_total(), 0);
         assert_eq!(all_values(&c), vec![1, 1, 2, 3, 4, 5, 6, 7, 8]);
@@ -399,7 +424,12 @@ mod tests {
 
     #[test]
     fn insert_below_minimum_goes_to_first_partition() {
-        let mut c = build((10..=17).collect(), &[2, 2], &[1, 0], ChunkConfig::default());
+        let mut c = build(
+            (10..=17).collect(),
+            &[2, 2],
+            &[1, 0],
+            ChunkConfig::default(),
+        );
         c.insert(1, &[]).unwrap();
         let r = c.point_query(1);
         assert_eq!(r.positions.len(), 1);
@@ -425,7 +455,12 @@ mod tests {
 
     #[test]
     fn delete_ghost_policy_leaves_ghosts() {
-        let mut c = build((1..=8).collect(), &[1, 1, 1, 1], &[0; 4], ChunkConfig::default());
+        let mut c = build(
+            (1..=8).collect(),
+            &[1, 1, 1, 1],
+            &[0; 4],
+            ChunkConfig::default(),
+        );
         let r = c.delete(5);
         assert_eq!(r.affected, 1);
         assert_eq!(c.live_len(), 7);
@@ -437,7 +472,12 @@ mod tests {
 
     #[test]
     fn delete_dense_ripples_to_tail() {
-        let mut c = build((1..=8).collect(), &[1, 1, 1, 1], &[0; 4], ChunkConfig::dense());
+        let mut c = build(
+            (1..=8).collect(),
+            &[1, 1, 1, 1],
+            &[0; 4],
+            ChunkConfig::dense(),
+        );
         let before_tail = c.tail_free();
         let r = c.delete(3); // partition 1: two trailing partitions shift
         assert_eq!(r.affected, 1);
@@ -483,7 +523,12 @@ mod tests {
 
     #[test]
     fn update_forward_ripple_dense() {
-        let mut c = build((1..=8).collect(), &[1, 1, 1, 1], &[0; 4], ChunkConfig::dense());
+        let mut c = build(
+            (1..=8).collect(),
+            &[1, 1, 1, 1],
+            &[0; 4],
+            ChunkConfig::dense(),
+        );
         // 1 lives in partition 0; 8 maps to partition 3 → forward ripple.
         let r = c.update(1, 8).unwrap();
         assert_eq!(r.affected, 1);
@@ -494,7 +539,12 @@ mod tests {
 
     #[test]
     fn update_backward_ripple_dense() {
-        let mut c = build((1..=8).collect(), &[1, 1, 1, 1], &[0; 4], ChunkConfig::dense());
+        let mut c = build(
+            (1..=8).collect(),
+            &[1, 1, 1, 1],
+            &[0; 4],
+            ChunkConfig::dense(),
+        );
         let r = c.update(8, 1).unwrap();
         assert_eq!(r.affected, 1);
         assert_eq!(r.partitions_touched, 4);
@@ -542,7 +592,11 @@ mod tests {
         c.insert(3, &[35]).unwrap();
         let r = c.point_query(3);
         assert_eq!(r.positions.len(), 2);
-        let vals: Vec<u32> = r.positions.iter().map(|&p| c.payloads().get(0, p)).collect();
+        let vals: Vec<u32> = r
+            .positions
+            .iter()
+            .map(|&p| c.payloads().get(0, p))
+            .collect();
         assert!(vals.contains(&30) && vals.contains(&35));
     }
 
@@ -590,7 +644,12 @@ mod tests {
             } else {
                 vec![0, 0, 0, 0]
             };
-            let mut c = build((1..=32).map(|x| x * 10).collect(), &[4, 4, 4, 4], &ghosts, cfg);
+            let mut c = build(
+                (1..=32).map(|x| x * 10).collect(),
+                &[4, 4, 4, 4],
+                &ghosts,
+                cfg,
+            );
             let mut reference: Vec<u64> = (1..=32).map(|x| x * 10).collect();
             for _ in 0..300 {
                 match rng.gen_range(0..4) {

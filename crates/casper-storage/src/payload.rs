@@ -95,6 +95,13 @@ impl PayloadSet {
         acc
     }
 
+    /// Contiguous slice of one payload column (fused filter-aggregate
+    /// kernels consume the key and payload lanes side by side).
+    #[inline]
+    pub fn column_slice(&self, col: usize, range: std::ops::Range<usize>) -> &[u32] {
+        &self.cols[col][range]
+    }
+
     /// Sum the given columns at scattered slot positions (filtered first /
     /// last partitions of a range query).
     pub fn sum_positions(&self, cols: &[usize], positions: &[usize]) -> u64 {

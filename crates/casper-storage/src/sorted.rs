@@ -23,7 +23,11 @@ pub struct SortedColumn<K: ColumnValue> {
 impl<K: ColumnValue> SortedColumn<K> {
     /// Build from raw values (sorted internally) and optional payload
     /// columns, co-sorted by key.
-    pub fn build(mut values: Vec<K>, mut payload_cols: Vec<Vec<u32>>, values_per_block: usize) -> Self {
+    pub fn build(
+        mut values: Vec<K>,
+        mut payload_cols: Vec<Vec<u32>>,
+        values_per_block: usize,
+    ) -> Self {
         assert!(values_per_block > 0);
         for c in &payload_cols {
             assert_eq!(c.len(), values.len(), "payload column length mismatch");
@@ -159,10 +163,11 @@ impl<K: ColumnValue> SortedColumn<K> {
         for (c, &pv) in self.payload_cols.iter_mut().zip(payload) {
             c.insert(pos, pv);
         }
-        let mut cost = OpCost::default();
-        cost.random_writes = 1;
-        cost.seq_writes = moved.div_ceil(self.values_per_block) as u64;
-        cost
+        OpCost {
+            random_writes: 1,
+            seq_writes: moved.div_ceil(self.values_per_block) as u64,
+            ..OpCost::default()
+        }
     }
 
     /// Delete all values equal to `v`, compacting the column.
@@ -206,7 +211,8 @@ impl<K: ColumnValue> SortedColumn<K> {
         cost.seq_reads = self.len().div_ceil(self.values_per_block) as u64;
         cost.seq_writes = cost.seq_reads;
         inserts.sort_by_key(|(k, _)| *k);
-        let mut delete_multiset: std::collections::BTreeMap<K, usize> = std::collections::BTreeMap::new();
+        let mut delete_multiset: std::collections::BTreeMap<K, usize> =
+            std::collections::BTreeMap::new();
         for &d in deletes {
             *delete_multiset.entry(d).or_default() += 1;
         }

@@ -64,9 +64,8 @@ fn run_model(
         capacity_slack: 1.0,
         ghost_fetch_block: 2,
     };
-    let mut chunk =
-        PartitionedChunk::build(initial.clone(), &spec, layout, &ghost_plan, config)
-            .expect("build");
+    let mut chunk = PartitionedChunk::build(initial.clone(), &spec, layout, &ghost_plan, config)
+        .expect("build");
     let mut model: Vec<u64> = initial;
 
     for a in actions {

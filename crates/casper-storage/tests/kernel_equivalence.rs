@@ -1,0 +1,194 @@
+//! Property tests: the branchless kernel read paths (with zone-map
+//! pruning) must return results identical to the retained scalar reference
+//! paths, over arbitrary partitionings, ghost plans and write histories —
+//! and their `OpCost` must stay within the scalar path's block-access
+//! envelope (pruning may only ever remove block accesses, and an unpruned
+//! scan must charge exactly what the scalar scan charges).
+
+use casper_storage::ghost::GhostPlan;
+use casper_storage::ops::PositionsConsumer;
+use casper_storage::{BlockLayout, ChunkConfig, PartitionSpec, PartitionedChunk, UpdatePolicy};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64),
+    Delete(u64),
+    Update(u64, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..600).prop_map(Op::Insert),
+        (0u64..600).prop_map(Op::Delete),
+        (0u64..600, 0u64..600).prop_map(|(a, b)| Op::Update(a, b)),
+    ]
+}
+
+fn build_chunk(
+    initial: Vec<u64>,
+    sizes: Vec<usize>,
+    ghosts: Vec<usize>,
+    policy: UpdatePolicy,
+    ops: Vec<Op>,
+) -> PartitionedChunk<u64> {
+    let layout = BlockLayout {
+        block_bytes: 32,
+        value_width: 8,
+    }; // 4 values per block
+    let n_blocks = layout.num_blocks(initial.len());
+    let mut block_sizes = Vec::new();
+    let mut left = n_blocks;
+    for &s in &sizes {
+        if left == 0 {
+            break;
+        }
+        let take = s.clamp(1, left);
+        block_sizes.push(take);
+        left -= take;
+    }
+    if left > 0 {
+        block_sizes.push(left);
+    }
+    let spec = PartitionSpec::from_block_sizes(&block_sizes);
+    let k = spec.partition_count();
+    let plan = GhostPlan::from_counts(
+        (0..k)
+            .map(|i| {
+                if policy == UpdatePolicy::Ghost {
+                    ghosts.get(i).copied().unwrap_or(0) % 4
+                } else {
+                    0
+                }
+            })
+            .collect(),
+    );
+    let payloads: Vec<Vec<u32>> = vec![initial.iter().map(|&k| (k % 251) as u32).collect()];
+    let mut chunk = PartitionedChunk::build_with_payloads(
+        initial,
+        payloads,
+        &spec,
+        layout,
+        &plan,
+        ChunkConfig {
+            policy,
+            capacity_slack: 1.0,
+            ghost_fetch_block: 2,
+        },
+    )
+    .expect("build");
+    for op in ops {
+        match op {
+            Op::Insert(v) => {
+                let _ = chunk.insert(v, &[(v % 251) as u32]);
+            }
+            Op::Delete(v) => {
+                let _ = chunk.delete(v);
+            }
+            Op::Update(a, b) => {
+                let _ = chunk.update(a, b);
+            }
+        }
+    }
+    chunk
+        .validate_invariants()
+        .expect("invariants (incl. zone covering) after the write history");
+    chunk
+}
+
+fn check_equivalence(chunk: &PartitionedChunk<u64>, probes: &[u64]) -> Result<(), TestCaseError> {
+    for &v in probes {
+        // Point query: identical positions; cost never exceeds scalar, and
+        // matches scalar exactly when the zone could not prune.
+        let kern = chunk.point_query(v);
+        let scal = chunk.point_query_scalar(v);
+        prop_assert_eq!(&kern.positions, &scal.positions, "point({})", v);
+        prop_assert_eq!(kern.partition, scal.partition);
+        let kb = kern.cost.total_block_accesses();
+        let sb = scal.cost.total_block_accesses();
+        prop_assert!(kb <= sb, "point({}) kernel cost {} > scalar {}", v, kb, sb);
+        if chunk.zones()[kern.partition].contains(v) && chunk.partitions()[kern.partition].len > 0 {
+            prop_assert_eq!(kern.cost, scal.cost, "unpruned point({}) cost drifted", v);
+        }
+    }
+    for w in probes.windows(2) {
+        let (lo, hi) = (w[0].min(w[1]), w[0].max(w[1]));
+        // Count: same result, no more block accesses than scalar.
+        let (nk, ck) = chunk.range_count(lo, hi);
+        let (ns, cs) = chunk.range_count_scalar(lo, hi);
+        prop_assert_eq!(nk, ns, "count[{}, {})", lo, hi);
+        prop_assert!(ck.total_block_accesses() <= cs.total_block_accesses());
+
+        // Positions: kernel consumer output (runs + positions) must cover
+        // exactly the scalar qualifying multiset of slots.
+        let mut pk = PositionsConsumer::default();
+        let rk = chunk.range_query(lo, hi, &mut pk);
+        let mut ps = PositionsConsumer::default();
+        let rs = chunk.range_query_scalar(lo, hi, &mut ps);
+        prop_assert_eq!(rk.matched, rs.matched);
+        let mut slots_k: Vec<usize> = pk.positions.clone();
+        slots_k.extend(pk.runs.iter().flat_map(|r| r.clone()));
+        slots_k.sort_unstable();
+        let mut slots_s: Vec<usize> = ps.positions.clone();
+        slots_s.extend(ps.runs.iter().flat_map(|r| r.clone()));
+        slots_s.sort_unstable();
+        prop_assert_eq!(slots_k, slots_s, "select[{}, {})", lo, hi);
+
+        // Payload sum: bitmap-masked aggregation equals scalar gather.
+        let (sum_k, _) = chunk.range_sum_payload(lo, hi, &[0]);
+        let (sum_s, _) = chunk.range_sum_payload_scalar(lo, hi, &[0]);
+        prop_assert_eq!(sum_k, sum_s, "sum[{}, {})", lo, hi);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn kernels_match_scalar_ghost_policy(
+        initial in proptest::collection::vec(0u64..500, 8..150),
+        sizes in proptest::collection::vec(1usize..6, 1..8),
+        ghosts in proptest::collection::vec(0usize..4, 0..8),
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+        probes in proptest::collection::vec(0u64..620, 2..40),
+    ) {
+        let chunk = build_chunk(initial, sizes, ghosts, UpdatePolicy::Ghost, ops);
+        check_equivalence(&chunk, &probes)?;
+    }
+
+    #[test]
+    fn kernels_match_scalar_dense_policy(
+        initial in proptest::collection::vec(0u64..500, 8..150),
+        sizes in proptest::collection::vec(1usize..6, 1..8),
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+        probes in proptest::collection::vec(0u64..620, 2..40),
+    ) {
+        let chunk = build_chunk(initial, sizes, vec![], UpdatePolicy::Dense, ops);
+        check_equivalence(&chunk, &probes)?;
+    }
+
+    #[test]
+    fn zone_maps_stay_tight_under_boundary_deletes(
+        initial in proptest::collection::vec(0u64..200, 16..80),
+        deletes in proptest::collection::vec(0u64..200, 1..40),
+    ) {
+        let mut chunk = build_chunk(initial, vec![2, 2], vec![1, 1], UpdatePolicy::Ghost, vec![]);
+        for v in deletes {
+            chunk.delete(v);
+            // After every delete, each zone must be exactly the min/max of
+            // the partition's live values (tightness, not just covering —
+            // this is what makes pruning effective).
+            for (p, zone) in chunk.zones().iter().enumerate() {
+                let live = chunk.partition_values(p);
+                if live.is_empty() {
+                    prop_assert!(zone.is_empty(), "partition {} empty but zone {:?}", p, zone);
+                } else {
+                    prop_assert_eq!(zone.min, *live.iter().min().expect("non-empty"));
+                    prop_assert_eq!(zone.max, *live.iter().max().expect("non-empty"));
+                }
+            }
+        }
+        chunk.validate_invariants().expect("invariants");
+    }
+}

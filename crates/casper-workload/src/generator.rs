@@ -105,9 +105,7 @@ impl WorkloadGenerator {
         (0..self.schema.payload_cols)
             .map(|c| {
                 keys.iter()
-                    .map(|&k| {
-                        (k.wrapping_mul(2654435761).wrapping_add(c as u64) & 0xFFFF) as u32
-                    })
+                    .map(|&k| (k.wrapping_mul(2654435761).wrapping_add(c as u64) & 0xFFFF) as u32)
                     .collect()
             })
             .collect()

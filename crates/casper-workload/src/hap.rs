@@ -115,7 +115,10 @@ impl HapQuery {
 
     /// Whether this query only reads.
     pub fn is_read(&self) -> bool {
-        matches!(self, HapQuery::Q1 { .. } | HapQuery::Q2 { .. } | HapQuery::Q3 { .. })
+        matches!(
+            self,
+            HapQuery::Q1 { .. } | HapQuery::Q2 { .. } | HapQuery::Q3 { .. }
+        )
     }
 
     /// Short name ("Q1".."Q6") for reporting.
@@ -171,7 +174,11 @@ mod tests {
             Op::Range(1, 9)
         );
         assert_eq!(
-            HapQuery::Q4 { key: 7, payload: vec![] }.key_op(),
+            HapQuery::Q4 {
+                key: 7,
+                payload: vec![]
+            }
+            .key_op(),
             Op::Insert(7)
         );
         assert_eq!(HapQuery::Q5 { v: 7 }.key_op(), Op::Delete(7));
@@ -192,7 +199,10 @@ mod tests {
             HapQuery::Q1 { v: 0, k: 1 },
             HapQuery::Q2 { vs: 0, ve: 1 },
             HapQuery::Q3 { vs: 0, ve: 1, k: 1 },
-            HapQuery::Q4 { key: 0, payload: vec![] },
+            HapQuery::Q4 {
+                key: 0,
+                payload: vec![],
+            },
             HapQuery::Q5 { v: 0 },
             HapQuery::Q6 { v: 0, vnew: 1 },
         ];

@@ -86,9 +86,7 @@ impl MixKind {
         match self {
             MixKind::HybridPointSkewed => [49.0, 0.0, 0.0, 50.0, 0.0, 1.0],
             MixKind::HybridRangeSkewed => [0.0, 0.0, 49.0, 50.0, 0.0, 1.0],
-            MixKind::ReadOnlySkewed | MixKind::ReadOnlyUniform => {
-                [94.0, 5.0, 0.0, 0.0, 0.0, 1.0]
-            }
+            MixKind::ReadOnlySkewed | MixKind::ReadOnlyUniform => [94.0, 5.0, 0.0, 0.0, 0.0, 1.0],
             MixKind::UpdateOnlySkewed | MixKind::UpdateOnlyUniform => {
                 [0.0, 0.0, 0.0, 80.0, 19.0, 1.0]
             }
@@ -175,9 +173,18 @@ mod tests {
         for q in &ops {
             counts[q.index()] += 1;
         }
-        assert!((counts[0] as f64 / 10_000.0 - 0.49).abs() < 0.02, "Q1 share");
-        assert!((counts[3] as f64 / 10_000.0 - 0.50).abs() < 0.02, "Q4 share");
-        assert!((counts[5] as f64 / 10_000.0 - 0.01).abs() < 0.005, "Q6 share");
+        assert!(
+            (counts[0] as f64 / 10_000.0 - 0.49).abs() < 0.02,
+            "Q1 share"
+        );
+        assert!(
+            (counts[3] as f64 / 10_000.0 - 0.50).abs() < 0.02,
+            "Q4 share"
+        );
+        assert!(
+            (counts[5] as f64 / 10_000.0 - 0.01).abs() < 0.005,
+            "Q6 share"
+        );
         assert_eq!(counts[1] + counts[2] + counts[4], 0);
     }
 

@@ -1,0 +1,141 @@
+//! Minimal offline shim for the subset of `proptest` this workspace uses.
+//!
+//! Supported surface: the `proptest!` macro (block form with
+//! `#![proptest_config(..)]` and the inline closure form), `prop_oneof!`,
+//! `prop_assert!`/`prop_assert_eq!`, `Strategy` with `prop_map` /
+//! `prop_flat_map` / `boxed`, `Just`, `any::<T>()`, range and tuple
+//! strategies, and `proptest::collection::vec`.
+//!
+//! Semantics differ from real proptest in one deliberate way: there is **no
+//! shrinking**. Every case is generated from a deterministic per-test seed
+//! (`PROPTEST_BASE_SEED` env var overrides the base), and a failure panics
+//! with the case's seed so it can be replayed exactly.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Collection strategies (`proptest::collection` subset).
+pub mod collection {
+    use crate::strategy::{SizeRange, VecStrategy};
+
+    /// Strategy producing `Vec`s of `element` with a length drawn from
+    /// `size` (an exact `usize`, a `Range`, or a `RangeInclusive`).
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Everything a test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Run property tests. Two forms:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_test(x in 0u64..10, v in proptest::collection::vec(any::<u16>(), 1..9)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// proptest!(|(x in 0u64..10)| { prop_assert!(x < 10); });
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(__cfg, stringify!($name), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                    #[allow(unreachable_code)]
+                    let __out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    __out
+                });
+            }
+        )*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)*
+        }
+    };
+    (|($($arg:pat in $strat:expr),+ $(,)?)| $body:block $(,)?) => {
+        $crate::test_runner::run_cases(
+            $crate::test_runner::ProptestConfig::default(),
+            "inline",
+            |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                #[allow(unreachable_code)]
+                let __out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __out
+            },
+        );
+    };
+}
+
+/// Uniform choice between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assert a condition inside a proptest body, failing the case (not the
+/// whole process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Assert equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_eq!($left, $right, "assertion failed: `(left == right)`")
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __left = &$left;
+        let __right = &$right;
+        if !(*__left == *__right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: `{:?}`\n right: `{:?}`",
+                    format!($($fmt)+),
+                    __left,
+                    __right
+                ),
+            ));
+        }
+    }};
+}

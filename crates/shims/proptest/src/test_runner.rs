@@ -1,0 +1,134 @@
+//! Deterministic case runner (`proptest::test_runner` subset).
+
+use rand::prelude::*;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Why one generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property does not hold for this input.
+    Fail(String),
+    /// The input should be discarded without counting as a failure.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A property violation.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// An input rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Execute `body` once per case with a deterministic per-case RNG, panicking
+/// (with a replayable seed) on the first failure.
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut body: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let base = std::env::var("PROPTEST_BASE_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x5EED_CA5E_D00D_F00Du64);
+    let mut executed = 0u32;
+    let mut attempt = 0u64;
+    while executed < config.cases {
+        let seed = base ^ fnv1a(name) ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        attempt += 1;
+        assert!(
+            attempt < 16 * u64::from(config.cases) + 256,
+            "proptest '{name}': too many rejected cases"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        match body(&mut rng) {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(reason)) => panic!(
+                "proptest '{name}' failed at case {executed} \
+                 (replay with PROPTEST_BASE_SEED={base} — case seed {seed:#x}):\n{reason}"
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_when_property_holds() {
+        let mut count = 0;
+        run_cases(ProptestConfig::with_cases(10), "ok", |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "replay with")]
+    fn panics_with_seed_on_failure() {
+        run_cases(ProptestConfig::with_cases(5), "bad", |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn rejections_do_not_count_as_cases() {
+        let mut executed = 0;
+        let mut toggle = false;
+        run_cases(ProptestConfig::with_cases(8), "rej", |_| {
+            toggle = !toggle;
+            if toggle {
+                Err(TestCaseError::reject("skip"))
+            } else {
+                executed += 1;
+                Ok(())
+            }
+        });
+        assert_eq!(executed, 8);
+    }
+}

@@ -14,7 +14,11 @@ fn main() {
         .map(|i| 900_000 + (i.wrapping_mul(2654435761) % 2000) * 50)
         .collect();
     let plain_bytes = values.len() * 8;
-    println!("column: {} values, {} KB plain", values.len(), plain_bytes / 1024);
+    println!(
+        "column: {} values, {} KB plain",
+        values.len(),
+        plain_bytes / 1024
+    );
 
     // Dictionary: order-preserving codes.
     let dict = Dictionary::encode(&values);

@@ -25,7 +25,10 @@ fn main() {
         ops,
         mix.kind.label()
     );
-    println!("{:<14} {:>12} {:>14}", "layout", "elapsed ms", "throughput op/s");
+    println!(
+        "{:<14} {:>12} {:>14}",
+        "layout", "elapsed ms", "throughput op/s"
+    );
 
     for mode in LayoutMode::all() {
         let mut config = EngineConfig::for_mode(mode);
@@ -50,9 +53,7 @@ fn main() {
         let t = Instant::now();
         let mut checksum = 0u64;
         for q in &queries {
-            checksum = checksum.wrapping_add(
-                table.execute(q).expect("query").result.scalar(),
-            );
+            checksum = checksum.wrapping_add(table.execute(q).expect("query").result.scalar());
         }
         let elapsed = t.elapsed();
         println!(

@@ -20,8 +20,20 @@ fn main() {
     let trained_fm = FrequencyModel::from_distributions(
         n,
         &WorkloadSpec {
-            point: Some((5000.0, AccessDistribution::Gaussian { mean: 0.75, std: 0.1 })),
-            insert: Some((5000.0, AccessDistribution::Gaussian { mean: 0.25, std: 0.1 })),
+            point: Some((
+                5000.0,
+                AccessDistribution::Gaussian {
+                    mean: 0.75,
+                    std: 0.1,
+                },
+            )),
+            insert: Some((
+                5000.0,
+                AccessDistribution::Gaussian {
+                    mean: 0.25,
+                    std: 0.1,
+                },
+            )),
             ..WorkloadSpec::none()
         },
     );

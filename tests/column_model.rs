@@ -125,14 +125,16 @@ fn wide_table_160_columns_round_trips() {
     let payload_cols: Vec<Vec<u32>> = (0..schema.payload_cols)
         .map(|c| keys.iter().map(|&k| schema.payload_row(k)[c]).collect())
         .collect();
-    for mode in [LayoutMode::Casper, LayoutMode::StateOfArt, LayoutMode::Sorted] {
+    for mode in [
+        LayoutMode::Casper,
+        LayoutMode::StateOfArt,
+        LayoutMode::Sorted,
+    ] {
         let mut config = EngineConfig::small(mode);
         config.chunk_values = 1024;
         let mut table = Table::load(schema, keys.clone(), payload_cols.clone(), config);
         // Project deep columns on a point read.
-        let out = table
-            .execute(&HapQuery::Q1 { v: 100, k: 159 })
-            .expect("q1");
+        let out = table.execute(&HapQuery::Q1 { v: 100, k: 159 }).expect("q1");
         if let casper::engine::QueryResult::Rows(rows) = out.result {
             assert_eq!(rows.len(), 1, "{mode:?}");
             assert_eq!(rows[0], schema.payload_row(100)[..159].to_vec(), "{mode:?}");

@@ -54,15 +54,13 @@ impl Reference {
                 self.rows.retain(|(k, _)| k != v);
                 (before - self.rows.len()) as u64
             }
-            HapQuery::Q6 { v, vnew } => {
-                match self.rows.iter_mut().find(|(k, _)| k == v) {
-                    Some(row) => {
-                        row.0 = *vnew;
-                        1
-                    }
-                    None => 0,
+            HapQuery::Q6 { v, vnew } => match self.rows.iter_mut().find(|(k, _)| k == v) {
+                Some(row) => {
+                    row.0 = *vnew;
+                    1
                 }
-            }
+                None => 0,
+            },
         }
     }
 }
