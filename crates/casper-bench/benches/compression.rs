@@ -1,9 +1,15 @@
 //! Criterion micro-benchmarks for the §6.2 codecs: encode, decode, and
 //! predicate-pushdown scans over compressed fragments, including the
 //! partition-size synergy (narrower fragments → narrower FoR offsets →
-//! faster scans).
+//! faster scans) and the compressed-execution kernels (count / select /
+//! sum directly over the encoded forms vs the decode-then-scan baseline).
+//!
+//! CI runs this bench with `--test` (smoke mode: every body executes once,
+//! untimed) so the codec kernels are exercised on every push.
 
 use casper_storage::compress::{Codec, Dictionary, ForBlock, Rle};
+use casper_storage::kernels::{self, Fragment};
+use casper_storage::StorageMode;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const VALUES: usize = 1 << 16;
@@ -74,5 +80,85 @@ fn bench_partition_synergy(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_encode, bench_scan, bench_partition_synergy);
+/// The tentpole comparison: codec-aware kernels on the encoded form vs the
+/// decode-then-scan baseline vs the plain kernel on raw data. The
+/// acceptance target is compressed `count_range` ≥ 1.5x decode-then-scan
+/// on a 1M-value FoR fragment.
+fn bench_compressed_kernels(c: &mut Criterion) {
+    const N: usize = 1 << 20;
+    // Narrow span (u16 FoR offsets): the post-partitioning §6.2 shape.
+    let data: Vec<u64> = (0..N as u64)
+        .map(|i| 5_000_000 + i.wrapping_mul(2_654_435_761) % 60_000)
+        .collect();
+    let payload: Vec<u32> = (0..N as u32).collect();
+    let (lo, hi) = (5_010_000u64, 5_040_000u64);
+
+    let mut group = c.benchmark_group("compressed_count_range");
+    group.throughput(Throughput::Elements(N as u64));
+    for mode in [StorageMode::For, StorageMode::Dict, StorageMode::Rle] {
+        let frag = Fragment::encode(mode, &data).expect("compressed mode");
+        group.bench_function(format!("{}_kernel", mode.label()), |b| {
+            b.iter(|| std::hint::black_box(frag.count_range(lo, hi)))
+        });
+        group.bench_function(format!("{}_decode_then_scan", mode.label()), |b| {
+            b.iter(|| {
+                let decoded = frag.decode();
+                std::hint::black_box(kernels::count_range(&decoded, lo, hi))
+            })
+        });
+    }
+    group.bench_function("plain_kernel", |b| {
+        b.iter(|| std::hint::black_box(kernels::count_range(&data, lo, hi)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("compressed_select_bitmap");
+    group.throughput(Throughput::Elements(N as u64));
+    for mode in [StorageMode::For, StorageMode::Dict, StorageMode::Rle] {
+        let frag = Fragment::encode(mode, &data).expect("compressed mode");
+        group.bench_function(mode.label(), |b| {
+            let mut mask = Vec::with_capacity(N / 64 + 1);
+            b.iter(|| {
+                mask.clear();
+                std::hint::black_box(frag.select_range_bitmap(lo, hi, &mut mask))
+            })
+        });
+    }
+    group.bench_function("plain", |b| {
+        let mut mask = Vec::with_capacity(N / 64 + 1);
+        b.iter(|| {
+            mask.clear();
+            std::hint::black_box(kernels::select_range_bitmap(&data, lo, hi, &mut mask))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("compressed_sum_payload");
+    group.throughput(Throughput::Elements(N as u64));
+    for mode in [StorageMode::For, StorageMode::Dict] {
+        let frag = Fragment::encode(mode, &data).expect("compressed mode");
+        group.bench_function(mode.label(), |b| {
+            b.iter(|| std::hint::black_box(frag.sum_payload_range(&payload, lo, hi)))
+        });
+    }
+    group.bench_function("plain_fused", |b| {
+        b.iter(|| std::hint::black_box(kernels::sum_payload_range(&data, &payload, lo, hi)))
+    });
+    group.finish();
+
+    // Correctness tripwire so smoke runs validate, not just execute.
+    let expect = kernels::count_range(&data, lo, hi);
+    for mode in [StorageMode::For, StorageMode::Dict, StorageMode::Rle] {
+        let frag = Fragment::encode(mode, &data).expect("compressed mode");
+        assert_eq!(frag.count_range(lo, hi), expect, "{mode:?}");
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_encode,
+    bench_scan,
+    bench_partition_synergy,
+    bench_compressed_kernels
+);
 criterion_main!(benches);

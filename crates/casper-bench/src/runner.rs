@@ -126,6 +126,7 @@ pub fn build_table(mix: &Mix, mode: LayoutMode, rc: &RunConfig) -> Table {
             ghost_budget_frac: engine.ghost_budget_frac,
             fairness_cap: true,
             threads: engine.threads,
+            ..OptimizeOptions::default()
         };
         optimize_table(&mut table, &sample, &opts);
     }

@@ -1,0 +1,146 @@
+//! Storage-mode selection from the Frequency Model (§6.2).
+//!
+//! The paper's compression synergy only pays off where partitions are read
+//! but not written: a scan over an encoded fragment moves fewer bytes, but
+//! any write must first decode the fragment back to plain slots. This
+//! module reduces the per-block FM histograms to per-partition read/write
+//! pressure and advises which partitions are cold enough to compress —
+//! the optimizer applies the advice right after a re-layout (Fig. 10 step
+//! C), when every partition was just rebuilt and its fragment is cheapest
+//! to produce.
+
+use crate::fm::FrequencyModel;
+use crate::layout::Segmentation;
+
+/// Read/write pressure of one partition, aggregated from the FM histograms
+/// over the partition's block range.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PartitionPressure {
+    /// Read-side accesses: point queries plus range starts/scans/ends.
+    pub reads: f64,
+    /// Write-side accesses landing in the partition: inserts, deletes and
+    /// both sides of updates. (Ripple pass-through traffic is charged to
+    /// its endpoints; a pass-through invalidates a fragment just the same,
+    /// so hot neighbourhoods de-compress themselves at run time.)
+    pub writes: f64,
+}
+
+/// Per-partition compression advice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompressionAdvice {
+    /// Write traffic expected: stay on plain slots.
+    StayPlain,
+    /// Cold and read-heavy (or entirely untouched): encode. The codec is
+    /// picked by the engine from the partition's actual data (cardinality,
+    /// value span).
+    Compress,
+}
+
+/// Aggregate the FM histograms into per-partition read/write pressure for
+/// the partitions of `seg`.
+pub fn partition_pressure(fm: &FrequencyModel, seg: &Segmentation) -> Vec<PartitionPressure> {
+    assert_eq!(
+        fm.n_blocks(),
+        seg.n_blocks(),
+        "frequency model and segmentation disagree on block count"
+    );
+    seg.ranges()
+        .map(|r| {
+            let sum = |h: &[f64]| h[r.clone()].iter().sum::<f64>();
+            PartitionPressure {
+                reads: sum(&fm.pq) + sum(&fm.rs) + sum(&fm.sc) + sum(&fm.re),
+                writes: sum(&fm.ins)
+                    + sum(&fm.de)
+                    + sum(&fm.udf)
+                    + sum(&fm.utf)
+                    + sum(&fm.udb)
+                    + sum(&fm.utb),
+            }
+        })
+        .collect()
+}
+
+/// Advise a storage mode per partition: compress partitions whose write
+/// pressure is at most `write_threshold` times their read pressure
+/// (entirely untouched partitions are cold by definition and compress).
+pub fn advise_compression(
+    fm: &FrequencyModel,
+    seg: &Segmentation,
+    write_threshold: f64,
+) -> Vec<CompressionAdvice> {
+    partition_pressure(fm, seg)
+        .into_iter()
+        .map(|p| {
+            if p.writes <= write_threshold * p.reads.max(1.0) {
+                CompressionAdvice::Compress
+            } else {
+                CompressionAdvice::StayPlain
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fm_with(reads_block: usize, writes_block: usize, n: usize) -> FrequencyModel {
+        let mut fm = FrequencyModel::new(n);
+        fm.pq[reads_block] = 10.0;
+        fm.rs[reads_block] = 2.0;
+        fm.ins[writes_block] = 5.0;
+        fm.de[writes_block] = 1.0;
+        fm
+    }
+
+    #[test]
+    fn pressure_aggregates_per_partition() {
+        let fm = fm_with(1, 6, 8);
+        let seg = Segmentation::equi(8, 2); // blocks [0,4) and [4,8)
+        let p = partition_pressure(&fm, &seg);
+        assert_eq!(p.len(), 2);
+        assert!((p[0].reads - 12.0).abs() < 1e-12);
+        assert!((p[0].writes).abs() < 1e-12);
+        assert!((p[1].reads).abs() < 1e-12);
+        assert!((p[1].writes - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn advice_separates_hot_writes_from_cold_reads() {
+        let fm = fm_with(1, 6, 8);
+        let seg = Segmentation::equi(8, 2);
+        let advice = advise_compression(&fm, &seg, 0.05);
+        assert_eq!(advice[0], CompressionAdvice::Compress);
+        assert_eq!(advice[1], CompressionAdvice::StayPlain);
+    }
+
+    #[test]
+    fn untouched_partitions_are_cold() {
+        let fm = FrequencyModel::new(4);
+        let seg = Segmentation::equi(4, 4);
+        assert!(advise_compression(&fm, &seg, 0.0)
+            .iter()
+            .all(|a| *a == CompressionAdvice::Compress));
+    }
+
+    #[test]
+    fn threshold_scales_with_read_pressure() {
+        let mut fm = FrequencyModel::new(2);
+        fm.pq[0] = 100.0;
+        fm.ins[0] = 4.0; // 4 writes vs 100 reads: below a 5% threshold
+        fm.pq[1] = 100.0;
+        fm.ins[1] = 6.0; // above it
+        let seg = Segmentation::equi(2, 2);
+        let advice = advise_compression(&fm, &seg, 0.05);
+        assert_eq!(advice[0], CompressionAdvice::Compress);
+        assert_eq!(advice[1], CompressionAdvice::StayPlain);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree")]
+    fn mismatched_widths_rejected() {
+        let fm = FrequencyModel::new(4);
+        let seg = Segmentation::equi(8, 2);
+        let _ = partition_pressure(&fm, &seg);
+    }
+}

@@ -8,6 +8,7 @@
 //! complexity."
 
 use crate::column::{chunk_block_fences, rebuild_partitioned, ChunkStore};
+use crate::compression::apply_compression_policy;
 use crate::exec::{parallel_for_each_mut, parallel_map};
 use crate::modes::LayoutMode;
 use crate::table::Table;
@@ -32,6 +33,14 @@ pub struct OptimizeOptions {
     pub fairness_cap: bool,
     /// Worker threads for the per-chunk solves.
     pub threads: usize,
+    /// Whether to apply the §6.2 storage-mode policy after each rebuild:
+    /// cold read-heavy partitions are encoded and served by the
+    /// compressed-scan kernels.
+    pub compress_cold: bool,
+    /// A partition compresses when its FM write pressure is at most this
+    /// fraction of its read pressure (see
+    /// `casper_core::cost::advise_compression`).
+    pub compress_write_threshold: f64,
 }
 
 impl Default for OptimizeOptions {
@@ -42,6 +51,8 @@ impl Default for OptimizeOptions {
             ghost_budget_frac: 0.001,
             fairness_cap: true,
             threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+            compress_cold: true,
+            compress_write_threshold: 0.05,
         }
     }
 }
@@ -61,6 +72,10 @@ pub struct ChunkReport {
     pub est_cost: f64,
     /// Wall time of the solve (ns), excluding the rebuild.
     pub solve_nanos: u64,
+    /// Partitions encoded by the §6.2 storage-mode policy.
+    pub compressed_partitions: usize,
+    /// Encoded bytes across those partitions.
+    pub encoded_bytes: usize,
 }
 
 /// Outcome of a whole optimization pass.
@@ -218,15 +233,35 @@ pub fn optimize_table(
             ghosts: decision.ghosts.total(),
             est_cost: decision.est_cost,
             solve_nanos: *solve_nanos,
+            compressed_partitions: 0,
+            encoded_bytes: 0,
         });
     }
     // Step C: materialize the new layouts. Rebuilds are independent per
     // chunk (extract → re-sort → re-partition), so they stripe across the
-    // same worker budget as the solve.
+    // same worker budget as the solve. Each rebuilt chunk then receives the
+    // §6.2 storage-mode pass: partitions the Frequency Model shows as cold
+    // and read-heavy are encoded for the compressed-scan kernels.
+    let compression = std::sync::Mutex::new(Vec::new());
     parallel_for_each_mut(table.column_mut().chunks_mut(), opts.threads, |i, store| {
         let (decision, _) = &decisions[i];
         *store = rebuild_partitioned(store, &decision.seg, &decision.ghosts, &config);
+        if opts.compress_cold {
+            if let ChunkStore::Partitioned(chunk) = store {
+                let r = apply_compression_policy(
+                    chunk,
+                    &fms[i],
+                    &decision.seg,
+                    opts.compress_write_threshold,
+                );
+                compression.lock().expect("poisoned").push((i, r));
+            }
+        }
     });
+    for (i, r) in compression.into_inner().expect("poisoned") {
+        report.chunks[i].compressed_partitions = r.compressed_partitions;
+        report.chunks[i].encoded_bytes = r.encoded_bytes;
+    }
     report
 }
 
@@ -329,6 +364,55 @@ mod tests {
         // Point queries still correct after conversion.
         let (rows, _) = table.column().q1_point(100, &[0]);
         assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn read_only_workload_compresses_and_stays_correct() {
+        let mut table = test_table(LayoutMode::Casper);
+        let mix = Mix::new(MixKind::ReadOnlySkewed, HapSchema::narrow(), 4000);
+        let sample = mix.generate(500, 3);
+        let report = optimize_table(&mut table, &sample, &OptimizeOptions::default());
+        // A read-only sample leaves every partition cold on the write side:
+        // the policy should encode a substantial share of them.
+        let compressed: usize = report.chunks.iter().map(|c| c.compressed_partitions).sum();
+        assert!(compressed > 0, "no partition compressed: {report:?}");
+        let encoded: usize = report.chunks.iter().map(|c| c.encoded_bytes).sum();
+        assert!(encoded > 0);
+        // Reads over the mixed-mode table are bit-exact.
+        let (rows, _) = table.column().q1_point(100, &[0]);
+        assert_eq!(rows.len(), 1);
+        let (n, _) = table.column().q2_count(0, u64::MAX);
+        assert_eq!(n as usize, table.len());
+        // Writes transparently decode-on-write.
+        let mut col_writes = 0usize;
+        for store in table.column().chunks() {
+            if let ChunkStore::Partitioned(p) = store {
+                col_writes += p.compressed_partition_count();
+            }
+        }
+        assert!(col_writes > 0);
+        let payload = vec![7u32; table.column().payload_width()];
+        table.column_mut().q4_insert(101, &payload).unwrap();
+        let (rows, _) = table.column().q1_point(101, &[0]);
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn compression_can_be_disabled() {
+        let mut table = test_table(LayoutMode::Casper);
+        let mix = Mix::new(MixKind::ReadOnlySkewed, HapSchema::narrow(), 4000);
+        let sample = mix.generate(300, 4);
+        let opts = OptimizeOptions {
+            compress_cold: false,
+            ..OptimizeOptions::default()
+        };
+        let report = optimize_table(&mut table, &sample, &opts);
+        assert!(report.chunks.iter().all(|c| c.compressed_partitions == 0));
+        for store in table.column().chunks() {
+            if let ChunkStore::Partitioned(p) = store {
+                assert_eq!(p.compressed_partition_count(), 0);
+            }
+        }
     }
 
     #[test]

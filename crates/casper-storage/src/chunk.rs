@@ -14,10 +14,11 @@
 //! operations built on them (point/range queries, insert, delete, update)
 //! are in [`crate::ops`].
 
+use crate::compress::StorageMode;
 use crate::error::StorageError;
 use crate::ghost::GhostPlan;
 use crate::index::PartitionIndex;
-use crate::kernels::ZoneMap;
+use crate::kernels::{Fragment, ZoneMap};
 use crate::layout::{BlockLayout, PartitionSpec};
 use crate::ops::OpCost;
 use crate::partition::PartitionMeta;
@@ -72,6 +73,12 @@ pub struct PartitionedChunk<K: ColumnValue> {
     /// Tight per-partition min/max over live values, kept in lock-step with
     /// `parts` by the write paths; read paths prune on it before scanning.
     pub(crate) zones: Vec<ZoneMap<K>>,
+    /// Per-partition encoded fragments (§6.2 storage modes): `None` means
+    /// plain slots; `Some` is a scan-optimized encoding of the partition's
+    /// live values that the read paths consume instead of the slots. Any
+    /// write physically touching a partition drops its fragment back to
+    /// plain first (the decode-on-write escape hatch).
+    pub(crate) frags: Vec<Option<Fragment<K>>>,
     pub(crate) index: PartitionIndex<K>,
     pub(crate) payloads: PayloadSet,
     pub(crate) layout: BlockLayout,
@@ -236,6 +243,7 @@ impl<K: ColumnValue> PartitionedChunk<K> {
 
         Ok(Self {
             data,
+            frags: (0..parts.len()).map(|_| None).collect(),
             parts,
             zones,
             index: PartitionIndex::new(bounds),
@@ -350,6 +358,83 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         self.zones[m] = ZoneMap::from_values(&self.data[part.start..part.live_end()]);
     }
 
+    // ------------------------------------------------------------------
+    // Per-partition storage modes (§6.2 compressed execution)
+    // ------------------------------------------------------------------
+
+    /// Storage mode of partition `p`.
+    #[inline]
+    pub fn partition_mode(&self, p: usize) -> StorageMode {
+        self.frags[p]
+            .as_ref()
+            .map_or(StorageMode::Plain, Fragment::mode)
+    }
+
+    /// Encoded fragment of partition `p`, if compressed.
+    #[inline]
+    pub fn partition_fragment(&self, p: usize) -> Option<&Fragment<K>> {
+        self.frags[p].as_ref()
+    }
+
+    /// Storage modes of every partition (reports, tests).
+    pub fn storage_modes(&self) -> Vec<StorageMode> {
+        (0..self.parts.len())
+            .map(|p| self.partition_mode(p))
+            .collect()
+    }
+
+    /// Encode partition `p`'s live values under `mode` (`Plain` reverts to
+    /// plain slots). The plain slots remain the physical substrate — they
+    /// are what the ripple machinery moves — but reads over a compressed
+    /// partition scan only the encoded fragment.
+    pub fn compress_partition(&mut self, p: usize, mode: StorageMode) {
+        self.frags[p] = Fragment::encode(mode, self.partition_values(p));
+    }
+
+    /// Decode-on-write escape hatch: revert partition `p` to
+    /// [`StorageMode::Plain`]. No-op for plain partitions.
+    ///
+    /// Dropping the fragment *is* the decode: the plain slots are the
+    /// physical substrate and every slot-mutating path decompresses or
+    /// invalidates before moving slots, so fragment and slots can never
+    /// drift (debug builds verify; `validate_invariants` checks the same
+    /// property on demand).
+    pub fn decompress_partition(&mut self, p: usize) {
+        if let Some(frag) = self.frags[p].take() {
+            debug_assert!(
+                !frag.preserves_slot_order() || {
+                    let part = self.parts[p];
+                    frag.decode() == self.data[part.start..part.live_end()]
+                },
+                "fragment drifted from partition {p}'s slots"
+            );
+        }
+    }
+
+    /// Number of partitions currently holding an encoded fragment.
+    pub fn compressed_partition_count(&self) -> usize {
+        self.frags.iter().filter(|f| f.is_some()).count()
+    }
+
+    /// Total encoded bytes across compressed partitions.
+    pub fn encoded_bytes(&self) -> usize {
+        self.frags
+            .iter()
+            .flatten()
+            .map(Fragment::encoded_bytes)
+            .sum()
+    }
+
+    /// Plain bytes of the live values held by compressed partitions — the
+    /// denominator of the chunk's compression ratio.
+    pub fn compressed_plain_bytes(&self) -> usize {
+        self.frags
+            .iter()
+            .flatten()
+            .map(|f| f.len() * K::WIDTH)
+            .sum()
+    }
+
     /// Smallest live value currently in the chunk, if any.
     pub fn min_value(&self) -> Option<K> {
         self.parts
@@ -434,6 +519,9 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         // values contiguous) or straight into the traveling hole otherwise.
         let upper = donor.map_or(self.parts.len(), |j| j + 1);
         for t in (m + 1..upper).rev() {
+            // The hole rotates this partition's live region: any encoded
+            // fragment no longer mirrors the slot order. Decode-on-write.
+            self.frags[t] = None;
             let part = self.parts[t];
             if part.len > 0 {
                 let target = if part.ghosts > 0 {
@@ -469,6 +557,7 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         self.parts[donor].ghosts -= 1;
         let mut hole = self.parts[donor].extent_end(); // post-decrement end
         for t in donor + 1..m {
+            self.frags[t] = None; // slot order rotates; see pull_slot_from_right
             let part = self.parts[t];
             if part.len > 0 {
                 // Last live value moves into the hole at `start - 1`; the
@@ -491,6 +580,7 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         self.parts[m].ghosts -= 1;
         let mut hole = self.parts[m].extent_end();
         for t in m + 1..self.parts.len() {
+            self.frags[t] = None; // slot order rotates; see pull_slot_from_right
             let part = self.parts[t];
             if part.len > 0 {
                 self.move_slot(part.live_end() - 1, hole, cost);
@@ -606,6 +696,37 @@ impl<K: ColumnValue> PartitionedChunk<K> {
                             zone.min, zone.max
                         ));
                     }
+                }
+            }
+        }
+        // Encoded fragments must mirror their partition's live values:
+        // exactly (in slot order) for order-preserving codecs, as a sorted
+        // multiset for RLE.
+        for (p, frag) in self.frags.iter().enumerate() {
+            let Some(frag) = frag else { continue };
+            let part = &self.parts[p];
+            if frag.len() != part.len {
+                return Err(format!(
+                    "partition {p} fragment holds {} values but {} are live",
+                    frag.len(),
+                    part.len
+                ));
+            }
+            let live_slice = &self.data[part.start..part.live_end()];
+            let decoded = frag.decode();
+            if frag.preserves_slot_order() {
+                if decoded != live_slice {
+                    return Err(format!("partition {p} fragment out of sync with slots"));
+                }
+            } else {
+                let mut a = decoded;
+                a.sort_unstable();
+                let mut b = live_slice.to_vec();
+                b.sort_unstable();
+                if a != b {
+                    return Err(format!(
+                        "partition {p} RLE fragment multiset differs from slots"
+                    ));
                 }
             }
         }

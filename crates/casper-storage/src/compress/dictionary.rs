@@ -1,10 +1,14 @@
 //! Order-preserving dictionary compression.
 //!
 //! Distinct values are collected into a sorted dictionary; the column
-//! stores fixed-width codes (u8/u16/u32 chosen by cardinality). Because the
-//! dictionary is sorted, range predicates translate to code-range
-//! predicates and scans run directly over the codes — "dictionary
-//! compression is supported by Casper as-is" (§6.2).
+//! stores fixed-width codes (u8/u16/u32 chosen by cardinality, physically
+//! packed). Because the dictionary is sorted, range predicates translate to
+//! code-range predicates and scans run directly over the codes —
+//! "dictionary compression is supported by Casper as-is" (§6.2). The
+//! code-space rewrite (`lower_bound_code` on both bounds) is what the
+//! compressed kernels in [`crate::kernels::compressed`] use: a value range
+//! stays a range in code space, so the packed code lane is scanned with the
+//! same branchless rebased compare as a plain column.
 
 use super::Codec;
 use crate::value::ColumnValue;
@@ -21,7 +25,8 @@ pub enum CodeWidth {
 }
 
 impl CodeWidth {
-    fn for_cardinality(n: usize) -> Self {
+    /// The narrowest width that can code `n` distinct values.
+    pub fn for_cardinality(n: usize) -> Self {
         if n <= u8::MAX as usize + 1 {
             CodeWidth::U8
         } else if n <= u16::MAX as usize + 1 {
@@ -41,14 +46,68 @@ impl CodeWidth {
     }
 }
 
+/// Physically packed code column, scanned directly by the compressed
+/// kernels.
+#[derive(Debug, Clone)]
+pub enum PackedCodes {
+    /// One byte per code.
+    U8(Vec<u8>),
+    /// Two bytes per code.
+    U16(Vec<u16>),
+    /// Four bytes per code.
+    U32(Vec<u32>),
+}
+
+impl PackedCodes {
+    fn pack(codes: impl Iterator<Item = u32>, width: CodeWidth) -> Self {
+        match width {
+            CodeWidth::U8 => PackedCodes::U8(codes.map(|c| c as u8).collect()),
+            CodeWidth::U16 => PackedCodes::U16(codes.map(|c| c as u16).collect()),
+            CodeWidth::U32 => PackedCodes::U32(codes.collect()),
+        }
+    }
+
+    /// Number of packed codes.
+    pub fn len(&self) -> usize {
+        match self {
+            PackedCodes::U8(v) => v.len(),
+            PackedCodes::U16(v) => v.len(),
+            PackedCodes::U32(v) => v.len(),
+        }
+    }
+
+    /// Whether no codes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Width class of the packing.
+    pub fn width(&self) -> CodeWidth {
+        match self {
+            PackedCodes::U8(_) => CodeWidth::U8,
+            PackedCodes::U16(_) => CodeWidth::U16,
+            PackedCodes::U32(_) => CodeWidth::U32,
+        }
+    }
+
+    /// Code at position `i`, widened.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        match self {
+            PackedCodes::U8(v) => u32::from(v[i]),
+            PackedCodes::U16(v) => u32::from(v[i]),
+            PackedCodes::U32(v) => v[i],
+        }
+    }
+}
+
 /// An order-preserving dictionary-encoded column fragment.
 #[derive(Debug, Clone)]
 pub struct Dictionary<K: ColumnValue> {
     /// Sorted distinct values; index = code.
     dict: Vec<K>,
-    /// One code per row (stored widened; `width` gives the modeled size).
-    codes: Vec<u32>,
-    width: CodeWidth,
+    /// One packed code per row.
+    codes: PackedCodes,
 }
 
 impl<K: ColumnValue> Dictionary<K> {
@@ -57,12 +116,14 @@ impl<K: ColumnValue> Dictionary<K> {
         let mut dict: Vec<K> = values.to_vec();
         dict.sort_unstable();
         dict.dedup();
-        let codes = values
-            .iter()
-            .map(|v| dict.binary_search(v).expect("value in dict") as u32)
-            .collect();
         let width = CodeWidth::for_cardinality(dict.len());
-        Self { dict, codes, width }
+        let codes = PackedCodes::pack(
+            values
+                .iter()
+                .map(|v| dict.binary_search(v).expect("value in dict") as u32),
+            width,
+        );
+        Self { dict, codes }
     }
 
     /// The sorted dictionary.
@@ -70,14 +131,20 @@ impl<K: ColumnValue> Dictionary<K> {
         &self.dict
     }
 
-    /// The per-row codes.
-    pub fn codes(&self) -> &[u32] {
+    /// The packed per-row codes.
+    pub fn codes(&self) -> &PackedCodes {
         &self.codes
     }
 
-    /// Modeled code width.
+    /// Packed code width.
     pub fn width(&self) -> CodeWidth {
-        self.width
+        self.codes.width()
+    }
+
+    /// Value at encoded position `i` (same order as the input slice).
+    #[inline]
+    pub fn get(&self, i: usize) -> K {
+        self.dict[self.codes.get(i) as usize]
     }
 
     /// Translate a value to the first code whose value is `>= v` (for
@@ -85,15 +152,23 @@ impl<K: ColumnValue> Dictionary<K> {
     pub fn lower_bound_code(&self, v: K) -> u32 {
         self.dict.partition_point(|&d| d < v) as u32
     }
+
+    /// Exact code of `v`, if present.
+    pub fn exact_code(&self, v: K) -> Option<u32> {
+        self.dict.binary_search(&v).ok().map(|c| c as u32)
+    }
 }
 
 impl<K: ColumnValue> Codec<K> for Dictionary<K> {
     fn decode(&self) -> Vec<K> {
-        self.codes.iter().map(|&c| self.dict[c as usize]).collect()
+        super::telemetry::note_decode();
+        (0..self.codes.len())
+            .map(|i| self.dict[self.codes.get(i) as usize])
+            .collect()
     }
 
     fn encoded_bytes(&self) -> usize {
-        self.dict.len() * K::WIDTH + self.codes.len() * self.width.bytes()
+        self.dict.len() * K::WIDTH + self.codes.len() * self.width().bytes()
     }
 
     fn len(&self) -> usize {
@@ -101,14 +176,7 @@ impl<K: ColumnValue> Codec<K> for Dictionary<K> {
     }
 
     fn count_in_range(&self, lo: K, hi: K) -> u64 {
-        // Order-preserving: compare codes, never touching the dictionary
-        // values during the scan.
-        let lo_c = self.lower_bound_code(lo);
-        let hi_c = self.lower_bound_code(hi);
-        self.codes
-            .iter()
-            .filter(|&&c| c >= lo_c && c < hi_c)
-            .count() as u64
+        crate::kernels::compressed::dict_count_range(self, lo, hi)
     }
 }
 
@@ -132,6 +200,15 @@ mod tests {
         assert_eq!(Dictionary::encode(&medium).width(), CodeWidth::U16);
         let large: Vec<u64> = (0..70_000).collect();
         assert_eq!(Dictionary::encode(&large).width(), CodeWidth::U32);
+    }
+
+    #[test]
+    fn codes_are_physically_packed() {
+        let d = Dictionary::encode(&[30u64, 10, 20, 30]);
+        assert!(matches!(d.codes(), PackedCodes::U8(v) if v == &[2, 0, 1, 2]));
+        assert_eq!(d.get(2), 20);
+        assert_eq!(d.exact_code(30), Some(2));
+        assert_eq!(d.exact_code(15), None);
     }
 
     #[test]

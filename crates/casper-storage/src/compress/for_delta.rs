@@ -5,12 +5,20 @@
 //! with the §6.2 *partitioning synergy*: "Casper tends to finely partition
 //! areas that attract more queries, thus enabling better delta compression
 //! since the value range of small partitions is also small."
+//!
+//! Offsets are **physically packed** (`Vec<u8>` / `Vec<u16>` / …), not just
+//! modeled: a scan over a `U8` fragment streams one byte per value instead
+//! of eight, which is where the paper's "less overall data movement" comes
+//! from. The compressed kernels in [`crate::kernels::compressed`] evaluate
+//! predicates directly on the packed lanes by rebasing the bounds once
+//! (`x ∈ [lo, hi)` ⇔ `offset - (lo - base) < hi - lo` in wrapping
+//! arithmetic) — no decode step, ever.
 
 use super::Codec;
 use crate::value::ColumnValue;
 
 /// Offset width classes (bit-packing rounded to byte-friendly widths, as
-//  real engines do for SIMD-able scans).
+/// real engines do for SIMD-able scans).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OffsetWidth {
     /// Offsets fit in one byte.
@@ -24,7 +32,8 @@ pub enum OffsetWidth {
 }
 
 impl OffsetWidth {
-    fn for_span(span: u64) -> Self {
+    /// The narrowest width that can represent `span`.
+    pub fn for_span(span: u64) -> Self {
         if span <= u8::MAX as u64 {
             OffsetWidth::U8
         } else if span <= u16::MAX as u64 {
@@ -47,12 +56,73 @@ impl OffsetWidth {
     }
 }
 
+/// Physically packed offset column: the concrete lane the compressed
+/// kernels scan. Public so [`crate::kernels::compressed`] can monomorphize
+/// its branchless loops per width.
+#[derive(Debug, Clone)]
+pub enum PackedOffsets {
+    /// One byte per offset.
+    U8(Vec<u8>),
+    /// Two bytes per offset.
+    U16(Vec<u16>),
+    /// Four bytes per offset.
+    U32(Vec<u32>),
+    /// Full-width offsets.
+    U64(Vec<u64>),
+}
+
+impl PackedOffsets {
+    fn pack(offsets: impl Iterator<Item = u64>, width: OffsetWidth) -> Self {
+        match width {
+            OffsetWidth::U8 => PackedOffsets::U8(offsets.map(|o| o as u8).collect()),
+            OffsetWidth::U16 => PackedOffsets::U16(offsets.map(|o| o as u16).collect()),
+            OffsetWidth::U32 => PackedOffsets::U32(offsets.map(|o| o as u32).collect()),
+            OffsetWidth::U64 => PackedOffsets::U64(offsets.collect()),
+        }
+    }
+
+    /// Number of packed offsets.
+    pub fn len(&self) -> usize {
+        match self {
+            PackedOffsets::U8(v) => v.len(),
+            PackedOffsets::U16(v) => v.len(),
+            PackedOffsets::U32(v) => v.len(),
+            PackedOffsets::U64(v) => v.len(),
+        }
+    }
+
+    /// Whether no offsets are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Width class of the packing.
+    pub fn width(&self) -> OffsetWidth {
+        match self {
+            PackedOffsets::U8(_) => OffsetWidth::U8,
+            PackedOffsets::U16(_) => OffsetWidth::U16,
+            PackedOffsets::U32(_) => OffsetWidth::U32,
+            PackedOffsets::U64(_) => OffsetWidth::U64,
+        }
+    }
+
+    /// Offset at position `i`, widened.
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        match self {
+            PackedOffsets::U8(v) => u64::from(v[i]),
+            PackedOffsets::U16(v) => u64::from(v[i]),
+            PackedOffsets::U32(v) => u64::from(v[i]),
+            PackedOffsets::U64(v) => v[i],
+        }
+    }
+}
+
 /// A frame-of-reference encoded fragment.
 #[derive(Debug, Clone)]
 pub struct ForBlock<K: ColumnValue> {
     base: u64,
-    offsets: Vec<u64>,
-    width: OffsetWidth,
+    offsets: PackedOffsets,
     _marker: std::marker::PhantomData<K>,
 }
 
@@ -62,36 +132,46 @@ impl<K: ColumnValue> ForBlock<K> {
         let ord: Vec<u64> = values.iter().map(|v| v.to_ordered_u64()).collect();
         let base = ord.iter().copied().min().unwrap_or(0);
         let span = ord.iter().copied().max().unwrap_or(0) - base;
-        let offsets = ord.iter().map(|&v| v - base).collect();
+        let width = OffsetWidth::for_span(span);
         Self {
             base,
-            offsets,
-            width: OffsetWidth::for_span(span),
+            offsets: PackedOffsets::pack(ord.into_iter().map(|v| v - base), width),
             _marker: std::marker::PhantomData,
         }
     }
 
-    /// Modeled offset width.
+    /// Packed offset width.
     pub fn width(&self) -> OffsetWidth {
-        self.width
+        self.offsets.width()
     }
 
     /// The frame base (ordered-u64 space).
     pub fn base(&self) -> u64 {
         self.base
     }
+
+    /// The packed offset lane (scanned directly by the compressed kernels).
+    pub fn offsets(&self) -> &PackedOffsets {
+        &self.offsets
+    }
+
+    /// Value at encoded position `i` (same order as the input slice).
+    #[inline]
+    pub fn get(&self, i: usize) -> K {
+        K::from_ordered_u64(self.base + self.offsets.get(i))
+    }
 }
 
 impl<K: ColumnValue> Codec<K> for ForBlock<K> {
     fn decode(&self) -> Vec<K> {
-        self.offsets
-            .iter()
-            .map(|&o| K::from_ordered_u64(self.base + o))
+        super::telemetry::note_decode();
+        (0..self.offsets.len())
+            .map(|i| K::from_ordered_u64(self.base + self.offsets.get(i)))
             .collect()
     }
 
     fn encoded_bytes(&self) -> usize {
-        8 + self.offsets.len() * self.width.bytes()
+        8 + self.offsets.len() * self.width().bytes()
     }
 
     fn len(&self) -> usize {
@@ -99,21 +179,7 @@ impl<K: ColumnValue> Codec<K> for ForBlock<K> {
     }
 
     fn count_in_range(&self, lo: K, hi: K) -> u64 {
-        let lo = lo.to_ordered_u64();
-        let hi = hi.to_ordered_u64();
-        if hi <= lo {
-            return 0;
-        }
-        // Rebase the predicate once, then scan offsets directly.
-        let lo_off = lo.saturating_sub(self.base);
-        if hi <= self.base {
-            return 0;
-        }
-        let hi_off = hi - self.base;
-        self.offsets
-            .iter()
-            .filter(|&&o| o >= lo_off && o < hi_off && self.base + o >= lo)
-            .count() as u64
+        crate::kernels::compressed::for_count_range(self, lo, hi)
     }
 }
 
@@ -142,6 +208,13 @@ mod tests {
         assert_eq!(ForBlock::encode(&[0u64, 256]).width(), OffsetWidth::U16);
         assert_eq!(ForBlock::encode(&[0u64, 1 << 20]).width(), OffsetWidth::U32);
         assert_eq!(ForBlock::encode(&[0u64, 1 << 40]).width(), OffsetWidth::U64);
+    }
+
+    #[test]
+    fn offsets_are_physically_packed() {
+        let b = ForBlock::encode(&[10u64, 13, 11]);
+        assert!(matches!(b.offsets(), PackedOffsets::U8(v) if v == &[0, 3, 1]));
+        assert_eq!(b.get(1), 13);
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! therefore asserts sortedness, and [`Rle::update_cost_model`] quantifies
 //! the decode/re-encode penalty that makes dictionary/FoR preferable for
 //! updatable columns.
+//!
+//! Because the runs are sorted by value, every range predicate reduces to
+//! *run arithmetic*: two binary searches locate the first and last
+//! qualifying runs, and the prefix-summed run lengths ([`Rle::prefix`])
+//! turn the answer into a subtraction — the compressed kernels never walk
+//! the runs at all.
 
 use super::Codec;
 use crate::value::ColumnValue;
@@ -15,6 +21,10 @@ use crate::value::ColumnValue;
 pub struct Rle<K: ColumnValue> {
     /// `(value, run_length)` pairs in ascending value order.
     runs: Vec<(K, u32)>,
+    /// `prefix[i]` = decoded index of run `i`'s first value;
+    /// `prefix[runs.len()]` = total decoded length. Derived metadata, not
+    /// counted in [`Codec::encoded_bytes`].
+    prefix: Vec<u64>,
     total: usize,
 }
 
@@ -36,8 +46,16 @@ impl<K: ColumnValue> Rle<K> {
                 _ => runs.push((v, 1)),
             }
         }
+        let mut prefix = Vec::with_capacity(runs.len() + 1);
+        let mut acc = 0u64;
+        prefix.push(0);
+        for &(_, n) in &runs {
+            acc += u64::from(n);
+            prefix.push(acc);
+        }
         Self {
             runs,
+            prefix,
             total: values.len(),
         }
     }
@@ -45,6 +63,23 @@ impl<K: ColumnValue> Rle<K> {
     /// The encoded runs.
     pub fn runs(&self) -> &[(K, u32)] {
         &self.runs
+    }
+
+    /// Prefix-summed run lengths (`len + 1` entries; see struct docs).
+    pub fn prefix(&self) -> &[u64] {
+        &self.prefix
+    }
+
+    /// Decoded index range `[start, end)` of the values in `[lo, hi)` —
+    /// the run-arithmetic primitive behind every compressed RLE kernel.
+    /// Returns an empty range (`start == end`) when nothing qualifies.
+    pub fn index_range(&self, lo: K, hi: K) -> (u64, u64) {
+        if hi <= lo {
+            return (0, 0);
+        }
+        let first = self.runs.partition_point(|&(v, _)| v < lo);
+        let last = self.runs.partition_point(|&(v, _)| v < hi);
+        (self.prefix[first], self.prefix[last])
     }
 
     /// Modeled cost (in values touched) of updating one value: the whole
@@ -57,6 +92,7 @@ impl<K: ColumnValue> Rle<K> {
 
 impl<K: ColumnValue> Codec<K> for Rle<K> {
     fn decode(&self) -> Vec<K> {
+        super::telemetry::note_decode();
         let mut out = Vec::with_capacity(self.total);
         for &(v, n) in &self.runs {
             out.extend(std::iter::repeat_n(v, n as usize));
@@ -73,14 +109,8 @@ impl<K: ColumnValue> Codec<K> for Rle<K> {
     }
 
     fn count_in_range(&self, lo: K, hi: K) -> u64 {
-        if hi <= lo {
-            return 0;
-        }
-        self.runs
-            .iter()
-            .filter(|(v, _)| lo <= *v && *v < hi)
-            .map(|&(_, n)| u64::from(n))
-            .sum()
+        let (start, end) = self.index_range(lo, hi);
+        end - start
     }
 }
 
@@ -94,6 +124,7 @@ mod tests {
         let r = Rle::encode(&vals);
         assert_eq!(r.decode(), vals);
         assert_eq!(r.runs(), &[(1, 3), (2, 1), (3, 2)]);
+        assert_eq!(r.prefix(), &[0, 3, 4, 6]);
     }
 
     #[test]
@@ -118,6 +149,15 @@ mod tests {
             let want = vals.iter().filter(|&&v| lo <= v && v < hi).count() as u64;
             assert_eq!(r.count_in_range(lo, hi), want, "[{lo},{hi})");
         }
+    }
+
+    #[test]
+    fn index_range_is_run_arithmetic() {
+        let r = Rle::encode(&[1u64, 1, 5, 5, 5, 9]);
+        assert_eq!(r.index_range(1, 6), (0, 5));
+        assert_eq!(r.index_range(5, 10), (2, 6));
+        assert_eq!(r.index_range(2, 5), (2, 2)); // nothing between runs
+        assert_eq!(r.index_range(9, 3), (0, 0)); // inverted
     }
 
     #[test]

@@ -19,14 +19,19 @@
 //!
 //! The [`zone`] submodule provides the per-partition min/max zone maps that
 //! let the read paths in [`crate::ops`] prune partitions before any of
-//! these kernels touch data.
+//! these kernels touch data. The [`compressed`] submodule carries the same
+//! kernel surface (`count_eq` / `count_range` / `select_range_bitmap` /
+//! `sum_payload_range`) over the §6.2 codecs — FoR, dictionary, RLE —
+//! operating directly on the encoded representations, no decode step.
 //!
 //! Every kernel has a pure-scalar reference twin in
 //! [`crate::ops::scalar`]; property tests assert bit-exact result
 //! equivalence and `casper-bench`'s `scan_ops` bench tracks the speedup.
 
+pub mod compressed;
 pub mod zone;
 
+pub use compressed::Fragment;
 pub use zone::ZoneMap;
 
 use crate::value::ColumnValue;

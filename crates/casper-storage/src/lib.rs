@@ -39,9 +39,10 @@ pub mod sorted;
 pub mod value;
 
 pub use chunk::{ChunkConfig, PartitionedChunk};
+pub use compress::StorageMode;
 pub use delta::SortedDelta;
 pub use error::StorageError;
-pub use kernels::ZoneMap;
+pub use kernels::{Fragment, ZoneMap};
 pub use layout::{BlockLayout, PartitionSpec};
 pub use ops::{OpCost, PointQueryResult, RangeConsumer, WriteResult};
 pub use partition::PartitionMeta;

@@ -21,7 +21,7 @@
 //! speedup.
 
 use crate::chunk::PartitionedChunk;
-use crate::kernels;
+use crate::kernels::{self, Fragment};
 use crate::ops::OpCost;
 use crate::value::ColumnValue;
 
@@ -138,8 +138,25 @@ impl<K: ColumnValue> RangeConsumer<K> for PositionsConsumer {
 enum RangePart<'a, K: ColumnValue> {
     /// Zone fully inside `[lo, hi)`: every live value qualifies.
     Blind(&'a crate::partition::PartitionMeta<K>),
-    /// Zone partially overlapping: the live slice must be filtered.
-    Filtered(&'a crate::partition::PartitionMeta<K>, &'a [K]),
+    /// Zone partially overlapping: the live slice must be filtered. When
+    /// the partition is compressed, its fragment rides along so the
+    /// operation can scan the encoded lane instead of the slots (each
+    /// operation decides — e.g. RLE fragments accelerate counts but not
+    /// position-producing selects).
+    Filtered {
+        meta: &'a crate::partition::PartitionMeta<K>,
+        live: &'a [K],
+        frag: Option<&'a Fragment<K>>,
+    },
+}
+
+/// Which representation a filtered-partition visit actually scanned, so
+/// `scan_range_partitions` charges the bytes truly streamed.
+enum ScanPath {
+    /// Plain slots: whole live blocks.
+    Plain,
+    /// Encoded fragment: `encoded_bytes` worth of blocks.
+    Encoded,
 }
 
 impl<K: ColumnValue> PartitionedChunk<K> {
@@ -157,13 +174,23 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         let part = self.parts[p];
         let mut positions = Vec::new();
         if part.len > 0 && self.zones[p].contains(v) {
-            kernels::select_eq_into(
-                &self.data[part.start..part.live_end()],
-                v,
-                part.start,
-                &mut positions,
-            );
-            self.charge_partition_scan(p, &mut cost);
+            // Compressed partitions whose codec preserves slot order answer
+            // from the encoded lane (positions map 1:1 onto slots); RLE and
+            // plain partitions scan the slots.
+            let compressed = self.frags[p]
+                .as_ref()
+                .is_some_and(|frag| frag.select_eq_positions(v, part.start, &mut positions));
+            if compressed {
+                self.charge_compressed_scan(p, &mut cost);
+            } else {
+                kernels::select_eq_into(
+                    &self.data[part.start..part.live_end()],
+                    v,
+                    part.start,
+                    &mut positions,
+                );
+                self.charge_partition_scan(p, &mut cost);
+            }
         }
         PointQueryResult {
             positions,
@@ -191,14 +218,27 @@ impl<K: ColumnValue> PartitionedChunk<K> {
                 // Every live value qualifies: hand the whole run over.
                 consumer.run(meta.start..meta.live_end());
                 matched += meta.len as u64;
+                ScanPath::Plain
             }
-            RangePart::Filtered(meta, live) => {
-                // Branchless bitmap evaluation, then decode matches.
+            RangePart::Filtered { meta, live, frag } => {
                 mask.clear();
-                matched += kernels::select_range_bitmap(live, lo, hi, &mut mask);
+                // Positions must map onto slots, so only order-preserving
+                // fragments can evaluate the predicate on the encoded lane.
+                let path = match frag {
+                    Some(f) if f.preserves_slot_order() => {
+                        matched += f.select_range_bitmap(lo, hi, &mut mask);
+                        ScanPath::Encoded
+                    }
+                    _ => {
+                        // Branchless bitmap evaluation over the slots.
+                        matched += kernels::select_range_bitmap(live, lo, hi, &mut mask);
+                        ScanPath::Plain
+                    }
+                };
                 kernels::for_each_match(live, &mask, meta.start, |pos, val| {
                     consumer.value(pos, val);
                 });
+                path
             }
         });
         consumer.flush();
@@ -213,9 +253,22 @@ impl<K: ColumnValue> PartitionedChunk<K> {
             return (count, cost);
         }
         self.scan_range_partitions(lo, hi, &mut cost, |part| match part {
-            RangePart::Blind(meta) => count += meta.len as u64,
-            // Pure count: no positions materialized at all.
-            RangePart::Filtered(_, live) => count += kernels::count_range(live, lo, hi),
+            RangePart::Blind(meta) => {
+                count += meta.len as u64;
+                ScanPath::Plain
+            }
+            // Pure count: no positions materialized at all. Every codec can
+            // count on its encoded form (RLE by pure run arithmetic).
+            RangePart::Filtered { live, frag, .. } => match frag {
+                Some(f) => {
+                    count += f.count_range(lo, hi);
+                    ScanPath::Encoded
+                }
+                None => {
+                    count += kernels::count_range(live, lo, hi);
+                    ScanPath::Plain
+                }
+            },
         });
         (count, cost)
     }
@@ -236,21 +289,30 @@ impl<K: ColumnValue> PartitionedChunk<K> {
             RangePart::Blind(meta) => {
                 sum += self.payloads.sum_range(cols, meta.start..meta.live_end());
                 qualifying += meta.len;
+                ScanPath::Plain
             }
-            RangePart::Filtered(meta, live) => {
+            RangePart::Filtered { meta, live, frag } => {
+                // Payload lanes are slot-aligned, so only order-preserving
+                // fragments can drive the fused filter+sum from the encoded
+                // key lane.
+                let encoded = frag.filter(|f| f.preserves_slot_order());
                 for (ci, &c) in cols.iter().enumerate() {
-                    let (m, s) = kernels::sum_payload_range(
-                        live,
-                        self.payloads.column_slice(c, meta.start..meta.live_end()),
-                        lo,
-                        hi,
-                    );
+                    let payload = self.payloads.column_slice(c, meta.start..meta.live_end());
+                    let (m, s) = match encoded {
+                        Some(f) => f.sum_payload_range(payload, lo, hi),
+                        None => kernels::sum_payload_range(live, payload, lo, hi),
+                    };
                     sum += s;
                     // The fused pass already counted the matches; take the
                     // count once (every column sees the same key lane).
                     if ci == 0 {
                         qualifying += m as usize;
                     }
+                }
+                if encoded.is_some() {
+                    ScanPath::Encoded
+                } else {
+                    ScanPath::Plain
                 }
             }
         });
@@ -271,7 +333,7 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         lo: K,
         hi: K,
         cost: &mut OpCost,
-        mut visit: impl FnMut(RangePart<'_, K>),
+        mut visit: impl FnMut(RangePart<'_, K>) -> ScanPath,
     ) {
         let (first, last) = self.range_partition_span(lo, hi, cost);
         let mut first_touch = true;
@@ -292,11 +354,14 @@ impl<K: ColumnValue> PartitionedChunk<K> {
                 }
                 cost.values_scanned += part.len as u64;
             } else {
-                visit(RangePart::Filtered(
-                    part,
-                    &self.data[part.start..part.live_end()],
-                ));
-                self.charge_partition_scan(p, cost);
+                match visit(RangePart::Filtered {
+                    meta: part,
+                    live: &self.data[part.start..part.live_end()],
+                    frag: self.frags[p].as_ref(),
+                }) {
+                    ScanPath::Plain => self.charge_partition_scan(p, cost),
+                    ScanPath::Encoded => self.charge_compressed_scan(p, cost),
+                }
             }
             first_touch = false;
         }
@@ -333,6 +398,20 @@ impl<K: ColumnValue> PartitionedChunk<K> {
             // random read the model predicts for the ideal case.
             cost.random_reads += 1;
         }
+        cost.values_scanned += self.parts[p].len as u64;
+    }
+
+    /// Charge the cost of scanning partition `p`'s *encoded* fragment: one
+    /// random read to reach it, then only as many sequential blocks as the
+    /// encoded bytes actually span — the §6.2 "less overall data movement"
+    /// reflected in the access pattern.
+    pub(crate) fn charge_compressed_scan(&self, p: usize, cost: &mut OpCost) {
+        let bytes = self.frags[p]
+            .as_ref()
+            .map_or(0, crate::kernels::Fragment::encoded_bytes);
+        let blocks = bytes.div_ceil(self.layout.block_bytes).max(1) as u64;
+        cost.random_reads += 1;
+        cost.seq_reads += blocks - 1;
         cost.values_scanned += self.parts[p].len as u64;
     }
 }

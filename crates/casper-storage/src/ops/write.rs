@@ -42,6 +42,9 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         }
         let mut cost = OpCost::default();
         let m = self.locate(v, &mut cost);
+        // Decode-on-write: a compressed insert target reverts to plain
+        // slots before any slot moves.
+        self.decompress_partition(m);
         let slot = self.acquire_slot(m, &mut cost)?;
         self.data[slot] = v;
         if !self.payloads.is_empty() {
@@ -134,6 +137,10 @@ impl<K: ColumnValue> PartitionedChunk<K> {
     pub fn prefetch_ghosts(&mut self, v: K, count: usize) -> OpCost {
         let mut cost = OpCost::default();
         let m = self.locate(v, &mut cost);
+        if self.parts[m].ghosts < count {
+            // Left-donor rotations below move `m`'s own live values.
+            self.decompress_partition(m);
+        }
         while self.parts[m].ghosts < count {
             match self.nearest_donor(m) {
                 Some(DonorSide::Right(j)) if j != m => {
@@ -175,6 +182,10 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         let part = self.parts[m];
         let mut removed = 0usize;
         if part.len > 0 && part.covers(v) {
+            // Decode-on-write before the swap-fill can move slots. (A miss
+            // inside the covering range also decompresses — the partition
+            // is evidently a write target.)
+            self.decompress_partition(m);
             // Swap-fill matches out of the live region (Fig. 4b: deleted
             // slots move to the end of the partition).
             let mut pos = part.start;
@@ -248,6 +259,9 @@ impl<K: ColumnValue> PartitionedChunk<K> {
             });
         };
         let t = self.locate(new, &mut cost);
+        // Decode-on-write: both ends of the ripple revert to plain slots.
+        self.decompress_partition(m);
+        self.decompress_partition(t);
         if t == m {
             // Same partition: overwrite in place (unordered internally).
             self.data[pos] = new;

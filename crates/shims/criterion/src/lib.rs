@@ -54,6 +54,11 @@ pub struct Criterion {
     sample_count: u32,
     min_batch: Duration,
     warm_up: Duration,
+    /// Smoke mode (real criterion's `--test` flag): run every bench body
+    /// exactly once, untimed — CI uses this to exercise bench-only code
+    /// paths (e.g. the codec kernels) on every push without paying for a
+    /// measurement run.
+    smoke: bool,
 }
 
 impl Default for Criterion {
@@ -62,6 +67,7 @@ impl Default for Criterion {
             sample_count: 12,
             min_batch: Duration::from_millis(10),
             warm_up: Duration::from_millis(50),
+            smoke: std::env::args().any(|a| a == "--test"),
         }
     }
 }
@@ -121,9 +127,14 @@ impl BenchmarkGroup<'_> {
                 min_batch: self.criterion.min_batch,
                 warm_up: self.criterion.warm_up,
             },
+            smoke: self.criterion.smoke,
             result: None,
         };
         f(&mut bencher);
+        if self.criterion.smoke {
+            println!("{}/{}: ok (smoke)", self.name, id.0);
+            return;
+        }
         let Some(r) = bencher.result else {
             println!("{}/{}: no measurement taken", self.name, id.0);
             return;
@@ -169,6 +180,7 @@ struct Measurement {
 /// Timing context passed to each bench closure.
 pub struct Bencher {
     config: BenchConfig,
+    smoke: bool,
     result: Option<Measurement>,
 }
 
@@ -176,6 +188,11 @@ impl Bencher {
     /// Measure a routine. The routine's return value is black-boxed so the
     /// optimizer cannot elide the measured work.
     pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.smoke {
+            // `--test` mode: exercise the body once, skip all timing.
+            std::hint::black_box(routine());
+            return;
+        }
         // Warm up and estimate per-iteration cost.
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
@@ -257,6 +274,7 @@ mod tests {
             sample_count: 3,
             min_batch: Duration::from_micros(200),
             warm_up: Duration::from_micros(200),
+            smoke: false,
         };
         let mut group = c.benchmark_group("t");
         group.throughput(Throughput::Elements(1));
@@ -269,6 +287,26 @@ mod tests {
         });
         group.finish();
         assert!(acc > 0);
+    }
+
+    #[test]
+    fn smoke_mode_runs_body_exactly_once() {
+        let mut c = Criterion {
+            sample_count: 3,
+            min_batch: Duration::from_micros(200),
+            warm_up: Duration::from_micros(200),
+            smoke: true,
+        };
+        let mut group = c.benchmark_group("t");
+        let mut runs = 0u64;
+        group.bench_function("once", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 1);
     }
 
     #[test]

@@ -135,6 +135,7 @@ fn sla_constrained_optimization_bounds_partitions() {
         ghost_budget_frac: 0.01,
         fairness_cap: false,
         threads: 2,
+        ..OptimizeOptions::default()
     };
     let report = optimize_table(&mut table, &sample, &opts);
     for c in &report.chunks {
