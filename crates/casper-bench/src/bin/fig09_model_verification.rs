@@ -11,7 +11,10 @@
 //! absolute numbers.
 
 use casper_bench::{Args, TableReport};
-use casper_core::cost::{predicted_insert_nanos, predicted_point_query_nanos};
+use casper_core::cost::{
+    predicted_insert_nanos, predicted_point_access, predicted_point_query_nanos,
+    predicted_range_access, RangePartKind,
+};
 use casper_engine::calibrate::{calibrate, CalibrationConfig};
 use casper_storage::ghost::GhostPlan;
 use casper_storage::kernels::{self, Fragment};
@@ -235,6 +238,109 @@ fn panel_c(values: usize) {
     report.write_csv("fig09c_compressed_scans");
 }
 
+fn panel_d(values: usize) {
+    // Kernel-aware access-model verification: the zone-map fast paths
+    // (pruned misses, blind first/last partitions) are *asserted equal* to
+    // the measured OpCost block counts — not just "ratio near 1". Keys are
+    // even so every partition's zone has in-between gap values to probe.
+    let layout = BlockLayout::new::<u64>(4096);
+    let vpb = layout.values_per_block();
+    let k = 16usize;
+    let blocks_per_part = values.div_ceil(vpb * k).max(1);
+    let spec = PartitionSpec::from_block_sizes(&vec![blocks_per_part; k]);
+    let total_values = spec.n_blocks() * vpb;
+    let chunk = PartitionedChunk::build(
+        (0..total_values as u64).map(|v| v * 2).collect(),
+        &spec,
+        layout,
+        &GhostPlan::none(k),
+        ChunkConfig::default(),
+    )
+    .expect("build");
+    let parts = chunk.partitions().to_vec();
+    let zones = chunk.zones().to_vec();
+    let live_blocks =
+        |p: usize| -> u64 { ((parts[p].live_end() - 1) / vpb - parts[p].start / vpb + 1) as u64 };
+
+    let mut report = TableReport::new(
+        format!("Fig. 9d — kernel-aware access model, exact equality ({total_values} values, {k} partitions)"),
+        &["scan", "measured RR/SR", "model RR/SR", "exact"],
+    );
+    let mut check =
+        |label: String, cost: casper_storage::OpCost, pred: casper_core::cost::ScanAccess| {
+            let exact = pred.matches(&cost);
+            report.row(&[
+                label.clone(),
+                format!("{}/{}", cost.random_reads, cost.seq_reads),
+                format!("{}/{}", pred.random_reads, pred.seq_reads),
+                if exact { "yes".into() } else { "NO".into() },
+            ]);
+            assert!(exact, "{label}: model diverged from measurement");
+        };
+
+    // Pruned point miss: the odd key just past partition 3's zone routes
+    // into partition 4's covering range but misses its (all-even) zone.
+    let miss = zones[3].max + 1;
+    let r = chunk.point_query(miss);
+    assert!(r.positions.is_empty());
+    check(
+        "point, zone-pruned miss".into(),
+        r.cost,
+        predicted_point_access(false, live_blocks(4)),
+    );
+    // In-zone point hit pays the full partition scan.
+    let r = chunk.point_query(zones[5].min);
+    check(
+        "point, in-zone hit".into(),
+        r.cost,
+        predicted_point_access(true, live_blocks(5)),
+    );
+    // Full-cover range: every partition blind, first/last included.
+    let (_, cost) = chunk.range_count(0, u64::MAX);
+    let all_blind: Vec<RangePartKind> = (0..k)
+        .map(|p| RangePartKind::Blind {
+            blocks: live_blocks(p),
+        })
+        .collect();
+    check(
+        "range, all partitions blind".into(),
+        cost,
+        predicted_range_access(&all_blind),
+    );
+    // Clipped range: filtered first and last, blind middles.
+    let (_, cost) = chunk.range_count(zones[2].min + 2, zones[6].min + 2);
+    let clipped: Vec<RangePartKind> = (2..=6)
+        .map(|p| {
+            if p == 2 || p == 6 {
+                RangePartKind::Filtered {
+                    blocks: live_blocks(p),
+                }
+            } else {
+                RangePartKind::Blind {
+                    blocks: live_blocks(p),
+                }
+            }
+        })
+        .collect();
+    check(
+        "range, clipped first/last".into(),
+        cost,
+        predicted_range_access(&clipped),
+    );
+    // Gap range: between partition 4's zone and partition 5's — inside the
+    // covering ranges but outside every zone, so the whole scan prunes to
+    // zero blocks.
+    let (n, cost) = chunk.range_count(zones[4].max + 1, zones[4].max + 2);
+    assert_eq!(n, 0);
+    check(
+        "range, fully zone-pruned".into(),
+        cost,
+        predicted_range_access(&[RangePartKind::Pruned]),
+    );
+    report.print();
+    report.write_csv("fig09d_kernel_access");
+}
+
 fn main() {
     let args = Args::parse();
     args.usage(
@@ -264,10 +370,13 @@ fn main() {
     );
     panel_b();
     panel_c(args.usize_or("scan_values", 1 << 20));
+    panel_d(args.usize_or("scan_values", 1 << 20));
     println!(
         "\nShape check: panel (a) latency decreases linearly with the partition id\n\
          (fewer trailing partitions), panel (b) increases linearly with the\n\
          partition size; ratios should be O(1) across two decades; panel (c)\n\
-         compressed kernels should beat decode-then-scan by ≥ 1.5x."
+         compressed kernels should beat decode-then-scan by ≥ 1.5x; panel (d)\n\
+         asserts the kernel-aware access model EQUALS the measured block\n\
+         counts on pruned/blind/filtered scans."
     );
 }

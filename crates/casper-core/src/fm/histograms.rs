@@ -60,6 +60,32 @@ impl FrequencyModel {
         self.pq.len()
     }
 
+    /// Rebuild a model from its ten histograms in [`FrequencyModel::histograms`]
+    /// order (`pq, rs, sc, re, de, in, udf, utf, udb, utb`) — the
+    /// persistence round-trip used by snapshot recovery. Validation runs on
+    /// the result, so damaged state surfaces as `Err` instead of a model
+    /// that later derails the solver.
+    pub fn from_histograms(hists: [Vec<f64>; 10]) -> Result<Self, String> {
+        let [pq, rs, sc, re, de, ins, udf, utf, udb, utb] = hists;
+        if pq.is_empty() {
+            return Err("a frequency model needs at least one block".into());
+        }
+        let fm = Self {
+            pq,
+            rs,
+            sc,
+            re,
+            de,
+            ins,
+            udf,
+            utf,
+            udb,
+            utb,
+        };
+        fm.validate()?;
+        Ok(fm)
+    }
+
     /// Iterate over the ten histograms (name, data).
     pub fn histograms(&self) -> [(&'static str, &[f64]); 10] {
         [
@@ -232,6 +258,51 @@ mod tests {
         let c = a.coarsen(2);
         assert_eq!(c.n_blocks(), 2);
         assert_eq!(c.pq, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn from_histograms_round_trips_and_validates() {
+        let mut a = FrequencyModel::new(3);
+        a.pq = vec![1.0, 2.0, 3.0];
+        a.udf = vec![1.0, 0.0, 0.0];
+        a.utf = vec![0.0, 0.0, 1.0];
+        let hists: [Vec<f64>; 10] = [
+            a.pq.clone(),
+            a.rs.clone(),
+            a.sc.clone(),
+            a.re.clone(),
+            a.de.clone(),
+            a.ins.clone(),
+            a.udf.clone(),
+            a.utf.clone(),
+            a.udb.clone(),
+            a.utb.clone(),
+        ];
+        let b = FrequencyModel::from_histograms(hists).unwrap();
+        assert_eq!(a, b);
+        // Corrupt state (unbalanced updates, wrong lengths) is rejected.
+        let mut bad: [Vec<f64>; 10] = Default::default();
+        bad[0] = vec![1.0, 2.0];
+        bad[6] = vec![1.0, 0.0]; // udf without matching utf
+        for h in bad.iter_mut() {
+            if h.is_empty() {
+                *h = vec![0.0, 0.0];
+            }
+        }
+        assert!(FrequencyModel::from_histograms(bad).is_err());
+        let short: [Vec<f64>; 10] = [
+            vec![1.0, 2.0],
+            vec![0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+        ];
+        assert!(FrequencyModel::from_histograms(short).is_err());
     }
 
     #[test]

@@ -111,6 +111,7 @@ pub fn solve(terms: &BlockTerms, constraints: &SolverConstraints) -> Solution {
 
 /// As [`solve`], reusing precomputed prefix sums.
 pub fn solve_with_costs(costs: &SegmentCosts, constraints: &SolverConstraints) -> Solution {
+    super::telemetry::note_solve();
     let n = costs.n_blocks();
     assert!(n > 0, "no blocks to partition");
     assert!(

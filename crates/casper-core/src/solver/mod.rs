@@ -21,6 +21,32 @@ pub mod dp;
 pub mod exhaustive;
 pub mod sla;
 
+/// Per-thread solver-invocation instrumentation.
+///
+/// Every [`dp::solve`] call — the production solver behind
+/// [`LayoutOptimizer::optimize`] — bumps a thread-local counter, mirroring
+/// the codec decode/encode counters in `casper_storage::compress`. The
+/// durability tests use it to *prove* that restoring a snapshot performs
+/// zero layout solves: the optimized partitioning comes back from disk, not
+/// from re-running the optimizer.
+pub mod telemetry {
+    use std::cell::Cell;
+
+    thread_local! {
+        static SOLVES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Record one solver invocation (called by [`super::dp::solve`]).
+    pub(crate) fn note_solve() {
+        SOLVES.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Number of layout solves performed by the current thread.
+    pub fn solve_count() -> u64 {
+        SOLVES.with(Cell::get)
+    }
+}
+
 use crate::cost::{BlockTerms, CostConstants};
 use crate::fm::FrequencyModel;
 use crate::ghost_alloc::allocate_ghosts;

@@ -98,6 +98,38 @@ impl ChunkedColumn {
         }
     }
 
+    /// Reassemble a column from restored chunk stores (snapshot recovery).
+    /// The chunks arrive exactly as they were persisted — already
+    /// partitioned, compressed and ghost-buffered — so no re-sort,
+    /// re-partition or re-encode happens here.
+    ///
+    /// # Panics
+    /// Panics when `chunks` is empty or `fences` disagrees with the chunk
+    /// count (persist callers validate first and surface typed errors).
+    pub fn from_restored(
+        chunks: Vec<ChunkStore>,
+        fences: Option<Vec<u64>>,
+        config: EngineConfig,
+        payload_width: usize,
+    ) -> Self {
+        assert!(!chunks.is_empty(), "a column needs at least one chunk");
+        if let Some(f) = &fences {
+            assert_eq!(f.len(), chunks.len(), "one fence per chunk");
+        }
+        Self {
+            chunks,
+            fences,
+            config,
+            payload_width,
+        }
+    }
+
+    /// Inclusive per-chunk upper key fences (`None` for `NoOrder`, which
+    /// broadcasts). Exposed for persistence.
+    pub fn fences(&self) -> Option<&[u64]> {
+        self.fences.as_deref()
+    }
+
     /// Total live rows.
     pub fn len(&self) -> usize {
         self.chunks.iter().map(ChunkStore::len).sum()

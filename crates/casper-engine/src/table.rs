@@ -79,6 +79,17 @@ impl Table {
         }
     }
 
+    /// Reassemble a table around an already-restored column (snapshot
+    /// recovery; see `ChunkedColumn::from_restored`).
+    pub fn from_restored(schema: HapSchema, column: ChunkedColumn) -> Self {
+        assert_eq!(
+            column.payload_width(),
+            schema.payload_cols,
+            "restored column arity must match the schema"
+        );
+        Self { column, schema }
+    }
+
     /// Row count.
     pub fn len(&self) -> usize {
         self.column.len()

@@ -104,6 +104,31 @@ impl Transaction {
         self.writes.len()
     }
 
+    /// The buffered writes as HAP write queries, in buffer order — what a
+    /// write-ahead log must record before the commit applies them.
+    ///
+    /// Invariant (durability depends on it): Q4/Q5/Q6 produced here map
+    /// 1:1 onto the `q4_insert`/`q5_delete`/`q6_update` calls
+    /// [`TxnManager::commit`] makes for the same writes, and
+    /// `Table::execute` routes those queries to those same calls — so a
+    /// log replayed through `execute` reproduces exactly the applied
+    /// state. Any new `TxnWrite` kind must extend this mapping and
+    /// `commit` together.
+    pub fn as_queries(&self) -> Vec<casper_workload::HapQuery> {
+        use casper_workload::HapQuery;
+        self.writes
+            .iter()
+            .map(|w| match w {
+                TxnWrite::Insert(k, payload) => HapQuery::Q4 {
+                    key: *k,
+                    payload: payload.clone(),
+                },
+                TxnWrite::Delete(k) => HapQuery::Q5 { v: *k },
+                TxnWrite::Update(a, b) => HapQuery::Q6 { v: *a, vnew: *b },
+            })
+            .collect()
+    }
+
     /// Read-your-writes adjustment for a point count of `key`.
     fn own_effect_point(&self, key: u64) -> i64 {
         let mut d = 0i64;

@@ -1,0 +1,427 @@
+//! [`DurableTable`]: a [`Table`] whose layout and writes survive restarts.
+//!
+//! The on-disk directory holds exactly one *current generation*:
+//!
+//! ```text
+//! CURRENT            – ASCII generation number, replaced atomically
+//! snap-<gen>.casper  – layout-preserving snapshot (see crate::snapshot)
+//! wal-<gen>.log      – append-only redo log of writes since the snapshot
+//! ```
+//!
+//! Writes flow WAL-first in the group-commit sense: an executed write is
+//! staged into the open WAL batch and becomes durable (write + fsync) when
+//! the batch seals — after every write with `group_commit == 1`, or every
+//! N writes, or explicitly via [`DurableTable::flush`]. Transaction commits
+//! seal their whole write set as one batch. Recovery loads the snapshot
+//! (bit-exact layout, zero re-solves, zero re-encodes), truncates the WAL's
+//! torn tail, and replays the committed batches.
+//!
+//! A **checkpoint** folds the WAL into a fresh snapshot under the next
+//! generation number: snapshot written to a temp file and atomically
+//! renamed, a fresh WAL created, `CURRENT` swung over (also via atomic
+//! rename), and the old generation removed. The optimizer entry point
+//! [`DurableTable::optimize`] checkpoints after every re-layout, so
+//! adaptive re-partitioning is itself durable — a restart resumes with the
+//! optimized layout instead of re-paying the solve.
+
+use crate::snapshot::{decode_snapshot, encode_snapshot};
+use crate::wal::{replay, Wal, WalOp};
+use crate::PersistError;
+use casper_core::FrequencyModel;
+use casper_engine::adapt::{AdaptDecision, AdaptiveController};
+use casper_engine::optimize::{capture_per_chunk, optimize_table, OptimizeOptions, OptimizeReport};
+use casper_engine::{EngineConfig, QueryOutput, Table, Transaction, TxnError, TxnManager};
+use casper_storage::StorageError;
+use casper_workload::{HapQuery, HapSchema};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Tunables of the durability layer.
+#[derive(Debug, Clone, Copy)]
+pub struct DurableOptions {
+    /// Writes staged before the WAL batch auto-seals (1 = fsync every
+    /// write; larger values trade a bounded unacknowledged window for
+    /// amortized fsyncs — classic group commit).
+    pub group_commit: usize,
+    /// Auto-checkpoint once the sealed WAL grows past this many bytes
+    /// (0 disables; checkpoints still happen on [`DurableTable::optimize`]
+    /// and explicit [`DurableTable::checkpoint`] calls).
+    pub wal_checkpoint_bytes: u64,
+}
+
+impl Default for DurableOptions {
+    fn default() -> Self {
+        Self {
+            group_commit: 1,
+            wal_checkpoint_bytes: 0,
+        }
+    }
+}
+
+/// Observable durability state (tests, monitoring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableStats {
+    /// Current checkpoint generation.
+    pub generation: u64,
+    /// Highest LSN folded into the current snapshot.
+    pub durable_lsn: u64,
+    /// LSN the next staged record will receive.
+    pub next_lsn: u64,
+    /// Sealed WAL bytes on disk.
+    pub wal_bytes: u64,
+    /// Records staged but not yet sealed (not yet durable).
+    pub staged_records: u64,
+}
+
+/// A table wired to a snapshot + WAL persistence directory.
+#[derive(Debug)]
+pub struct DurableTable {
+    table: Table,
+    dir: PathBuf,
+    wal: Wal,
+    generation: u64,
+    durable_lsn: u64,
+    fms: Vec<FrequencyModel>,
+    opts: DurableOptions,
+}
+
+fn corrupt(reason: impl Into<String>) -> PersistError {
+    PersistError::Storage(StorageError::Corrupt {
+        reason: reason.into(),
+    })
+}
+
+fn snap_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("snap-{generation:06}.casper"))
+}
+
+fn wal_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("wal-{generation:06}.log"))
+}
+
+fn current_path(dir: &Path) -> PathBuf {
+    dir.join("CURRENT")
+}
+
+/// Write `bytes` to `path` via a temp file + atomic rename, fsyncing the
+/// file (and, best effort, the directory) so the rename is the commit
+/// point.
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+impl DurableTable {
+    /// Create a fresh durable table at `dir` (which must not already hold
+    /// one): writes the generation-1 snapshot, an empty WAL and `CURRENT`.
+    pub fn create(
+        dir: &Path,
+        schema: HapSchema,
+        keys: Vec<u64>,
+        payload_cols: Vec<Vec<u32>>,
+        config: EngineConfig,
+        opts: DurableOptions,
+    ) -> Result<Self, PersistError> {
+        Self::create_from_table(dir, Table::load(schema, keys, payload_cols, config), opts)
+    }
+
+    /// As [`DurableTable::create`], adopting an already-built table (e.g.
+    /// one that was optimized before first persisting it).
+    pub fn create_from_table(
+        dir: &Path,
+        table: Table,
+        opts: DurableOptions,
+    ) -> Result<Self, PersistError> {
+        fs::create_dir_all(dir)?;
+        if current_path(dir).exists() {
+            return Err(corrupt(format!(
+                "directory {} already holds a durable table",
+                dir.display()
+            )));
+        }
+        let generation = 1u64;
+        write_atomic(
+            &snap_path(dir, generation),
+            &encode_snapshot(&table, &[], generation, 0),
+        )?;
+        // A crash of a previous create between WAL creation and the
+        // CURRENT write leaves a stale WAL behind (CURRENT absent, so the
+        // directory never became a live table); clear it for the retry.
+        let wp = wal_path(dir, generation);
+        if wp.exists() {
+            fs::remove_file(&wp)?;
+        }
+        let wal = Wal::create(&wp, 1)?;
+        write_atomic(&current_path(dir), format!("{generation}\n").as_bytes())?;
+        Ok(Self {
+            table,
+            dir: dir.to_path_buf(),
+            wal,
+            generation,
+            durable_lsn: 0,
+            fms: Vec::new(),
+            opts,
+        })
+    }
+
+    /// Reopen a durable table: load the current snapshot (restoring the
+    /// exact persisted layout — no solver run, no codec re-encode), recover
+    /// the WAL (torn-tail truncation) and replay its committed batches.
+    pub fn open(dir: &Path, opts: DurableOptions) -> Result<Self, PersistError> {
+        let current = fs::read_to_string(current_path(dir))?;
+        let generation: u64 = current
+            .trim()
+            .parse()
+            .map_err(|_| corrupt(format!("CURRENT holds {current:?}, not a generation")))?;
+        let snapshot_bytes = fs::read(snap_path(dir, generation))?;
+        let restored = decode_snapshot(&snapshot_bytes)?;
+        if restored.generation != generation {
+            return Err(corrupt(format!(
+                "snapshot says generation {} but CURRENT says {generation}",
+                restored.generation
+            )));
+        }
+        let mut table = restored.table;
+        let wp = wal_path(dir, generation);
+        if !wp.exists() {
+            // A crash can theoretically land between snapshot rename and
+            // WAL creation of a checkpoint; an absent WAL simply means no
+            // writes since the snapshot.
+            Wal::create(&wp, restored.durable_lsn + 1)?;
+        }
+        let (mut wal, scan) = Wal::recover(&wp)?;
+        replay(&scan, &mut table, restored.durable_lsn)?;
+        // An empty post-checkpoint WAL starts numbering after the LSNs the
+        // snapshot already folded in; otherwise fresh records would replay
+        // as already-applied.
+        wal.ensure_lsn_at_least(restored.durable_lsn + 1);
+        let this = Self {
+            table,
+            dir: dir.to_path_buf(),
+            wal,
+            generation,
+            durable_lsn: restored.durable_lsn,
+            fms: restored.fms,
+            opts,
+        };
+        this.remove_stale_generations();
+        Ok(this)
+    }
+
+    /// The wrapped table (read-only; mutations must flow through
+    /// [`DurableTable::execute`] so they are logged).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Live row count.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Captured frequency-model state from the last durable optimize pass
+    /// (restored from the snapshot on open).
+    pub fn frequency_models(&self) -> &[FrequencyModel] {
+        &self.fms
+    }
+
+    /// Current durability counters.
+    pub fn stats(&self) -> DurableStats {
+        DurableStats {
+            generation: self.generation,
+            durable_lsn: self.durable_lsn,
+            next_lsn: self.wal.next_lsn(),
+            wal_bytes: self.wal.durable_bytes(),
+            staged_records: self.wal.staged_records(),
+        }
+    }
+
+    /// Execute one query. Writes are staged into the WAL's open batch
+    /// after they apply; the batch seals (one write + fsync) every
+    /// `group_commit` records. Reads pass straight through.
+    pub fn execute(&mut self, q: &HapQuery) -> Result<QueryOutput, PersistError> {
+        let logged = WalOp::from_query(q);
+        let out = self.table.execute(q)?;
+        if let Some(op) = logged {
+            self.wal.stage(&op);
+            if self.wal.staged_records() >= self.opts.group_commit as u64 {
+                self.seal_and_maybe_checkpoint()?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Execute a batch under one group commit: all writes seal (and fsync)
+    /// together.
+    pub fn execute_all(&mut self, queries: &[HapQuery]) -> Result<Vec<QueryOutput>, PersistError> {
+        let mut outs = Vec::with_capacity(queries.len());
+        for q in queries {
+            let logged = WalOp::from_query(q);
+            let out = self.table.execute(q)?;
+            if let Some(op) = logged {
+                self.wal.stage(&op);
+            }
+            outs.push(out);
+        }
+        self.seal_and_maybe_checkpoint()?;
+        Ok(outs)
+    }
+
+    /// Commit a transaction durably: validate + apply through the
+    /// [`TxnManager`], then seal the transaction's write set as one WAL
+    /// batch. A validation conflict stages nothing.
+    pub fn commit_txn(&mut self, mgr: &TxnManager, txn: Transaction) -> Result<u64, PersistError> {
+        let queries = txn.as_queries();
+        let ts = match mgr.commit(txn, &mut self.table) {
+            Ok(ts) => ts,
+            Err(e @ TxnError::Conflict { .. }) => return Err(e.into()),
+            Err(e) => {
+                // A storage failure mid-apply leaves the manager's commit
+                // partially applied — a state the WAL cannot describe op
+                // by op. Checkpointing snapshots the table exactly as it
+                // is, so recovery cannot diverge from what readers saw.
+                // If even that fails, report both faults: the caller must
+                // know durable state now lags the in-memory table.
+                if let Err(cp) = self.checkpoint() {
+                    return Err(corrupt(format!(
+                        "transaction applied partially ({e}) and the recovery \
+                         checkpoint failed ({cp}); durable state lags the \
+                         in-memory table until a checkpoint succeeds"
+                    )));
+                }
+                return Err(e.into());
+            }
+        };
+        for q in &queries {
+            if let Some(op) = WalOp::from_query(q) {
+                self.wal.stage(&op);
+            }
+        }
+        self.seal_and_maybe_checkpoint()?;
+        Ok(ts)
+    }
+
+    /// Seal the open WAL batch, making every staged write durable now.
+    pub fn flush(&mut self) -> Result<(), PersistError> {
+        self.seal_and_maybe_checkpoint()
+    }
+
+    fn seal_and_maybe_checkpoint(&mut self) -> Result<(), PersistError> {
+        self.wal.seal()?;
+        if self.opts.wal_checkpoint_bytes > 0
+            && self.wal.durable_bytes() >= self.opts.wal_checkpoint_bytes
+        {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Fold the WAL into a fresh snapshot under the next generation:
+    /// temp-file + atomic rename for the snapshot, a fresh WAL, an atomic
+    /// `CURRENT` swing, then removal of the old generation. Returns the new
+    /// generation number.
+    pub fn checkpoint(&mut self) -> Result<u64, PersistError> {
+        self.wal.seal()?;
+        let old_generation = self.generation;
+        let new_generation = old_generation + 1;
+        let durable_lsn = self.wal.next_lsn() - 1;
+        write_atomic(
+            &snap_path(&self.dir, new_generation),
+            &encode_snapshot(&self.table, &self.fms, new_generation, durable_lsn),
+        )?;
+        // A previous checkpoint attempt may have died between creating
+        // this WAL and swinging CURRENT; that file is garbage (CURRENT
+        // still names the old generation), so clear it for the retry.
+        let new_wal_path = wal_path(&self.dir, new_generation);
+        if new_wal_path.exists() {
+            fs::remove_file(&new_wal_path)?;
+        }
+        let wal = Wal::create(&new_wal_path, durable_lsn + 1)?;
+        write_atomic(
+            &current_path(&self.dir),
+            format!("{new_generation}\n").as_bytes(),
+        )?;
+        self.wal = wal;
+        self.generation = new_generation;
+        self.durable_lsn = durable_lsn;
+        self.remove_stale_generations();
+        Ok(new_generation)
+    }
+
+    /// Optimize the layout for a workload sample (Fig. 10 A→B→C), capture
+    /// the per-chunk frequency models, and checkpoint — the re-layout and
+    /// the FM state that justified it become durable together.
+    pub fn optimize(
+        &mut self,
+        sample: &[HapQuery],
+        opts: &OptimizeOptions,
+    ) -> Result<OptimizeReport, PersistError> {
+        self.fms = capture_per_chunk(&self.table, sample);
+        let report = optimize_table(&mut self.table, sample, opts);
+        self.checkpoint()?;
+        Ok(report)
+    }
+
+    /// Run one adaptive-controller check; when it re-partitions, checkpoint
+    /// so the new layout is durable.
+    pub fn maybe_reoptimize(
+        &mut self,
+        ctl: &mut AdaptiveController,
+    ) -> Result<AdaptDecision, PersistError> {
+        let decision = ctl.maybe_reoptimize(&mut self.table);
+        if matches!(decision, AdaptDecision::Reoptimized { .. }) {
+            self.checkpoint()?;
+        }
+        Ok(decision)
+    }
+
+    /// Best-effort removal of files from other generations (leftovers of a
+    /// checkpoint interrupted between the `CURRENT` swing and the cleanup).
+    fn remove_stale_generations(&self) {
+        let keep = [
+            snap_path(&self.dir, self.generation),
+            wal_path(&self.dir, self.generation),
+            current_path(&self.dir),
+        ];
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let ours = name.starts_with("snap-") || name.starts_with("wal-");
+            if ours && !keep.contains(&p) {
+                let _ = fs::remove_file(&p);
+            }
+        }
+    }
+}
+
+impl Drop for DurableTable {
+    /// Best-effort seal of the open WAL batch on a *graceful* drop, so
+    /// writes `execute` acknowledged under `group_commit > 1` are not
+    /// silently discarded by a clean shutdown. (A crash still loses the
+    /// unsealed window — that is the documented group-commit trade; errors
+    /// here are ignored because panicking in Drop aborts.)
+    fn drop(&mut self) {
+        let _ = self.wal.seal();
+    }
+}

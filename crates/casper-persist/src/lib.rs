@@ -1,0 +1,91 @@
+//! # casper-persist
+//!
+//! Durable storage for the Casper column-layout engine: everything the
+//! optimizer worked out — workload-optimal partitioning, per-partition
+//! compression modes, ghost-slot placement, frequency-model state — is
+//! expensive to recompute, so this crate makes it survive restarts instead
+//! (§6.4 positions Casper as a storage engine "easily integrated into
+//! existing systems"; such systems treat their physical design as durable
+//! state).
+//!
+//! Three pieces:
+//!
+//! * [`snapshot`] — a versioned, checksummed binary format serializing a
+//!   whole table *bit-exactly*: chunk slots, partition boundaries, zone
+//!   maps, encoded fragments, ghost accounting and captured FM state.
+//!   Restore performs **zero layout solves and zero codec re-encodes**
+//!   (asserted via the solver/codec telemetry counters).
+//! * [`wal`] — an append-only redo log of Q4/Q5/Q6 writes with group-commit
+//!   batching, per-record CRC32, and torn-tail truncation on replay.
+//! * [`durable`] — [`DurableTable`], the engine wrapper wiring WAL staging
+//!   into write execution and transaction commit, plus generation-numbered
+//!   checkpoints (atomic rename) that fold the WAL into a fresh snapshot —
+//!   triggered automatically after every optimizer re-layout.
+//!
+//! Formats are hand-rolled in-repo (CRC32 included) following the
+//! workspace's offline `crates/shims/` discipline; the byte layouts are
+//! documented in `docs/persist-format.md`.
+
+pub mod codec;
+pub mod crc;
+pub mod durable;
+pub mod snapshot;
+pub mod wal;
+
+pub use durable::{DurableOptions, DurableStats, DurableTable};
+pub use snapshot::{decode_snapshot, encode_snapshot, RestoredSnapshot};
+pub use wal::{Wal, WalBatch, WalOp, WalScan};
+
+use casper_engine::TxnError;
+use casper_storage::StorageError;
+use std::fmt;
+
+/// Errors surfaced by the persistence layer.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure (open, write, fsync, rename…).
+    Io(std::io::Error),
+    /// Corrupt or inconsistent persisted state, or a storage-layer failure
+    /// while replaying.
+    Storage(StorageError),
+    /// A transaction failed validation during a durable commit.
+    Txn(TxnError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Storage(e) => write!(f, "{e}"),
+            PersistError::Txn(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Storage(e) => Some(e),
+            PersistError::Txn(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<StorageError> for PersistError {
+    fn from(e: StorageError) -> Self {
+        PersistError::Storage(e)
+    }
+}
+
+impl From<TxnError> for PersistError {
+    fn from(e: TxnError) -> Self {
+        PersistError::Txn(e)
+    }
+}

@@ -474,6 +474,126 @@ impl<K: ColumnValue> PartitionedChunk<K> {
     }
 
     // ------------------------------------------------------------------
+    // Persistence: raw physical state capture/restore
+    // ------------------------------------------------------------------
+
+    /// Raw physical slot array, stale ghost/tail contents included — the
+    /// persistence encoder streams this directly so a snapshot needs no
+    /// intermediate deep copy of the chunk.
+    #[inline]
+    pub fn raw_slots(&self) -> &[K] {
+        &self.data
+    }
+
+    /// The chunk configuration (persistence).
+    #[inline]
+    pub fn chunk_config(&self) -> ChunkConfig {
+        self.config
+    }
+
+    /// Capture the chunk's complete physical state for persistence: slots,
+    /// partition metadata, zone maps, encoded fragments, payload columns
+    /// and configuration. The capture is bit-exact — restoring it with
+    /// [`PartitionedChunk::from_state`] reproduces the same layout without
+    /// re-sorting, re-partitioning, or re-encoding anything.
+    pub fn to_state(&self) -> ChunkState<K> {
+        ChunkState {
+            data: self.data.clone(),
+            parts: self.parts.clone(),
+            zones: self.zones.clone(),
+            frags: self.frags.clone(),
+            payload_cols: self.payloads.columns().to_vec(),
+            layout: self.layout,
+            config: self.config,
+            live: self.live,
+        }
+    }
+
+    /// Restore a chunk from a captured [`ChunkState`].
+    ///
+    /// Cheap structural length/consistency checks run unconditionally and
+    /// surface [`StorageError::Corrupt`]; debug builds additionally run the
+    /// full O(M) [`PartitionedChunk::validate_invariants`] sweep over the
+    /// recovered chunk, also surfaced as `Corrupt` rather than a panic.
+    /// The shallow partition index is the only piece rebuilt (it is derived
+    /// metadata over the partition bounds).
+    pub fn from_state(state: ChunkState<K>) -> Result<Self, StorageError> {
+        let corrupt = |reason: String| StorageError::Corrupt { reason };
+        let k = state.parts.len();
+        if k == 0 {
+            return Err(corrupt("chunk state has no partitions".into()));
+        }
+        if state.zones.len() != k || state.frags.len() != k {
+            return Err(corrupt(format!(
+                "parallel arrays disagree: {k} partitions, {} zones, {} fragments",
+                state.zones.len(),
+                state.frags.len()
+            )));
+        }
+        let mut expected_start = state.parts[0].start;
+        let mut live = 0usize;
+        for (p, part) in state.parts.iter().enumerate() {
+            if part.start != expected_start {
+                return Err(corrupt(format!(
+                    "partition {p} starts at {} but previous extent ended at {expected_start}",
+                    part.start
+                )));
+            }
+            expected_start = part.extent_end();
+            live += part.len;
+            if let Some(frag) = &state.frags[p] {
+                if frag.len() != part.len {
+                    return Err(corrupt(format!(
+                        "partition {p} fragment holds {} values but {} are live",
+                        frag.len(),
+                        part.len
+                    )));
+                }
+            }
+        }
+        if expected_start > state.data.len() {
+            return Err(corrupt(format!(
+                "partitions extend to slot {expected_start} but chunk holds {}",
+                state.data.len()
+            )));
+        }
+        if live != state.live {
+            return Err(corrupt(format!(
+                "live count {live} != recorded {}",
+                state.live
+            )));
+        }
+        for (c, col) in state.payload_cols.iter().enumerate() {
+            if col.len() != state.data.len() {
+                return Err(corrupt(format!(
+                    "payload column {c} has {} slots, key column has {}",
+                    col.len(),
+                    state.data.len()
+                )));
+            }
+        }
+        let bounds: Vec<K> = state.parts.iter().map(|p| p.max).collect();
+        let physical = state.data.len();
+        let chunk = Self {
+            data: state.data,
+            parts: state.parts,
+            zones: state.zones,
+            frags: state.frags,
+            index: PartitionIndex::new(bounds),
+            payloads: PayloadSet::from_columns(state.payload_cols, physical),
+            layout: state.layout,
+            config: state.config,
+            live: state.live,
+        };
+        if cfg!(debug_assertions) {
+            chunk
+                .validate_invariants()
+                .map_err(|reason| corrupt(format!("recovered chunk invalid: {reason}")))?;
+        }
+        Ok(chunk)
+    }
+
+    // ------------------------------------------------------------------
     // Slot-transfer primitives (the ripple mechanics of §3 / Fig. 4)
     // ------------------------------------------------------------------
 
@@ -755,6 +875,35 @@ impl<K: ColumnValue> PartitionedChunk<K> {
     }
 }
 
+/// Complete physical state of a [`PartitionedChunk`], as captured by
+/// [`PartitionedChunk::to_state`] for persistence and consumed by
+/// [`PartitionedChunk::from_state`] on recovery. Everything is raw
+/// physical state — including stale ghost/tail slot contents and the
+/// encoded fragment bytes — so a round-trip is bit-exact and needs no
+/// re-solve and no re-encode. The shallow partition index is deliberately
+/// absent: it is derived metadata rebuilt on restore.
+#[derive(Debug, Clone)]
+pub struct ChunkState<K: ColumnValue> {
+    /// Physical slots (capacity included; tail/ghost slots hold stale
+    /// values exactly as in memory).
+    pub data: Vec<K>,
+    /// Partition metadata, physically contiguous.
+    pub parts: Vec<PartitionMeta<K>>,
+    /// Tight per-partition live min/max, parallel to `parts`.
+    pub zones: Vec<ZoneMap<K>>,
+    /// Per-partition encoded fragments (§6.2 storage modes), parallel to
+    /// `parts`.
+    pub frags: Vec<Option<Fragment<K>>>,
+    /// Slot-aligned payload columns, each exactly `data.len()` long.
+    pub payload_cols: Vec<Vec<u32>>,
+    /// Block geometry.
+    pub layout: BlockLayout,
+    /// Chunk configuration (update policy, slack, ghost fetch block).
+    pub config: ChunkConfig,
+    /// Total live values across partitions.
+    pub live: usize,
+}
+
 /// Which side a ghost donor was found on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum DonorSide {
@@ -951,6 +1100,53 @@ mod tests {
         // 2 values per block, partitions of 4 values each → 2 blocks.
         assert_eq!(c.live_blocks(0), 2);
         assert_eq!(c.live_blocks(1), 2);
+    }
+
+    #[test]
+    fn state_round_trip_is_bit_exact() {
+        let mut c = build_chunk((1..=8).collect(), &[2, 2], &[2, 1]);
+        c.compress_partition(0, crate::compress::StorageMode::For);
+        let state = c.to_state();
+        let r = PartitionedChunk::from_state(state).expect("restore");
+        assert_eq!(r.data, c.data);
+        assert_eq!(r.parts, c.parts);
+        assert_eq!(r.zones, c.zones);
+        assert_eq!(r.storage_modes(), c.storage_modes());
+        assert_eq!(r.live_len(), c.live_len());
+        r.validate_invariants().unwrap();
+        // Restored index routes identically.
+        for v in 0..=10u64 {
+            let mut cost = OpCost::default();
+            assert_eq!(r.locate(v, &mut cost), c.locate(v, &mut cost));
+        }
+    }
+
+    #[test]
+    fn from_state_rejects_corrupt_lengths() {
+        let c = build_chunk((1..=8).collect(), &[2, 2], &[0, 0]);
+        // Truncated slot array.
+        let mut s = c.to_state();
+        s.data.truncate(3);
+        assert!(matches!(
+            PartitionedChunk::from_state(s),
+            Err(StorageError::Corrupt { .. })
+        ));
+        // Live-count mismatch.
+        let mut s = c.to_state();
+        s.live += 1;
+        assert!(matches!(
+            PartitionedChunk::from_state(s),
+            Err(StorageError::Corrupt { .. })
+        ));
+        // Fragment length out of sync with its partition.
+        let mut s = c.to_state();
+        s.frags[0] =
+            crate::kernels::Fragment::encode(crate::compress::StorageMode::For, &[1u64, 2, 3]);
+        s.parts[0].len = 4; // still claims 4 live values
+        assert!(matches!(
+            PartitionedChunk::from_state(s),
+            Err(StorageError::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -113,6 +113,7 @@ pub struct Dictionary<K: ColumnValue> {
 impl<K: ColumnValue> Dictionary<K> {
     /// Encode a column fragment.
     pub fn encode(values: &[K]) -> Self {
+        super::telemetry::note_encode();
         let mut dict: Vec<K> = values.to_vec();
         dict.sort_unstable();
         dict.dedup();
@@ -124,6 +125,23 @@ impl<K: ColumnValue> Dictionary<K> {
             width,
         );
         Self { dict, codes }
+    }
+
+    /// Reassemble a fragment from its persisted raw parts *without*
+    /// re-encoding (snapshot restore). Rejects structurally impossible
+    /// state — an unsorted dictionary or a code past the dictionary end —
+    /// so a damaged snapshot surfaces as an error instead of a later panic.
+    pub fn from_raw(dict: Vec<K>, codes: PackedCodes) -> Result<Self, String> {
+        if dict.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("dictionary not sorted strictly ascending".into());
+        }
+        let n = dict.len() as u32;
+        for i in 0..codes.len() {
+            if codes.get(i) >= n {
+                return Err(format!("code {} out of range (dict has {n})", codes.get(i)));
+            }
+        }
+        Ok(Self { dict, codes })
     }
 
     /// The sorted dictionary.

@@ -129,6 +129,7 @@ pub struct ForBlock<K: ColumnValue> {
 impl<K: ColumnValue> ForBlock<K> {
     /// Encode a fragment (empty fragments get a zero base).
     pub fn encode(values: &[K]) -> Self {
+        super::telemetry::note_encode();
         let ord: Vec<u64> = values.iter().map(|v| v.to_ordered_u64()).collect();
         let base = ord.iter().copied().min().unwrap_or(0);
         let span = ord.iter().copied().max().unwrap_or(0) - base;
@@ -136,6 +137,18 @@ impl<K: ColumnValue> ForBlock<K> {
         Self {
             base,
             offsets: PackedOffsets::pack(ord.into_iter().map(|v| v - base), width),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Reassemble a fragment from its persisted raw parts *without*
+    /// re-encoding (snapshot restore). The packed lane is taken verbatim;
+    /// callers are responsible for having validated any surrounding
+    /// framing/checksums.
+    pub fn from_raw(base: u64, offsets: PackedOffsets) -> Self {
+        Self {
+            base,
+            offsets,
             _marker: std::marker::PhantomData,
         }
     }

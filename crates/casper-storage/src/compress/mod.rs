@@ -76,18 +76,22 @@ impl StorageMode {
     }
 }
 
-/// Per-thread decode instrumentation.
+/// Per-thread decode/encode instrumentation.
 ///
 /// Every [`Codec::decode`] call bumps a thread-local counter, which lets
 /// tests assert that a compressed read path ran end-to-end *without*
 /// decompression (the acceptance criterion of the compressed-scan kernels).
-/// Thread-local (not global) so parallel test threads cannot pollute each
-/// other's measurements.
+/// Every codec *encode* bumps a second counter, which lets the durability
+/// tests assert that restoring a snapshot re-materializes fragments from
+/// their serialized bytes with **zero re-encodes** (the recovery-path
+/// acceptance criterion). Thread-local (not global) so parallel test
+/// threads cannot pollute each other's measurements.
 pub mod telemetry {
     use std::cell::Cell;
 
     thread_local! {
         static DECODES: Cell<u64> = const { Cell::new(0) };
+        static ENCODES: Cell<u64> = const { Cell::new(0) };
     }
 
     /// Record one decode (called by the codecs).
@@ -98,6 +102,17 @@ pub mod telemetry {
     /// Number of codec decodes performed by the current thread.
     pub fn decode_count() -> u64 {
         DECODES.with(Cell::get)
+    }
+
+    /// Record one encode (called by the codecs; raw-parts reconstruction
+    /// deliberately does *not* count).
+    pub(crate) fn note_encode() {
+        ENCODES.with(|c| c.set(c.get() + 1));
+    }
+
+    /// Number of codec encodes performed by the current thread.
+    pub fn encode_count() -> u64 {
+        ENCODES.with(Cell::get)
     }
 }
 

@@ -39,6 +39,7 @@ impl<K: ColumnValue> Rle<K> {
             values.windows(2).all(|w| w[0] <= w[1]),
             "RLE requires sorted input"
         );
+        super::telemetry::note_encode();
         let mut runs: Vec<(K, u32)> = Vec::new();
         for &v in values {
             match runs.last_mut() {
@@ -46,6 +47,24 @@ impl<K: ColumnValue> Rle<K> {
                 _ => runs.push((v, 1)),
             }
         }
+        Self::with_prefix(runs)
+    }
+
+    /// Reassemble a fragment from its persisted runs *without* touching the
+    /// decoded values (snapshot restore). Only the prefix sums — derived
+    /// metadata — are recomputed, in O(runs). Rejects unsorted or
+    /// zero-length runs so damaged snapshots fail loudly but typedly.
+    pub fn from_runs(runs: Vec<(K, u32)>) -> Result<Self, String> {
+        if runs.windows(2).any(|w| w[0].0 >= w[1].0) {
+            return Err("RLE runs not sorted strictly ascending by value".into());
+        }
+        if runs.iter().any(|&(_, n)| n == 0) {
+            return Err("RLE run with zero length".into());
+        }
+        Ok(Self::with_prefix(runs))
+    }
+
+    fn with_prefix(runs: Vec<(K, u32)>) -> Self {
         let mut prefix = Vec::with_capacity(runs.len() + 1);
         let mut acc = 0u64;
         prefix.push(0);
@@ -54,9 +73,9 @@ impl<K: ColumnValue> Rle<K> {
             prefix.push(acc);
         }
         Self {
+            total: acc as usize,
             runs,
             prefix,
-            total: values.len(),
         }
     }
 

@@ -79,6 +79,11 @@ impl<K: ColumnValue> SortedDelta<K> {
         self.delta_keys.len()
     }
 
+    /// The merge-trigger capacity the store was built with (persistence).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// The sorted main column.
     pub fn main(&self) -> &SortedColumn<K> {
         &self.main

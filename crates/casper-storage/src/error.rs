@@ -32,6 +32,14 @@ pub enum StorageError {
         /// Columns the caller supplied.
         got: usize,
     },
+    /// Persisted state failed a checksum, length, or structural-invariant
+    /// check while being restored. Surfaced as a typed error (never a
+    /// panic) so recovery code can reject a damaged snapshot/WAL and fall
+    /// back to an older generation.
+    Corrupt {
+        /// Human-readable description of the first violation found.
+        reason: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -52,6 +60,9 @@ impl fmt::Display for StorageError {
             ),
             StorageError::PayloadArity { expected, got } => {
                 write!(f, "payload row has {got} columns, chunk stores {expected}")
+            }
+            StorageError::Corrupt { reason } => {
+                write!(f, "corrupt persisted state: {reason}")
             }
         }
     }

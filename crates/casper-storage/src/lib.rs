@@ -38,7 +38,7 @@ pub mod payload;
 pub mod sorted;
 pub mod value;
 
-pub use chunk::{ChunkConfig, PartitionedChunk};
+pub use chunk::{ChunkConfig, ChunkState, PartitionedChunk};
 pub use compress::StorageMode;
 pub use delta::SortedDelta;
 pub use error::StorageError;

@@ -113,6 +113,12 @@ impl PayloadSet {
         acc
     }
 
+    /// The raw slot-aligned columns (snapshot serialization).
+    #[inline]
+    pub fn columns(&self) -> &[Vec<u32>] {
+        &self.cols
+    }
+
     /// Grow the physical slot count (used when a chunk expands its tail).
     pub fn grow_to(&mut self, physical: usize) {
         for c in &mut self.cols {

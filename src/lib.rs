@@ -9,11 +9,13 @@
 
 pub use casper_core as core;
 pub use casper_engine as engine;
+pub use casper_persist as persist;
 pub use casper_storage as storage;
 pub use casper_workload as workload;
 
 /// The types most applications need, in one import.
 pub mod prelude {
+    pub use casper_persist::{DurableOptions, DurableTable};
     pub use casper_storage::{
         BlockLayout, ChunkConfig, OpCost, PartitionSpec, PartitionedChunk, UpdatePolicy,
     };
