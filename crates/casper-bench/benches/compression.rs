@@ -161,4 +161,8 @@ criterion_group!(
     bench_partition_synergy,
     bench_compressed_kernels
 );
+// The compressed-kernel *trajectory* (ns/elem, GB/s, SIMD-vs-scalar) is
+// emitted once, by `scan_ops` into `BENCH_scan.json` — the single source
+// of truth for per-PR kernel perf. This bench keeps the criterion timing
+// groups plus the correctness tripwire in `bench_compressed_kernels`.
 criterion_main!(benches);

@@ -8,9 +8,10 @@
 //! retained scalar reference paths (`casper_storage::ops::scalar`) on a
 //! 1M-value chunk — the acceptance gate for the kernel subsystem.
 
+use casper_bench::trajectory;
 use casper_storage::ghost::GhostPlan;
 use casper_storage::{BlockLayout, ChunkConfig, PartitionSpec, PartitionedChunk};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 
 const VALUES: usize = 1 << 18;
 /// Chunk size for the kernel-vs-scalar groups (the paper's 1M-value chunk).
@@ -206,4 +207,25 @@ criterion_group!(
     bench_range_count_scalar_vs_kernel,
     bench_range_sum_scalar_vs_kernel,
 );
-criterion_main!(benches);
+
+/// Custom harness entry: run the criterion groups, then emit the
+/// machine-readable kernel trajectory (`BENCH_scan.json` at the workspace
+/// root) — dispatched-SIMD vs forced-scalar ns/elem and GB/s for every
+/// plain and compressed kernel × lane width. Smoke runs (`--test`) shrink
+/// the lanes and rep counts but still assert both dispatch paths agree.
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+
+    let smoke = trajectory::smoke_mode();
+    let (rows, reps) = if smoke { (1 << 14, 1) } else { (1 << 20, 7) };
+    let mut entries = trajectory::plain_entries(rows, reps);
+    entries.extend(trajectory::compressed_entries(rows, reps));
+    for e in &entries {
+        eprintln!(
+            "[trajectory] {:<28} u{:<2} {:>8} rows  {:>7.3} ns/elem  {:>7.2} GB/s  {:>5.2}x vs scalar",
+            e.kernel, e.width_bits, e.rows, e.ns_per_elem, e.gbps, e.speedup
+        );
+    }
+    trajectory::write_json("BENCH_scan.json", "scan_ops", smoke, &entries);
+}

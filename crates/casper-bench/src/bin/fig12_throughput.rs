@@ -29,6 +29,10 @@ fn main() {
                 "partitions per chunk for Equi/cap (default 64)",
             ),
             ("ghosts=F", "ghost budget fraction (default 0.001)"),
+            (
+                "batch=1",
+                "apply write runs chunk-parallel via Table::execute_batch",
+            ),
         ],
     );
     let rc = RunConfig::from_args(&args);

@@ -16,7 +16,8 @@
 pub mod cli;
 pub mod report;
 pub mod runner;
+pub mod trajectory;
 
 pub use cli::Args;
 pub use report::TableReport;
-pub use runner::{run_queries, RunConfig, RunOutcome};
+pub use runner::{run_queries, run_queries_batched, RunConfig, RunOutcome};

@@ -62,6 +62,9 @@ pub struct RunConfig {
     pub train_ops: usize,
     /// RNG seed (training uses `seed + 1`).
     pub seed: u64,
+    /// Apply consecutive write runs chunk-parallel through
+    /// `Table::execute_batch` instead of one query at a time.
+    pub batch_writes: bool,
     /// Engine configuration template (mode is overridden per run).
     pub engine: EngineConfig,
     /// Solver constraints for the Casper optimization.
@@ -75,6 +78,7 @@ impl Default for RunConfig {
             ops: 5000,
             train_ops: 5000,
             seed: 42,
+            batch_writes: false,
             engine: EngineConfig::default(),
             constraints: SolverConstraints::none(),
         }
@@ -90,6 +94,7 @@ impl RunConfig {
         rc.ops = args.usize_or("ops", rc.ops);
         rc.train_ops = args.usize_or("train-ops", rc.train_ops);
         rc.seed = args.u64_or("seed", rc.seed);
+        rc.batch_writes = args.flag("batch");
         rc.engine.threads = args.usize_or("threads", rc.engine.threads);
         rc.engine.chunk_values = args.usize_or("chunk-values", rc.engine.chunk_values);
         rc.engine.equi_partitions = args.usize_or("equi-partitions", rc.engine.equi_partitions);
@@ -154,12 +159,62 @@ pub fn run_queries(table: &mut Table, queries: &[HapQuery]) -> RunOutcome {
     }
 }
 
+/// Execute a query stream with chunk-parallel write batching: maximal
+/// consecutive runs of Q4/Q5/Q6 go through `Table::execute_batch` (grouped
+/// by target chunk, applied under the engine's worker pool), reads execute
+/// in stream position. Latency for a batched run is attributed evenly to
+/// its member queries, so per-class summaries stay comparable with
+/// [`run_queries`].
+pub fn run_queries_batched(table: &mut Table, queries: &[HapQuery]) -> RunOutcome {
+    let is_write = |q: &HapQuery| matches!(q.index(), 3..=5);
+    let mut latencies = LatencyRecorder::new();
+    let mut checksum = 0u64;
+    let start = Instant::now();
+    let mut i = 0;
+    while i < queries.len() {
+        if is_write(&queries[i]) {
+            let mut j = i + 1;
+            while j < queries.len() && is_write(&queries[j]) {
+                j += 1;
+            }
+            let t = Instant::now();
+            let outs = table
+                .execute_batch(&queries[i..j])
+                .expect("batched query execution");
+            let per = t.elapsed().as_nanos() as u64 / (j - i) as u64;
+            for (q, out) in queries[i..j].iter().zip(outs) {
+                latencies.record(q.index(), per);
+                checksum = checksum.wrapping_add(out.result.scalar());
+            }
+            i = j;
+        } else {
+            let t = Instant::now();
+            let out = table.execute(&queries[i]).expect("query execution");
+            latencies.record(queries[i].index(), t.elapsed().as_nanos() as u64);
+            checksum = checksum.wrapping_add(out.result.scalar());
+            i += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    let throughput = latencies.throughput_ops_per_sec(elapsed);
+    RunOutcome {
+        latencies,
+        elapsed,
+        throughput,
+        checksum,
+    }
+}
+
 /// End-to-end: build, generate, run.
 pub fn run_mix(kind: MixKind, mode: LayoutMode, rc: &RunConfig) -> RunOutcome {
     let mix = Mix::new(kind, HapSchema::narrow(), rc.rows);
     let mut table = build_table(&mix, mode, rc);
     let queries = mix.generate(rc.ops, rc.seed);
-    run_queries(&mut table, &queries)
+    if rc.batch_writes {
+        run_queries_batched(&mut table, &queries)
+    } else {
+        run_queries(&mut table, &queries)
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +239,19 @@ mod tests {
         assert!(out.latencies.summary(0).is_some(), "Q1 samples");
         assert!(out.latencies.summary(3).is_some(), "Q4 samples");
         assert!(out.latencies.summary(1).is_none(), "no Q2 in this mix");
+    }
+
+    #[test]
+    fn batched_writes_preserve_the_checksum() {
+        let mut rc = tiny_rc();
+        let serial = run_mix(MixKind::UpdateOnlyUniform, LayoutMode::Casper, &rc);
+        rc.batch_writes = true;
+        let batched = run_mix(MixKind::UpdateOnlyUniform, LayoutMode::Casper, &rc);
+        assert_eq!(serial.checksum, batched.checksum);
+        assert!(
+            batched.latencies.summary(3).is_some(),
+            "Q4 samples recorded"
+        );
     }
 
     #[test]

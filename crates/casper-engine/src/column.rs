@@ -7,7 +7,7 @@
 //! ordering invariant, so its reads and deletes must broadcast to every
 //! chunk — which is precisely why it loses on point-query workloads.
 
-use crate::exec::parallel_map;
+use crate::exec::{parallel_for_each_mut, parallel_map};
 use crate::modes::{EngineConfig, LayoutMode};
 use casper_core::Segmentation;
 use casper_storage::ghost::GhostPlan;
@@ -371,20 +371,7 @@ impl ChunkedColumn {
                 })
                 .unwrap_or(self.chunks.len() - 1)
         });
-        let cost = match &mut self.chunks[chunk] {
-            ChunkStore::Partitioned(p) => match p.insert(key, payload) {
-                Ok(r) => r.cost,
-                Err(StorageError::ChunkFull { capacity }) => {
-                    // "If no empty slots are available, the column is
-                    // expanded" (§3): grow by ~10% and retry once.
-                    p.grow((capacity / 10).max(64));
-                    p.insert(key, payload)?.cost
-                }
-                Err(e) => return Err(e),
-            },
-            ChunkStore::Sorted(s) => s.insert(key, payload),
-            ChunkStore::Delta(d) => d.insert(key, payload),
-        };
+        let cost = store_insert(&mut self.chunks[chunk], key, payload)?;
         self.maybe_raise_fence(chunk, key);
         Ok(cost)
     }
@@ -398,25 +385,7 @@ impl ChunkedColumn {
         let mut affected = 0u64;
         let mut cost = OpCost::default();
         for c in targets {
-            let (n, oc) = match &mut self.chunks[c] {
-                ChunkStore::Partitioned(p) => {
-                    let r = p.delete(v);
-                    (r.affected, r.cost)
-                }
-                ChunkStore::Sorted(s) => s.delete(v),
-                ChunkStore::Delta(d) => {
-                    // Only buffer a delete when the key currently exists.
-                    let (n, c0) = d.point_count(v);
-                    if n > 0 {
-                        let c1 = d.delete(v);
-                        let mut c = c0;
-                        c.absorb(c1);
-                        (n.min(1), c)
-                    } else {
-                        (0, c0)
-                    }
-                }
-            };
+            let (n, oc) = store_delete(&mut self.chunks[c], v);
             affected += n;
             cost.absorb(oc);
         }
@@ -446,24 +415,7 @@ impl ChunkedColumn {
             }
         };
         if from == to {
-            let (n, cost) = match &mut self.chunks[from] {
-                ChunkStore::Partitioned(p) => {
-                    let r = p.update(old, new)?;
-                    (r.affected, r.cost)
-                }
-                ChunkStore::Sorted(s) => s.update(old, new),
-                ChunkStore::Delta(d) => {
-                    let (n, c0) = d.point_count(old);
-                    if n > 0 {
-                        let c1 = d.update(old, new);
-                        let mut c = c0;
-                        c.absorb(c1);
-                        (1, c)
-                    } else {
-                        (0, c0)
-                    }
-                }
-            };
+            let (n, cost) = store_update(&mut self.chunks[from], old, new)?;
             self.maybe_raise_fence(from, new);
             return Ok((n, cost));
         }
@@ -478,6 +430,246 @@ impl ChunkedColumn {
         let c2 = self.q4_insert(new, &row)?;
         cost.absorb(c2);
         Ok((1, cost))
+    }
+
+    /// Apply a stream of write operations, chunk-parallel.
+    ///
+    /// Operations are grouped by target chunk (routing is stable during a
+    /// batch: only the last chunk's fence can rise, which never changes
+    /// routing) and each chunk's group is applied **in stream order** under
+    /// [`parallel_for_each_mut`] — chunks are disjoint slot spaces, so
+    /// writes to different chunks commute. Cross-chunk updates act as
+    /// barriers: pending groups flush, the update runs serially, batching
+    /// resumes. `NoOrder` columns (no routing fences) and single-chunk
+    /// columns fall back to serial application.
+    ///
+    /// Returns one `(rows_affected, cost)` per input operation, identical
+    /// to serial execution. On error (chunk at capacity after growth) the
+    /// failing chunk stops at the failing op but *other chunks complete
+    /// their groups* before the first error is returned — a batch is not
+    /// atomic, matching the paper's storage-engine semantics where each
+    /// query is its own operation.
+    pub fn apply_write_batch(
+        &mut self,
+        ops: &[WriteOp<'_>],
+    ) -> Result<Vec<(u64, OpCost)>, StorageError> {
+        let mut results = vec![(0u64, OpCost::default()); ops.len()];
+        if self.fences.is_none() || self.chunks.len() <= 1 {
+            for (i, &op) in ops.iter().enumerate() {
+                results[i] = self.apply_write_serial(op)?;
+            }
+            return Ok(results);
+        }
+        let mut pending: Vec<Vec<(usize, WriteOp<'_>)>> = vec![Vec::new(); self.chunks.len()];
+        let mut pending_count = 0usize;
+        for (i, &op) in ops.iter().enumerate() {
+            let chunk = match op {
+                WriteOp::Insert { key, .. } | WriteOp::Delete { key } => {
+                    self.route(key).expect("ordered column routes every key")
+                }
+                WriteOp::Update { old, new } => {
+                    let from = self.route(old).expect("ordered");
+                    let to = self.route(new).expect("ordered");
+                    if from != to {
+                        // Barrier: the move touches two chunks.
+                        self.flush_write_groups(&mut pending, &mut pending_count, &mut results)?;
+                        results[i] = self.q6_update(old, new)?;
+                        continue;
+                    }
+                    from
+                }
+            };
+            pending[chunk].push((i, op));
+            pending_count += 1;
+        }
+        self.flush_write_groups(&mut pending, &mut pending_count, &mut results)?;
+        Ok(results)
+    }
+
+    /// Apply one write operation through the serial Q4/Q5/Q6 paths.
+    fn apply_write_serial(&mut self, op: WriteOp<'_>) -> Result<(u64, OpCost), StorageError> {
+        match op {
+            WriteOp::Insert { key, payload } => self.q4_insert(key, payload).map(|c| (1, c)),
+            WriteOp::Delete { key } => Ok(self.q5_delete(key)),
+            WriteOp::Update { old, new } => self.q6_update(old, new),
+        }
+    }
+
+    /// Drain the per-chunk groups through the parallel worker pool and
+    /// scatter per-op results back into stream order.
+    fn flush_write_groups(
+        &mut self,
+        pending: &mut [Vec<(usize, WriteOp<'_>)>],
+        pending_count: &mut usize,
+        results: &mut [(u64, OpCost)],
+    ) -> Result<(), StorageError> {
+        if *pending_count == 0 {
+            return Ok(());
+        }
+        *pending_count = 0;
+        struct ChunkJob<'s, 'o> {
+            chunk: usize,
+            store: &'s mut ChunkStore,
+            ops: Vec<(usize, WriteOp<'o>)>,
+            /// `(op index, affected, cost)` per applied op.
+            out: Vec<(usize, u64, OpCost)>,
+            /// Largest key inserted/updated-to (fence raise candidate).
+            max_key: Option<u64>,
+            err: Option<StorageError>,
+        }
+        let mut jobs: Vec<ChunkJob<'_, '_>> = Vec::new();
+        for (ci, store) in self.chunks.iter_mut().enumerate() {
+            let ops = std::mem::take(&mut pending[ci]);
+            if !ops.is_empty() {
+                let cap = ops.len();
+                jobs.push(ChunkJob {
+                    chunk: ci,
+                    store,
+                    ops,
+                    out: Vec::with_capacity(cap),
+                    max_key: None,
+                    err: None,
+                });
+            }
+        }
+        parallel_for_each_mut(&mut jobs, self.config.threads, |_, job| {
+            for &(idx, op) in &job.ops {
+                let applied = match op {
+                    WriteOp::Insert { key, payload } => {
+                        store_insert(job.store, key, payload).map(|cost| (1, cost, Some(key)))
+                    }
+                    WriteOp::Delete { key } => {
+                        let (n, cost) = store_delete(job.store, key);
+                        Ok((n, cost, None))
+                    }
+                    WriteOp::Update { old, new } => {
+                        store_update(job.store, old, new).map(|(n, cost)| (n, cost, Some(new)))
+                    }
+                };
+                match applied {
+                    Ok((affected, cost, key)) => {
+                        job.out.push((idx, affected, cost));
+                        if let Some(k) = key {
+                            job.max_key = Some(job.max_key.map_or(k, |m| m.max(k)));
+                        }
+                    }
+                    Err(e) => {
+                        job.err = Some(e);
+                        break;
+                    }
+                }
+            }
+        });
+        let mut first_err: Option<StorageError> = None;
+        let mut raises: Vec<(usize, u64)> = Vec::new();
+        for job in jobs {
+            for (idx, affected, cost) in job.out {
+                results[idx] = (affected, cost);
+            }
+            if let Some(k) = job.max_key {
+                raises.push((job.chunk, k));
+            }
+            if first_err.is_none() {
+                first_err = job.err;
+            }
+        }
+        for (chunk, key) in raises {
+            self.maybe_raise_fence(chunk, key);
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// One buffered write operation for [`ChunkedColumn::apply_write_batch`]
+/// (the Q4/Q5/Q6 stream element). Payloads are borrowed from the query
+/// stream, so buffering a write run allocates nothing per operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOp<'a> {
+    /// Q4: insert a row.
+    Insert {
+        /// Key of the new row.
+        key: u64,
+        /// Payload attributes (must match the column's payload arity).
+        payload: &'a [u32],
+    },
+    /// Q5: delete every row with this key.
+    Delete {
+        /// Key to delete.
+        key: u64,
+    },
+    /// Q6: update the first row with key `old` to key `new`.
+    Update {
+        /// Existing key.
+        old: u64,
+        /// Replacement key.
+        new: u64,
+    },
+}
+
+/// Insert into one chunk store, growing a full partitioned chunk once
+/// ("if no empty slots are available, the column is expanded", §3).
+fn store_insert(store: &mut ChunkStore, key: u64, payload: &[u32]) -> Result<OpCost, StorageError> {
+    match store {
+        ChunkStore::Partitioned(p) => match p.insert(key, payload) {
+            Ok(r) => Ok(r.cost),
+            Err(StorageError::ChunkFull { capacity }) => {
+                // Grow by ~10% and retry once.
+                p.grow((capacity / 10).max(64));
+                Ok(p.insert(key, payload)?.cost)
+            }
+            Err(e) => Err(e),
+        },
+        ChunkStore::Sorted(s) => Ok(s.insert(key, payload)),
+        ChunkStore::Delta(d) => Ok(d.insert(key, payload)),
+    }
+}
+
+/// Delete every row with key `v` from one chunk store.
+fn store_delete(store: &mut ChunkStore, v: u64) -> (u64, OpCost) {
+    match store {
+        ChunkStore::Partitioned(p) => {
+            let r = p.delete(v);
+            (r.affected, r.cost)
+        }
+        ChunkStore::Sorted(s) => s.delete(v),
+        ChunkStore::Delta(d) => {
+            // Only buffer a delete when the key currently exists.
+            let (n, c0) = d.point_count(v);
+            if n > 0 {
+                let c1 = d.delete(v);
+                let mut c = c0;
+                c.absorb(c1);
+                (n.min(1), c)
+            } else {
+                (0, c0)
+            }
+        }
+    }
+}
+
+/// Update `old` → `new` within one chunk store (both keys must route to
+/// this chunk).
+fn store_update(store: &mut ChunkStore, old: u64, new: u64) -> Result<(u64, OpCost), StorageError> {
+    match store {
+        ChunkStore::Partitioned(p) => {
+            let r = p.update(old, new)?;
+            Ok((r.affected, r.cost))
+        }
+        ChunkStore::Sorted(s) => Ok(s.update(old, new)),
+        ChunkStore::Delta(d) => {
+            let (n, c0) = d.point_count(old);
+            if n > 0 {
+                let c1 = d.update(old, new);
+                let mut c = c0;
+                c.absorb(c1);
+                Ok((1, c))
+            } else {
+                Ok((0, c0))
+            }
+        }
     }
 }
 

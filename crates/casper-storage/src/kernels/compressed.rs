@@ -8,7 +8,11 @@
 //!   (`lo_off = lo − base`, `hi_off = hi − base`) and the packed offset
 //!   lane is scanned with the same single wrapping compare as the plain
 //!   kernels — but streaming 1/2/4 bytes per value instead of 8, which is
-//!   the paper's "less overall data movement" made concrete.
+//!   the paper's "less overall data movement" made concrete. Through the
+//!   [`crate::simd`] dispatch the narrow widths also multiply *lane
+//!   density*: one AVX-512 compare covers 64 u8 offsets vs 8 plain u64
+//!   values — the largest measured speedup in the codebase
+//!   (see `BENCH_scan.json`).
 //! * **Dictionary** — the sorted dictionary rewrites both bounds into code
 //!   space (`lower_bound_code`), so a value range *stays* a range and the
 //!   packed code lane scans branchlessly; equality either resolves to one
@@ -25,7 +29,8 @@ use crate::compress::dictionary::{Dictionary, PackedCodes};
 use crate::compress::for_delta::{ForBlock, PackedOffsets};
 use crate::compress::rle::Rle;
 use crate::compress::{Codec, StorageMode};
-use crate::kernels::LANE_WIDTH;
+use crate::kernels::{LANE_WIDTH, SELECT_SUBCHUNK};
+use crate::simd::SimdElem;
 use crate::value::ColumnValue;
 
 /// Dispatch a closure-like body over the packed offset widths.
@@ -55,163 +60,106 @@ macro_rules! with_codes {
 // Generic rebased inner loops (monomorphized per packed width)
 // ---------------------------------------------------------------------
 
-/// A fixed-width packed lane element. The rebased predicates are clamped
-/// into the lane's native width *before* the loop, so the inner compares
-/// run at full SIMD density (16 u8 lanes per 128-bit vector, not 2 widened
-/// u64s) — narrowing the storage must also narrow the arithmetic, or the
-/// §6.2 byte savings evaporate into conversion work.
-trait PackedLane: Copy + PartialOrd + PartialEq {
-    /// The lane's maximum value, widened.
-    const MAX_WIDE: u64;
-    /// Narrow `v` (callers guarantee `v <= MAX_WIDE`).
-    fn narrow(v: u64) -> Self;
-    /// Wrapping subtraction in lane width.
-    fn wsub(self, rhs: Self) -> Self;
-}
-
-macro_rules! impl_packed_lane {
-    ($($t:ty),*) => {$(
-        impl PackedLane for $t {
-            const MAX_WIDE: u64 = <$t>::MAX as u64;
-            #[inline]
-            fn narrow(v: u64) -> Self {
-                v as $t
-            }
-            #[inline]
-            fn wsub(self, rhs: Self) -> Self {
-                self.wrapping_sub(rhs)
-            }
-        }
-    )*};
-}
-
-impl_packed_lane!(u8, u16, u32, u64);
-
 /// A widened `[lo, lo + span)` predicate clamped into lane width.
+///
+/// The rebased predicates are clamped into the lane's native width *before*
+/// the loop, so the inner compares run at full SIMD density (64 u8 lanes
+/// per AVX-512 compare, not 8 widened u64s) — narrowing the storage must
+/// also narrow the arithmetic, or the §6.2 byte savings evaporate into
+/// conversion work. The clamp also establishes the SIMD window contract
+/// `lo + span <= 2^BITS`, which makes the wrapped unsigned compare exact.
 enum LanePredicate<T> {
     /// The window misses the lane's domain entirely.
     Empty,
-    /// The window's upper end exceeds the lane's domain: `x >= lo` suffices.
-    Above(T),
+    /// The window covers the lane's whole domain: everything matches.
+    All,
     /// Proper window: `x - lo < span` in wrapping lane arithmetic.
     Window(T, T),
 }
 
 #[inline]
-fn clamp_predicate<T: PackedLane>(lo: u64, span: u64) -> LanePredicate<T> {
+fn clamp_predicate<T: SimdElem>(lo: u64, span: u64) -> LanePredicate<T> {
     if span == 0 || lo > T::MAX_WIDE {
         return LanePredicate::Empty;
     }
     let hi = lo.saturating_add(span);
     if hi > T::MAX_WIDE {
-        LanePredicate::Above(T::narrow(lo))
+        // The upper end exceeds the domain: `x >= lo` suffices, expressed
+        // as the in-domain window `[lo, MAX]` of span `MAX - lo + 1`
+        // (degenerating to All when lo is 0).
+        if lo == 0 {
+            LanePredicate::All
+        } else {
+            LanePredicate::Window(T::narrow(lo), T::narrow(T::MAX_WIDE - lo + 1))
+        }
     } else {
         LanePredicate::Window(T::narrow(lo), T::narrow(hi - lo))
     }
 }
 
-/// Branchless count of lane entries satisfying `pred`.
+/// Count of lane entries in `[lo, lo + span)` (dispatched SIMD).
 #[inline]
-fn count_pred<T: Copy>(lane: &[T], pred: impl Fn(T) -> bool) -> u64 {
-    let mut acc = 0u64;
-    for &x in lane {
-        acc += u64::from(pred(x));
-    }
-    acc
-}
-
-/// Branchless count of lane entries in `[lo, lo + span)`.
-#[inline]
-fn count_rebased<T: PackedLane>(lane: &[T], lo: u64, span: u64) -> u64 {
+fn count_rebased<T: SimdElem>(lane: &[T], lo: u64, span: u64) -> u64 {
     match clamp_predicate::<T>(lo, span) {
         LanePredicate::Empty => 0,
-        LanePredicate::Above(l) => count_pred(lane, |x| x >= l),
-        LanePredicate::Window(l, s) => count_pred(lane, |x| x.wsub(l) < s),
+        LanePredicate::All => lane.len() as u64,
+        LanePredicate::Window(l, s) => T::count_window(lane, l, s),
     }
 }
 
-/// Branchless count of lane entries equal to `target` (widened).
+/// Count of lane entries equal to `target` (widened; dispatched SIMD).
 #[inline]
-fn count_eq_lane<T: PackedLane>(lane: &[T], target: u64) -> u64 {
+fn count_eq_lane<T: SimdElem>(lane: &[T], target: u64) -> u64 {
     if target > T::MAX_WIDE {
         return 0;
     }
-    let t = T::narrow(target);
-    count_pred(lane, |x| x == t)
-}
-
-/// Evaluate `pred` over the lane into bitmap words (bit `i` of word `w` ⇔
-/// `lane[w * 64 + i]` qualifies; same layout as
-/// [`crate::kernels::select_range_bitmap`]). Returns the match count.
-fn bitmap_pred<T: Copy>(lane: &[T], out: &mut Vec<u64>, pred: impl Fn(T) -> bool) -> u64 {
-    let mut matched = 0u64;
-    let mut chunks = lane.chunks_exact(LANE_WIDTH);
-    for chunk in &mut chunks {
-        let mut word = 0u64;
-        for (bit, &x) in chunk.iter().enumerate() {
-            word |= u64::from(pred(x)) << bit;
-        }
-        matched += u64::from(word.count_ones());
-        out.push(word);
-    }
-    let rem = chunks.remainder();
-    if !rem.is_empty() {
-        let mut word = 0u64;
-        for (bit, &x) in rem.iter().enumerate() {
-            word |= u64::from(pred(x)) << bit;
-        }
-        matched += u64::from(word.count_ones());
-        out.push(word);
-    }
-    matched
+    T::count_eq(lane, T::narrow(target))
 }
 
 /// Bitmap-evaluate `[lo, lo + span)` over the lane; always emits
 /// `lane.len().div_ceil(64)` words, zeroed when the window misses.
-fn bitmap_rebased<T: PackedLane>(lane: &[T], lo: u64, span: u64, out: &mut Vec<u64>) -> u64 {
+fn bitmap_rebased<T: SimdElem>(lane: &[T], lo: u64, span: u64, out: &mut Vec<u64>) -> u64 {
     match clamp_predicate::<T>(lo, span) {
         LanePredicate::Empty => {
             out.extend(std::iter::repeat_n(0, lane.len().div_ceil(LANE_WIDTH)));
             0
         }
-        LanePredicate::Above(l) => bitmap_pred(lane, out, |x| x >= l),
-        LanePredicate::Window(l, s) => bitmap_pred(lane, out, |x| x.wsub(l) < s),
+        LanePredicate::All => bitmap_fill_range(lane.len(), 0, lane.len(), out),
+        LanePredicate::Window(l, s) => T::bitmap_window(lane, l, s, out),
     }
-}
-
-/// Fused filter + payload aggregation under `pred`.
-#[inline]
-fn sum_pred<T: Copy>(lane: &[T], payload: &[u32], pred: impl Fn(T) -> bool) -> (u64, u64) {
-    debug_assert_eq!(lane.len(), payload.len());
-    let mut matched = 0u64;
-    let mut acc = 0u64;
-    for (&x, &p) in lane.iter().zip(payload) {
-        let mask = u64::from(pred(x));
-        matched += mask;
-        acc += mask * u64::from(p);
-    }
-    (matched, acc)
 }
 
 /// Fused rebased filter + payload aggregation (the compressed HAP Q3 loop).
 #[inline]
-fn sum_rebased<T: PackedLane>(lane: &[T], payload: &[u32], lo: u64, span: u64) -> (u64, u64) {
+fn sum_rebased<T: SimdElem>(lane: &[T], payload: &[u32], lo: u64, span: u64) -> (u64, u64) {
+    debug_assert_eq!(lane.len(), payload.len());
     match clamp_predicate::<T>(lo, span) {
         LanePredicate::Empty => (0, 0),
-        LanePredicate::Above(l) => sum_pred(lane, payload, |x| x >= l),
-        LanePredicate::Window(l, s) => sum_pred(lane, payload, |x| x.wsub(l) < s),
+        LanePredicate::All => (lane.len() as u64, crate::simd::sum_u32(payload)),
+        LanePredicate::Window(l, s) => T::sum_window(lane, payload, l, s),
     }
 }
 
 /// Append positions (offset by `base`) of lane entries equal to `target`.
-fn select_eq_lane<T: PackedLane>(lane: &[T], target: u64, base: usize, out: &mut Vec<usize>) {
+///
+/// Count-then-collect per sub-chunk, like the plain
+/// [`crate::kernels::select_eq_into`]: the SIMD equality count skips
+/// matchless sub-chunks at full scan rate; only sub-chunks holding a match
+/// pay the position-materializing scalar pass.
+fn select_eq_lane<T: SimdElem>(lane: &[T], target: u64, base: usize, out: &mut Vec<usize>) {
     if target > T::MAX_WIDE {
         return;
     }
     let t = T::narrow(target);
-    for (i, &x) in lane.iter().enumerate() {
-        if x == t {
-            out.push(base + i);
+    for (ci, chunk) in lane.chunks(SELECT_SUBCHUNK).enumerate() {
+        if T::count_eq(chunk, t) == 0 {
+            continue;
+        }
+        let chunk_base = base + ci * SELECT_SUBCHUNK;
+        for (i, &x) in chunk.iter().enumerate() {
+            if x == t {
+                out.push(chunk_base + i);
+            }
         }
     }
 }

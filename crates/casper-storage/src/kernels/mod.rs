@@ -6,9 +6,11 @@
 //! partition, range queries filter only the first/last overlapping
 //! partitions. These kernels make that true in practice:
 //!
-//! * predicates are evaluated **branchlessly** (`bool` → integer
-//!   accumulation), so the inner loops auto-vectorize and their cost does
-//!   not depend on match selectivity;
+//! * predicates are evaluated by the **explicit SIMD layer** in
+//!   [`crate::simd`] — AVX-512 / AVX2 intrinsics selected once at startup
+//!   by runtime CPU detection, with a portable branchless-scalar fallback —
+//!   so the binary is ISA-portable and the inner-loop cost does not depend
+//!   on match selectivity;
 //! * values are processed in **fixed-width lanes** of [`LANE_WIDTH`]
 //!   values, one `u64` bitmap word per lane, instead of per-value
 //!   `Vec::push`;
@@ -17,16 +19,34 @@
 //!   ([`sum_payload_masked`]) consumes the words directly without ever
 //!   materializing a position list.
 //!
+//! # From typed values to SIMD lanes
+//!
+//! The kernels are generic over [`ColumnValue`], but the SIMD layer scans
+//! raw unsigned lanes. The bridge is two exact rewrites:
+//!
+//! 1. the two-sided test `x ∈ [lo, hi)` collapses to one unsigned compare
+//!    through the order-preserving `u64` mapping:
+//!    `ord(x) - ord(lo) < ord(hi) - ord(lo)` in wrapping arithmetic;
+//! 2. because the sign-flip of `to_ordered_u64` is congruent to adding the
+//!    sign bit mod 2^BITS, that wrapped difference is *identical* computed
+//!    on raw bit patterns in native width
+//!    ([`ColumnValue::lane_bits`]) — `i32` lanes scan as `u32` lanes with
+//!    zero per-element conversion work.
+//!
 //! The [`zone`] submodule provides the per-partition min/max zone maps that
 //! let the read paths in [`crate::ops`] prune partitions before any of
 //! these kernels touch data. The [`compressed`] submodule carries the same
 //! kernel surface (`count_eq` / `count_range` / `select_range_bitmap` /
 //! `sum_payload_range`) over the §6.2 codecs — FoR, dictionary, RLE —
-//! operating directly on the encoded representations, no decode step.
+//! operating directly on the encoded representations, no decode step
+//! (their u8/u16 packed lanes are where the SIMD lane density pays most:
+//! 64/32 values per AVX-512 compare).
 //!
 //! Every kernel has a pure-scalar reference twin in
 //! [`crate::ops::scalar`]; property tests assert bit-exact result
-//! equivalence and `casper-bench`'s `scan_ops` bench tracks the speedup.
+//! equivalence (including against the forced-scalar dispatch level) and
+//! `casper-bench`'s `scan_ops` bench tracks the speedup in
+//! `BENCH_scan.json`.
 
 pub mod compressed;
 pub mod zone;
@@ -34,6 +54,7 @@ pub mod zone;
 pub use compressed::Fragment;
 pub use zone::ZoneMap;
 
+use crate::simd::{self, SimdElem};
 use crate::value::ColumnValue;
 
 /// Values per lane: one bitmap word (`u64`) describes one lane.
@@ -42,53 +63,47 @@ pub const LANE_WIDTH: usize = 64;
 /// Values per count-then-collect sub-chunk in [`select_eq_into`]: large
 /// enough that the vectorized count pass dominates, small enough that the
 /// scalar collect pass over a matching sub-chunk stays cheap.
-const SELECT_SUBCHUNK: usize = 1024;
+pub(crate) const SELECT_SUBCHUNK: usize = 1024;
 
 /// Count live values equal to `v`.
 ///
-/// Branchless: the comparison result is accumulated as an integer, so the
-/// loop body is identical for hits and misses and auto-vectorizes.
+/// Dispatched SIMD equality count over the raw-bits lane (equality is
+/// bit-pattern equality for every [`ColumnValue`]).
 #[inline]
 pub fn count_eq<K: ColumnValue>(lane: &[K], v: K) -> u64 {
-    let mut acc = 0u64;
-    for &x in lane {
-        acc += u64::from(x == v);
-    }
-    acc
+    SimdElem::count_eq(K::lane_bits(lane), v.to_bits())
 }
 
 /// Count live values in the half-open interval `[lo, hi)`.
 ///
 /// The two-sided test collapses to a *single* unsigned compare through the
 /// order-preserving `u64` mapping: `x ∈ [lo, hi)` ⇔
-/// `ord(x) - ord(lo) < ord(hi) - ord(lo)` in wrapping arithmetic — half the
-/// comparison work per element and an easier auto-vectorization target.
+/// `ord(x) - ord(lo) < ord(hi) - ord(lo)` in wrapping arithmetic — and that
+/// wrapped difference is identical on raw bits in native lane width, which
+/// is what the SIMD window kernel evaluates.
 #[inline]
 pub fn count_range<K: ColumnValue>(lane: &[K], lo: K, hi: K) -> u64 {
     if hi <= lo {
         return 0;
     }
-    let base = lo.to_ordered_u64();
-    let span = hi.to_ordered_u64().wrapping_sub(base);
-    let mut acc = 0u64;
-    for &x in lane {
-        acc += u64::from(x.to_ordered_u64().wrapping_sub(base) < span);
-    }
-    acc
+    let span = hi.to_ordered_u64().wrapping_sub(lo.to_ordered_u64());
+    SimdElem::count_window(K::lane_bits(lane), lo.to_bits(), K::Bits::narrow(span))
 }
 
-/// Find the minimum and maximum of a slice in one branch-predictable pass.
+/// Find the minimum and maximum of a slice in one vectorized pass.
 /// Returns `None` for an empty slice.
+///
+/// The SIMD layer compares unsigned; XORing with the sign mask (the raw
+/// bits of `K::MIN_VALUE` — zero for unsigned types) normalizes signed
+/// lanes into unsigned order, and the same XOR maps the extrema back.
 #[inline]
 pub fn min_max<K: ColumnValue>(lane: &[K]) -> Option<(K, K)> {
-    let (&first, rest) = lane.split_first()?;
-    let mut lo = first;
-    let mut hi = first;
-    for &x in rest {
-        lo = if x < lo { x } else { lo };
-        hi = if x > hi { x } else { hi };
-    }
-    Some((lo, hi))
+    let flip = K::MIN_VALUE.to_bits();
+    let (lo, hi) = SimdElem::min_max_flipped(K::lane_bits(lane), flip)?;
+    // Results arrive in the flipped (order-normalized) domain; the same
+    // XOR maps them back to raw bits.
+    let unflip = |v: K::Bits| K::from_bits(K::Bits::narrow(v.widen() ^ flip.widen()));
+    Some((unflip(lo), unflip(hi)))
 }
 
 /// Append the positions (offset by `base`) of every value equal to `v`.
@@ -118,80 +133,45 @@ pub fn select_eq_into<K: ColumnValue>(lane: &[K], v: K, base: usize, out: &mut V
 /// [`LANE_WIDTH`] values (bit `i` of word `w` ⇔ `lane[w * 64 + i]`
 /// qualifies; a final partial lane produces a zero-padded word). Returns the
 /// number of qualifying values.
+///
+/// This is the compare→movemask→word-packing path: on AVX-512 a u8 lane
+/// produces one full word per compare; on AVX2 the movemask bits are packed
+/// into words; the portable fallback shifts bools.
 pub fn select_range_bitmap<K: ColumnValue>(lane: &[K], lo: K, hi: K, out: &mut Vec<u64>) -> u64 {
     if hi <= lo {
         out.extend(std::iter::repeat_n(0, lane.len().div_ceil(LANE_WIDTH)));
         return 0;
     }
-    let base = lo.to_ordered_u64();
-    let span = hi.to_ordered_u64().wrapping_sub(base);
-    let mut matched = 0u64;
-    let mut chunks = lane.chunks_exact(LANE_WIDTH);
-    for chunk in &mut chunks {
-        let mut word = 0u64;
-        for (bit, &x) in chunk.iter().enumerate() {
-            word |= u64::from(x.to_ordered_u64().wrapping_sub(base) < span) << bit;
-        }
-        matched += u64::from(word.count_ones());
-        out.push(word);
-    }
-    let rem = chunks.remainder();
-    if !rem.is_empty() {
-        let mut word = 0u64;
-        for (bit, &x) in rem.iter().enumerate() {
-            word |= u64::from(x.to_ordered_u64().wrapping_sub(base) < span) << bit;
-        }
-        matched += u64::from(word.count_ones());
-        out.push(word);
-    }
-    matched
+    let span = hi.to_ordered_u64().wrapping_sub(lo.to_ordered_u64());
+    SimdElem::bitmap_window(K::lane_bits(lane), lo.to_bits(), K::Bits::narrow(span), out)
 }
 
 /// Fused filter + aggregate: over every `i` where `keys[i] ∈ [lo, hi)`,
-/// count the match and sum `payload[i]` (widened) in one branchless
-/// multiply-masked pass — no bitmap materialization, no position list
-/// (HAP Q3's hot loop). Returns `(matched, sum)` so callers need no
-/// separate counting pass over the key lane.
+/// count the match and sum `payload[i]` (widened) in one masked pass — no
+/// bitmap materialization, no position list (HAP Q3's hot loop). Returns
+/// `(matched, sum)` so callers need no separate counting pass over the key
+/// lane.
 pub fn sum_payload_range<K: ColumnValue>(keys: &[K], payload: &[u32], lo: K, hi: K) -> (u64, u64) {
     debug_assert_eq!(keys.len(), payload.len());
     if hi <= lo {
         return (0, 0);
     }
-    let base = lo.to_ordered_u64();
-    let span = hi.to_ordered_u64().wrapping_sub(base);
-    let mut matched = 0u64;
-    let mut acc = 0u64;
-    for (&x, &p) in keys.iter().zip(payload) {
-        let mask = u64::from(x.to_ordered_u64().wrapping_sub(base) < span);
-        matched += mask;
-        acc += mask * u64::from(p);
-    }
-    (matched, acc)
+    let span = hi.to_ordered_u64().wrapping_sub(lo.to_ordered_u64());
+    SimdElem::sum_window(
+        K::lane_bits(keys),
+        payload,
+        lo.to_bits(),
+        K::Bits::narrow(span),
+    )
 }
 
 /// Sum `payload[i]` (widened to `u64`) for every position `i` whose bit is
 /// set in the bitmap produced by [`select_range_bitmap`] over the same
 /// lane. Positions beyond `payload.len()` must be clear in the mask.
+/// Dense words (all 64 bits set) take a vectorized straight-line sum.
+#[inline]
 pub fn sum_payload_masked(payload: &[u32], mask: &[u64]) -> u64 {
-    debug_assert!(payload.len() <= mask.len() * LANE_WIDTH);
-    let mut acc = 0u64;
-    for (w, &word) in mask.iter().enumerate() {
-        let lane_base = w * LANE_WIDTH;
-        if word == u64::MAX {
-            // Dense lane: straight-line sum, no bit decoding.
-            for &p in &payload[lane_base..lane_base + LANE_WIDTH] {
-                acc += u64::from(p);
-            }
-        } else {
-            let mut bits = word;
-            while bits != 0 {
-                let bit = bits.trailing_zeros() as usize;
-                acc += u64::from(payload[lane_base + bit]);
-                bits &= bits - 1;
-            }
-        }
-    }
-    acc
+    simd::sum_payload_masked(payload, mask)
 }
 
 /// Invoke `f(position, value)` for every set bit of `mask`, where bit `i`

@@ -35,6 +35,7 @@ pub mod layout;
 pub mod ops;
 pub mod partition;
 pub mod payload;
+pub mod simd;
 pub mod sorted;
 pub mod value;
 

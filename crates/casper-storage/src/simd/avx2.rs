@@ -1,0 +1,343 @@
+//! AVX2 backend: 256-bit compares + `movemask` word packing.
+//!
+//! Every kernel is built from one per-width primitive — `window_word` /
+//! `eq_word`, which evaluate a predicate over **exactly 64 consecutive
+//! elements** and return the 64-bit match bitmap (bit `i` ⇔ element `i`
+//! qualifies) — plus the shared loop shapes in
+//! [`super::arch_kernels`]. Packing strategy per width:
+//!
+//! * `u8` — 32 lanes/vector; `movemask_epi8` yields 32 element bits, two
+//!   vectors per word.
+//! * `u16` — 16 lanes/vector; pairs of compare results are saturating-packed
+//!   to bytes (`packs_epi16` + a `permute4x64` to undo the 128-bit lane
+//!   interleave) so one `movemask_epi8` covers 32 elements.
+//! * `u32` — 8 lanes/vector via `movemask_ps`.
+//! * `u64` — 4 lanes/vector via `movemask_pd`.
+//!
+//! AVX2 has no unsigned compares, so the window test `x - lo <u span` is
+//! evaluated as `(x - lo) ^ 0x80… <s span ^ 0x80…` (flip the sign bit of
+//! both sides, compare signed) — the classic bias trick.
+//!
+//! # Safety
+//!
+//! Every function in this module requires the `avx2` target feature; the
+//! dispatcher in [`super`] only routes here after
+//! `is_x86_feature_detected!("avx2")` proved it.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use super::arch_kernels;
+use std::arch::x86_64::*;
+
+/// Sum 64 consecutive `u32`s starting at `ptr`, widened to `u64`.
+///
+/// # Safety
+/// Requires AVX2 and 64 readable `u32`s at `ptr`.
+#[inline]
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum64_u32(ptr: *const u32) -> u64 {
+    let mut acc = _mm256_setzero_si256();
+    for i in 0..8 {
+        let v = _mm256_loadu_si256(ptr.add(i * 8) as *const __m256i);
+        let lo = _mm256_cvtepu32_epi64(_mm256_castsi256_si128(v));
+        let hi = _mm256_cvtepu32_epi64(_mm256_extracti128_si256(v, 1));
+        acc = _mm256_add_epi64(acc, _mm256_add_epi64(lo, hi));
+    }
+    reduce_add_u64(acc)
+}
+
+/// Widening sum of a whole `u32` slice.
+///
+/// # Safety
+/// Requires AVX2.
+#[target_feature(enable = "avx2")]
+pub unsafe fn sum_u32(payload: &[u32]) -> u64 {
+    let mut acc = 0u64;
+    let mut chunks = payload.chunks_exact(64);
+    for c in &mut chunks {
+        acc += sum64_u32(c.as_ptr());
+    }
+    for &p in chunks.remainder() {
+        acc += u64::from(p);
+    }
+    acc
+}
+
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn reduce_add_u64(v: __m256i) -> u64 {
+    let mut tmp = [0u64; 4];
+    _mm256_storeu_si256(tmp.as_mut_ptr() as *mut __m256i, v);
+    tmp[0]
+        .wrapping_add(tmp[1])
+        .wrapping_add(tmp[2])
+        .wrapping_add(tmp[3])
+}
+
+/// Generate the min/max kernel for one width from its `epu` intrinsics
+/// (mirrors `avx512::avx512_min_max`; AVX2 lacks `epu64` min/max, so the
+/// u64 variant stays hand-written in [`w64`]).
+macro_rules! avx2_min_max {
+    ($t:ty, $lanes:expr, set1 = $set1:ident, min = $min:ident, max = $max:ident) => {
+        /// Min/max of `x ^ flip` over a non-empty lane.
+        ///
+        /// # Safety
+        /// Requires AVX2; `lane` must be non-empty.
+        #[target_feature(enable = "avx2")]
+        pub unsafe fn min_max_flipped(lane: &[$t], flip: $t) -> ($t, $t) {
+            let flipv = $set1(flip as _);
+            let mut vmin = $set1(<$t>::MAX as _);
+            let mut vmax = _mm256_setzero_si256();
+            let mut chunks = lane.chunks_exact($lanes);
+            for c in &mut chunks {
+                let x = _mm256_xor_si256(_mm256_loadu_si256(c.as_ptr() as *const __m256i), flipv);
+                vmin = $min(vmin, x);
+                vmax = $max(vmax, x);
+            }
+            let mut mins = [<$t>::MAX; $lanes];
+            let mut maxs = [0 as $t; $lanes];
+            _mm256_storeu_si256(mins.as_mut_ptr() as *mut __m256i, vmin);
+            _mm256_storeu_si256(maxs.as_mut_ptr() as *mut __m256i, vmax);
+            let mut lo = <$t>::MAX;
+            let mut hi = 0 as $t;
+            for i in 0..$lanes {
+                lo = lo.min(mins[i]);
+                hi = hi.max(maxs[i]);
+            }
+            for &x in chunks.remainder() {
+                let v = x ^ flip;
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            (lo, hi)
+        }
+    };
+}
+
+/// u8 lanes: 32 per vector, two vectors per bitmap word.
+pub mod w8 {
+    use super::*;
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn window_word(ptr: *const u8, lo: u8, span: u8) -> u64 {
+        let lov = _mm256_set1_epi8(lo as i8);
+        let bias = _mm256_set1_epi8(i8::MIN);
+        let spanb = _mm256_xor_si256(_mm256_set1_epi8(span as i8), bias);
+        let mut word = 0u64;
+        for half in 0..2 {
+            let x = _mm256_loadu_si256(ptr.add(half * 32) as *const __m256i);
+            let d = _mm256_xor_si256(_mm256_sub_epi8(x, lov), bias);
+            let m = _mm256_movemask_epi8(_mm256_cmpgt_epi8(spanb, d)) as u32;
+            word |= u64::from(m) << (half * 32);
+        }
+        word
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn eq_word(ptr: *const u8, target: u8) -> u64 {
+        let tv = _mm256_set1_epi8(target as i8);
+        let mut word = 0u64;
+        for half in 0..2 {
+            let x = _mm256_loadu_si256(ptr.add(half * 32) as *const __m256i);
+            let m = _mm256_movemask_epi8(_mm256_cmpeq_epi8(x, tv)) as u32;
+            word |= u64::from(m) << (half * 32);
+        }
+        word
+    }
+
+    avx2_min_max!(
+        u8,
+        32,
+        set1 = _mm256_set1_epi8,
+        min = _mm256_min_epu8,
+        max = _mm256_max_epu8
+    );
+    arch_kernels!("avx2", u8);
+}
+
+/// u16 lanes: 16 per vector, compare pairs packed to one 32-bit mask.
+pub mod w16 {
+    use super::*;
+
+    /// Pack two 16-bit compare results (lanes of `0x0000`/`0xFFFF`) into a
+    /// 32-bit element mask: saturating-pack to bytes, fix the 128-bit lane
+    /// interleave, movemask.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn pair_mask(c0: __m256i, c1: __m256i) -> u32 {
+        let packed = _mm256_packs_epi16(c0, c1);
+        let fixed = _mm256_permute4x64_epi64(packed, 0b11_01_10_00);
+        _mm256_movemask_epi8(fixed) as u32
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn window_cmp(x: __m256i, lov: __m256i, spanb: __m256i, bias: __m256i) -> __m256i {
+        let d = _mm256_xor_si256(_mm256_sub_epi16(x, lov), bias);
+        _mm256_cmpgt_epi16(spanb, d)
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn window_word(ptr: *const u16, lo: u16, span: u16) -> u64 {
+        let lov = _mm256_set1_epi16(lo as i16);
+        let bias = _mm256_set1_epi16(i16::MIN);
+        let spanb = _mm256_xor_si256(_mm256_set1_epi16(span as i16), bias);
+        let mut word = 0u64;
+        for half in 0..2 {
+            let a = _mm256_loadu_si256(ptr.add(half * 32) as *const __m256i);
+            let b = _mm256_loadu_si256(ptr.add(half * 32 + 16) as *const __m256i);
+            let m = pair_mask(
+                window_cmp(a, lov, spanb, bias),
+                window_cmp(b, lov, spanb, bias),
+            );
+            word |= u64::from(m) << (half * 32);
+        }
+        word
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn eq_word(ptr: *const u16, target: u16) -> u64 {
+        let tv = _mm256_set1_epi16(target as i16);
+        let mut word = 0u64;
+        for half in 0..2 {
+            let a = _mm256_loadu_si256(ptr.add(half * 32) as *const __m256i);
+            let b = _mm256_loadu_si256(ptr.add(half * 32 + 16) as *const __m256i);
+            let m = pair_mask(_mm256_cmpeq_epi16(a, tv), _mm256_cmpeq_epi16(b, tv));
+            word |= u64::from(m) << (half * 32);
+        }
+        word
+    }
+
+    avx2_min_max!(
+        u16,
+        16,
+        set1 = _mm256_set1_epi16,
+        min = _mm256_min_epu16,
+        max = _mm256_max_epu16
+    );
+    arch_kernels!("avx2", u16);
+}
+
+/// u32 lanes: 8 per vector via `movemask_ps`.
+pub mod w32 {
+    use super::*;
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn window_word(ptr: *const u32, lo: u32, span: u32) -> u64 {
+        let lov = _mm256_set1_epi32(lo as i32);
+        let bias = _mm256_set1_epi32(i32::MIN);
+        let spanb = _mm256_xor_si256(_mm256_set1_epi32(span as i32), bias);
+        let mut word = 0u64;
+        for i in 0..8 {
+            let x = _mm256_loadu_si256(ptr.add(i * 8) as *const __m256i);
+            let d = _mm256_xor_si256(_mm256_sub_epi32(x, lov), bias);
+            let c = _mm256_cmpgt_epi32(spanb, d);
+            let m = _mm256_movemask_ps(_mm256_castsi256_ps(c)) as u32;
+            word |= u64::from(m) << (i * 8);
+        }
+        word
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn eq_word(ptr: *const u32, target: u32) -> u64 {
+        let tv = _mm256_set1_epi32(target as i32);
+        let mut word = 0u64;
+        for i in 0..8 {
+            let x = _mm256_loadu_si256(ptr.add(i * 8) as *const __m256i);
+            let m = _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(x, tv))) as u32;
+            word |= u64::from(m) << (i * 8);
+        }
+        word
+    }
+
+    avx2_min_max!(
+        u32,
+        8,
+        set1 = _mm256_set1_epi32,
+        min = _mm256_min_epu32,
+        max = _mm256_max_epu32
+    );
+    arch_kernels!("avx2", u32);
+}
+
+/// u64 lanes: 4 per vector via `movemask_pd`; AVX2 lacks `epu64` min/max,
+/// so min/max tracks via biased `cmpgt_epi64` + `blendv`.
+pub mod w64 {
+    use super::*;
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn window_word(ptr: *const u64, lo: u64, span: u64) -> u64 {
+        let lov = _mm256_set1_epi64x(lo as i64);
+        let bias = _mm256_set1_epi64x(i64::MIN);
+        let spanb = _mm256_xor_si256(_mm256_set1_epi64x(span as i64), bias);
+        let mut word = 0u64;
+        for i in 0..16 {
+            let x = _mm256_loadu_si256(ptr.add(i * 4) as *const __m256i);
+            let d = _mm256_xor_si256(_mm256_sub_epi64(x, lov), bias);
+            let c = _mm256_cmpgt_epi64(spanb, d);
+            let m = _mm256_movemask_pd(_mm256_castsi256_pd(c)) as u32;
+            word |= u64::from(m) << (i * 4);
+        }
+        word
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn eq_word(ptr: *const u64, target: u64) -> u64 {
+        let tv = _mm256_set1_epi64x(target as i64);
+        let mut word = 0u64;
+        for i in 0..16 {
+            let x = _mm256_loadu_si256(ptr.add(i * 4) as *const __m256i);
+            let m = _mm256_movemask_pd(_mm256_castsi256_pd(_mm256_cmpeq_epi64(x, tv))) as u32;
+            word |= u64::from(m) << (i * 4);
+        }
+        word
+    }
+
+    /// Min/max of `x ^ flip` over a non-empty lane.
+    ///
+    /// Tracks extrema in the sign-biased domain (`x ^ flip ^ 1<<63`) where
+    /// `cmpgt_epi64` orders correctly, un-biasing on reduction.
+    ///
+    /// # Safety
+    /// Requires AVX2; `lane` must be non-empty.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn min_max_flipped(lane: &[u64], flip: u64) -> (u64, u64) {
+        let sign = 1u64 << 63;
+        let prev = _mm256_set1_epi64x((flip ^ sign) as i64);
+        let mut vmin = _mm256_set1_epi64x(i64::MAX);
+        let mut vmax = _mm256_set1_epi64x(i64::MIN);
+        let mut chunks = lane.chunks_exact(4);
+        for c in &mut chunks {
+            let x = _mm256_xor_si256(_mm256_loadu_si256(c.as_ptr() as *const __m256i), prev);
+            vmin = _mm256_blendv_epi8(vmin, x, _mm256_cmpgt_epi64(vmin, x));
+            vmax = _mm256_blendv_epi8(vmax, x, _mm256_cmpgt_epi64(x, vmax));
+        }
+        let mut mins = [0u64; 4];
+        let mut maxs = [0u64; 4];
+        _mm256_storeu_si256(mins.as_mut_ptr() as *mut __m256i, vmin);
+        _mm256_storeu_si256(maxs.as_mut_ptr() as *mut __m256i, vmax);
+        // Un-bias back to the flipped (order-normalized unsigned) domain.
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for i in 0..4 {
+            lo = lo.min(mins[i] ^ sign);
+            hi = hi.max(maxs[i] ^ sign);
+        }
+        for &x in chunks.remainder() {
+            let v = x ^ flip;
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+
+    arch_kernels!("avx2", u64);
+}

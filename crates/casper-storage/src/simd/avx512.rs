@@ -1,0 +1,267 @@
+//! AVX-512 backend: 512-bit compares producing `__mmask` registers.
+//!
+//! Where AVX2 needs compare → movemask → shift/or per vector, AVX-512's
+//! mask-register compares hand back the bitmap bits directly — and they
+//! come in *unsigned* flavours, so the window test `x - lo <u span` is a
+//! single `vpsubb` + `vpcmpub` with no sign-bias trick. Lanes per 512-bit
+//! vector: 64×u8 (one compare = one whole bitmap word), 32×u16, 16×u32,
+//! 8×u64.
+//!
+//! Requires `avx512f` (32/64-bit element ops) and `avx512bw` (8/16-bit
+//! element ops); the dispatcher treats the pair as one level since every
+//! width must be available.
+//!
+//! # Safety
+//!
+//! Every function requires the `avx512f,avx512bw` target features; the
+//! dispatcher in [`super`] only routes here after
+//! `is_x86_feature_detected!` proved both.
+
+#![allow(unsafe_op_in_unsafe_fn)]
+
+use super::arch_kernels;
+use std::arch::x86_64::*;
+
+/// Sum 64 consecutive `u32`s starting at `ptr`, widened to `u64`.
+///
+/// # Safety
+/// Requires AVX-512F and 64 readable `u32`s at `ptr`.
+#[inline]
+#[target_feature(enable = "avx512f,avx512bw")]
+pub unsafe fn sum64_u32(ptr: *const u32) -> u64 {
+    let mut acc = _mm512_setzero_si512();
+    for i in 0..4 {
+        let v = _mm512_loadu_si512(ptr.add(i * 16) as *const _);
+        let lo = _mm512_cvtepu32_epi64(_mm512_castsi512_si256(v));
+        let hi = _mm512_cvtepu32_epi64(_mm512_extracti64x4_epi64(v, 1));
+        acc = _mm512_add_epi64(acc, _mm512_add_epi64(lo, hi));
+    }
+    _mm512_reduce_add_epi64(acc) as u64
+}
+
+/// Widening sum of a whole `u32` slice.
+///
+/// # Safety
+/// Requires AVX-512F/BW.
+#[target_feature(enable = "avx512f,avx512bw")]
+pub unsafe fn sum_u32(payload: &[u32]) -> u64 {
+    let mut acc = 0u64;
+    let mut chunks = payload.chunks_exact(64);
+    for c in &mut chunks {
+        acc += sum64_u32(c.as_ptr());
+    }
+    for &p in chunks.remainder() {
+        acc += u64::from(p);
+    }
+    acc
+}
+
+/// Generate the min/max kernel for one width from its `epu` intrinsics.
+macro_rules! avx512_min_max {
+    ($t:ty, $lanes:expr, set1 = $set1:ident, min = $min:ident, max = $max:ident) => {
+        /// Min/max of `x ^ flip` over a non-empty lane.
+        ///
+        /// # Safety
+        /// Requires AVX-512F/BW; `lane` must be non-empty.
+        #[target_feature(enable = "avx512f,avx512bw")]
+        pub unsafe fn min_max_flipped(lane: &[$t], flip: $t) -> ($t, $t) {
+            let flipv = $set1(flip as _);
+            let mut vmin = $set1(<$t>::MAX as _);
+            let mut vmax = _mm512_setzero_si512();
+            let mut chunks = lane.chunks_exact($lanes);
+            for c in &mut chunks {
+                let x = _mm512_xor_si512(_mm512_loadu_si512(c.as_ptr() as *const _), flipv);
+                vmin = $min(vmin, x);
+                vmax = $max(vmax, x);
+            }
+            let mut mins = [<$t>::MAX; $lanes];
+            let mut maxs = [0 as $t; $lanes];
+            _mm512_storeu_si512(mins.as_mut_ptr() as *mut _, vmin);
+            _mm512_storeu_si512(maxs.as_mut_ptr() as *mut _, vmax);
+            let mut lo = <$t>::MAX;
+            let mut hi = 0 as $t;
+            for i in 0..$lanes {
+                lo = lo.min(mins[i]);
+                hi = hi.max(maxs[i]);
+            }
+            for &x in chunks.remainder() {
+                let v = x ^ flip;
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            (lo, hi)
+        }
+    };
+}
+
+/// u8 lanes: one 512-bit compare yields a full 64-bit bitmap word.
+pub mod w8 {
+    use super::*;
+
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn window_word(ptr: *const u8, lo: u8, span: u8) -> u64 {
+        let lov = _mm512_set1_epi8(lo as i8);
+        let spanv = _mm512_set1_epi8(span as i8);
+        let x = _mm512_loadu_si512(ptr as *const _);
+        _mm512_cmplt_epu8_mask(_mm512_sub_epi8(x, lov), spanv)
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn eq_word(ptr: *const u8, target: u8) -> u64 {
+        let tv = _mm512_set1_epi8(target as i8);
+        _mm512_cmpeq_epi8_mask(_mm512_loadu_si512(ptr as *const _), tv)
+    }
+
+    avx512_min_max!(
+        u8,
+        64,
+        set1 = _mm512_set1_epi8,
+        min = _mm512_min_epu8,
+        max = _mm512_max_epu8
+    );
+    arch_kernels!("avx512f,avx512bw", u8);
+}
+
+/// u16 lanes: 32 per vector, two compares per bitmap word.
+pub mod w16 {
+    use super::*;
+
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn window_word(ptr: *const u16, lo: u16, span: u16) -> u64 {
+        let lov = _mm512_set1_epi16(lo as i16);
+        let spanv = _mm512_set1_epi16(span as i16);
+        let a = _mm512_loadu_si512(ptr as *const _);
+        let b = _mm512_loadu_si512(ptr.add(32) as *const _);
+        let ma = _mm512_cmplt_epu16_mask(_mm512_sub_epi16(a, lov), spanv);
+        let mb = _mm512_cmplt_epu16_mask(_mm512_sub_epi16(b, lov), spanv);
+        u64::from(ma) | (u64::from(mb) << 32)
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn eq_word(ptr: *const u16, target: u16) -> u64 {
+        let tv = _mm512_set1_epi16(target as i16);
+        let ma = _mm512_cmpeq_epi16_mask(_mm512_loadu_si512(ptr as *const _), tv);
+        let mb = _mm512_cmpeq_epi16_mask(_mm512_loadu_si512(ptr.add(32) as *const _), tv);
+        u64::from(ma) | (u64::from(mb) << 32)
+    }
+
+    avx512_min_max!(
+        u16,
+        32,
+        set1 = _mm512_set1_epi16,
+        min = _mm512_min_epu16,
+        max = _mm512_max_epu16
+    );
+    arch_kernels!("avx512f,avx512bw", u16);
+}
+
+/// u32 lanes: 16 per vector, four compares per bitmap word.
+pub mod w32 {
+    use super::*;
+
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn window_word(ptr: *const u32, lo: u32, span: u32) -> u64 {
+        let lov = _mm512_set1_epi32(lo as i32);
+        let spanv = _mm512_set1_epi32(span as i32);
+        let mut word = 0u64;
+        for i in 0..4 {
+            let x = _mm512_loadu_si512(ptr.add(i * 16) as *const _);
+            let m = _mm512_cmplt_epu32_mask(_mm512_sub_epi32(x, lov), spanv);
+            word |= u64::from(m) << (i * 16);
+        }
+        word
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn eq_word(ptr: *const u32, target: u32) -> u64 {
+        let tv = _mm512_set1_epi32(target as i32);
+        let mut word = 0u64;
+        for i in 0..4 {
+            let x = _mm512_loadu_si512(ptr.add(i * 16) as *const _);
+            word |= u64::from(_mm512_cmpeq_epi32_mask(x, tv)) << (i * 16);
+        }
+        word
+    }
+
+    avx512_min_max!(
+        u32,
+        16,
+        set1 = _mm512_set1_epi32,
+        min = _mm512_min_epu32,
+        max = _mm512_max_epu32
+    );
+    arch_kernels!("avx512f,avx512bw", u32);
+}
+
+/// u64 lanes: 8 per vector, eight compares per bitmap word.
+pub mod w64 {
+    use super::*;
+
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn window_word(ptr: *const u64, lo: u64, span: u64) -> u64 {
+        let lov = _mm512_set1_epi64(lo as i64);
+        let spanv = _mm512_set1_epi64(span as i64);
+        let mut word = 0u64;
+        for i in 0..8 {
+            let x = _mm512_loadu_si512(ptr.add(i * 8) as *const _);
+            let m = _mm512_cmplt_epu64_mask(_mm512_sub_epi64(x, lov), spanv);
+            word |= u64::from(m) << (i * 8);
+        }
+        word
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx512f,avx512bw")]
+    unsafe fn eq_word(ptr: *const u64, target: u64) -> u64 {
+        let tv = _mm512_set1_epi64(target as i64);
+        let mut word = 0u64;
+        for i in 0..8 {
+            let x = _mm512_loadu_si512(ptr.add(i * 8) as *const _);
+            word |= u64::from(_mm512_cmpeq_epi64_mask(x, tv)) << (i * 8);
+        }
+        word
+    }
+
+    /// Min/max of `x ^ flip` over a non-empty lane (AVX-512F has native
+    /// `epu64` min/max, unlike AVX2).
+    ///
+    /// # Safety
+    /// Requires AVX-512F/BW; `lane` must be non-empty.
+    #[target_feature(enable = "avx512f,avx512bw")]
+    pub unsafe fn min_max_flipped(lane: &[u64], flip: u64) -> (u64, u64) {
+        let flipv = _mm512_set1_epi64(flip as i64);
+        let mut vmin = _mm512_set1_epi64(-1i64);
+        let mut vmax = _mm512_setzero_si512();
+        let mut chunks = lane.chunks_exact(8);
+        for c in &mut chunks {
+            let x = _mm512_xor_si512(_mm512_loadu_si512(c.as_ptr() as *const _), flipv);
+            vmin = _mm512_min_epu64(vmin, x);
+            vmax = _mm512_max_epu64(vmax, x);
+        }
+        let mut mins = [u64::MAX; 8];
+        let mut maxs = [0u64; 8];
+        _mm512_storeu_si512(mins.as_mut_ptr() as *mut _, vmin);
+        _mm512_storeu_si512(maxs.as_mut_ptr() as *mut _, vmax);
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for i in 0..8 {
+            lo = lo.min(mins[i]);
+            hi = hi.max(maxs[i]);
+        }
+        for &x in chunks.remainder() {
+            let v = x ^ flip;
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    }
+
+    arch_kernels!("avx512f,avx512bw", u64);
+}

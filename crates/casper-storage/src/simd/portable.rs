@@ -1,0 +1,126 @@
+//! Portable fallback kernels: safe, branchless chunked-scalar loops.
+//!
+//! These are the reference semantics for the whole dispatch layer — every
+//! arch backend is property-tested bit-exact against them — and the code
+//! the [`super::SimdLevel::Scalar`] level actually runs. The loops are
+//! written in the accumulate-a-bool style the auto-vectorizer handles well,
+//! so on x86-64 the fallback still runs at SSE2 speed; on non-x86 targets
+//! it is the only path.
+
+use super::SimdElem;
+
+/// Count lane entries equal to `target`.
+pub fn count_eq<T: SimdElem>(lane: &[T], target: T) -> u64 {
+    let mut acc = 0u64;
+    for &x in lane {
+        acc += u64::from(x == target);
+    }
+    acc
+}
+
+/// Count lane entries in `[lo, lo + span)` via the wrapped compare.
+pub fn count_window<T: SimdElem>(lane: &[T], lo: T, span: T) -> u64 {
+    let mut acc = 0u64;
+    for &x in lane {
+        acc += u64::from(x.wsub(lo) < span);
+    }
+    acc
+}
+
+/// Evaluate the window into bitmap words (bit `i` of word `w` ⇔
+/// `lane[w * 64 + i]` qualifies; zero-padded final word). Returns the
+/// match count.
+pub fn bitmap_window<T: SimdElem>(lane: &[T], lo: T, span: T, out: &mut Vec<u64>) -> u64 {
+    let mut matched = 0u64;
+    let mut chunks = lane.chunks_exact(64);
+    for chunk in &mut chunks {
+        let mut word = 0u64;
+        for (bit, &x) in chunk.iter().enumerate() {
+            word |= u64::from(x.wsub(lo) < span) << bit;
+        }
+        matched += u64::from(word.count_ones());
+        out.push(word);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut word = 0u64;
+        for (bit, &x) in rem.iter().enumerate() {
+            word |= u64::from(x.wsub(lo) < span) << bit;
+        }
+        matched += u64::from(word.count_ones());
+        out.push(word);
+    }
+    matched
+}
+
+/// Fused window filter + payload aggregation: `(matched, sum)`.
+pub fn sum_window<T: SimdElem>(keys: &[T], payload: &[u32], lo: T, span: T) -> (u64, u64) {
+    let mut matched = 0u64;
+    let mut acc = 0u64;
+    for (&x, &p) in keys.iter().zip(payload) {
+        let m = u64::from(x.wsub(lo) < span);
+        matched += m;
+        acc += m * u64::from(p);
+    }
+    (matched, acc)
+}
+
+/// Min/max of `x ^ flip` over a non-empty lane.
+pub fn min_max_flipped<T: SimdElem>(lane: &[T], flip: T) -> (T, T) {
+    debug_assert!(!lane.is_empty());
+    let f = flip.widen();
+    let mut lo = lane[0].widen() ^ f;
+    let mut hi = lo;
+    for &x in &lane[1..] {
+        let v = x.widen() ^ f;
+        lo = if v < lo { v } else { lo };
+        hi = if v > hi { v } else { hi };
+    }
+    (T::narrow(lo), T::narrow(hi))
+}
+
+/// Widening `u32 → u64` sum.
+pub fn sum_u32(payload: &[u32]) -> u64 {
+    let mut acc = 0u64;
+    for &p in payload {
+        acc += u64::from(p);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_is_half_open_and_wrap_safe() {
+        let lane: Vec<u8> = vec![0, 9, 10, 11, 250, 255];
+        // [10, 12): matches 10, 11.
+        assert_eq!(count_window(&lane, 10u8, 2), 2);
+        // [250, 256) expressed as lo=250, span=6: matches 250, 255.
+        assert_eq!(count_window(&lane, 250u8, 6), 2);
+        // Values below lo wrap to huge differences and never match.
+        assert_eq!(count_window(&lane, 200u8, 10), 0);
+    }
+
+    #[test]
+    fn min_max_flip_reorders_signed_bit_patterns() {
+        // Raw bit patterns of i8 [-2, 3] are [0xFE, 0x03]; flipping the
+        // sign bit makes the unsigned comparator order them correctly.
+        let lane: Vec<u8> = vec![0xFE, 0x03];
+        let (lo, hi) = min_max_flipped(&lane, 0x80u8);
+        // Results stay in the flipped (order-normalized) domain.
+        assert_eq!((lo, hi), (0xFE ^ 0x80, 0x03 ^ 0x80));
+    }
+
+    #[test]
+    fn bitmap_words_pad_the_tail() {
+        let lane: Vec<u16> = (0..70).collect();
+        let mut out = Vec::new();
+        let m = bitmap_window(&lane, 0u16, 70, &mut out);
+        assert_eq!(m, 70);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], u64::MAX);
+        assert_eq!(out[1], (1 << 6) - 1);
+    }
+}

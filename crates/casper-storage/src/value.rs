@@ -20,6 +20,17 @@ pub trait ColumnValue:
     /// Largest representable value.
     const MAX_VALUE: Self;
 
+    /// The unsigned lane type sharing this value's bit pattern — what the
+    /// SIMD kernels actually scan (`u32` for `i32`, identity for unsigned).
+    ///
+    /// The load-bearing property: because the sign-flip of
+    /// [`ColumnValue::to_ordered_u64`] is congruent to *adding* the sign
+    /// bit mod 2^BITS, wrapping differences are identical in ordered space
+    /// and raw-bits space (`ord(x) - ord(lo) ≡ bits(x) - bits(lo)`). Range
+    /// windows therefore evaluate directly on raw-bit lanes with unsigned
+    /// compares — no per-element order normalization.
+    type Bits: crate::simd::SimdElem;
+
     /// Order-preserving injection into `u64`.
     ///
     /// For signed types this is the usual sign-flip encoding, so that
@@ -28,6 +39,15 @@ pub trait ColumnValue:
 
     /// Inverse of [`ColumnValue::to_ordered_u64`].
     fn from_ordered_u64(v: u64) -> Self;
+
+    /// This value's raw bit pattern.
+    fn to_bits(self) -> Self::Bits;
+
+    /// Inverse of [`ColumnValue::to_bits`].
+    fn from_bits(bits: Self::Bits) -> Self;
+
+    /// Reinterpret a lane of values as its raw-bits lane (zero-copy).
+    fn lane_bits(lane: &[Self]) -> &[Self::Bits];
 }
 
 macro_rules! impl_unsigned_value {
@@ -36,6 +56,7 @@ macro_rules! impl_unsigned_value {
             const WIDTH: usize = std::mem::size_of::<$t>();
             const MIN_VALUE: Self = <$t>::MIN;
             const MAX_VALUE: Self = <$t>::MAX;
+            type Bits = $t;
 
             #[inline]
             fn to_ordered_u64(self) -> u64 {
@@ -45,6 +66,21 @@ macro_rules! impl_unsigned_value {
             #[inline]
             fn from_ordered_u64(v: u64) -> Self {
                 v as $t
+            }
+
+            #[inline]
+            fn to_bits(self) -> Self::Bits {
+                self
+            }
+
+            #[inline]
+            fn from_bits(bits: Self::Bits) -> Self {
+                bits
+            }
+
+            #[inline]
+            fn lane_bits(lane: &[Self]) -> &[Self::Bits] {
+                lane
             }
         }
     )*};
@@ -56,6 +92,7 @@ macro_rules! impl_signed_value {
             const WIDTH: usize = std::mem::size_of::<$t>();
             const MIN_VALUE: Self = <$t>::MIN;
             const MAX_VALUE: Self = <$t>::MAX;
+            type Bits = $ut;
 
             #[inline]
             fn to_ordered_u64(self) -> u64 {
@@ -67,6 +104,26 @@ macro_rules! impl_signed_value {
             #[inline]
             fn from_ordered_u64(v: u64) -> Self {
                 (v as $ut ^ (1 << (<$t>::BITS - 1))) as $t
+            }
+
+            #[inline]
+            fn to_bits(self) -> Self::Bits {
+                self as $ut
+            }
+
+            #[inline]
+            fn from_bits(bits: Self::Bits) -> Self {
+                bits as $t
+            }
+
+            #[inline]
+            fn lane_bits(lane: &[Self]) -> &[Self::Bits] {
+                // SAFETY: $t and $ut have identical size and alignment, and
+                // every bit pattern is valid for both — a plain
+                // reinterpretation, same as `<$t>::to_bits` element-wise.
+                unsafe {
+                    std::slice::from_raw_parts(lane.as_ptr().cast::<$ut>(), lane.len())
+                }
             }
         }
     )*};
@@ -120,6 +177,29 @@ mod tests {
         for w in samples.windows(2) {
             assert!(w[0].to_ordered_u64() < w[1].to_ordered_u64());
         }
+    }
+
+    #[test]
+    fn raw_bits_round_trip_and_wrapped_diff_matches_ordered() {
+        // The invariant the SIMD window kernels rely on: wrapping
+        // differences agree between ordered space and raw-bits space.
+        let samples = [i32::MIN, -100, -1, 0, 1, 100, i32::MAX];
+        for &a in &samples {
+            assert_eq!(i32::from_bits(a.to_bits()), a);
+            for &b in &samples {
+                let ord_diff = a.to_ordered_u64().wrapping_sub(b.to_ordered_u64()) as u32;
+                let bit_diff = a.to_bits().wrapping_sub(b.to_bits());
+                assert_eq!(ord_diff, bit_diff, "a={a} b={b}");
+            }
+        }
+        let lane = [-3i32, 7, i32::MIN];
+        let bits = i32::lane_bits(&lane);
+        assert_eq!(bits.len(), 3);
+        for (v, &b) in lane.iter().zip(bits) {
+            assert_eq!(v.to_bits(), b);
+        }
+        let unsigned = [5u64, u64::MAX];
+        assert_eq!(u64::lane_bits(&unsigned), &unsigned);
     }
 
     #[test]

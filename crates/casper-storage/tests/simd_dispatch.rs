@@ -1,0 +1,240 @@
+//! SIMD-vs-scalar bit-exactness: every dispatched kernel × lane width
+//! (u8/u16/u32/u64) must agree with the portable fallback on arbitrary
+//! data, arbitrary windows, unaligned lane starts, and ragged tails.
+//!
+//! On an AVX-512/AVX2 host this pits the intrinsic backends against the
+//! portable loops; on anything else both sides run portable and the tests
+//! degenerate to self-consistency (still useful: they pin the reference
+//! semantics). The forced-fallback env override is covered separately in
+//! `tests/forced_scalar.rs` (its own process, since the dispatch level is
+//! latched once).
+
+use casper_storage::kernels;
+use casper_storage::simd::{self, portable, SimdElem};
+use casper_storage::value::ColumnValue;
+use proptest::prelude::*;
+
+/// Compare every dispatched kernel against portable on one (lane, window)
+/// case. `offset` shifts the lane start so vector loads hit unaligned
+/// addresses; tail raggedness comes from the arbitrary length.
+fn check_width<T: SimdElem>(vals: &[T], offset: usize, lo: T, span_seed: u64, eq: T) {
+    let lane = &vals[offset.min(vals.len())..];
+    // Clamp the window into the SIMD contract: span >= 1, lo + span <= 2^BITS.
+    let max_span = (1u128 << T::BITS) - u128::from(lo.widen());
+    let span = T::narrow(((u128::from(span_seed) % max_span) as u64).max(1));
+
+    assert_eq!(
+        T::count_window(lane, lo, span),
+        portable::count_window(lane, lo, span),
+        "count_window u{} len={} off={offset} lo={lo} span={span}",
+        T::BITS,
+        lane.len(),
+    );
+    assert_eq!(
+        T::count_eq(lane, eq),
+        portable::count_eq(lane, eq),
+        "count_eq u{}",
+        T::BITS
+    );
+    let (mut got, mut want) = (Vec::new(), Vec::new());
+    let gm = T::bitmap_window(lane, lo, span, &mut got);
+    let wm = portable::bitmap_window(lane, lo, span, &mut want);
+    assert_eq!(gm, wm, "bitmap_window count u{}", T::BITS);
+    assert_eq!(got, want, "bitmap_window words u{}", T::BITS);
+
+    let payload: Vec<u32> = (0..lane.len() as u32)
+        .map(|i| i.wrapping_mul(2_654_435_761))
+        .collect();
+    assert_eq!(
+        T::sum_window(lane, &payload, lo, span),
+        portable::sum_window(lane, &payload, lo, span),
+        "sum_window u{}",
+        T::BITS
+    );
+
+    for flip in [T::narrow(0), T::narrow(1u64 << (T::BITS - 1))] {
+        let got = T::min_max_flipped(lane, flip);
+        let want = if lane.is_empty() {
+            None
+        } else {
+            Some(portable::min_max_flipped(lane, flip))
+        };
+        assert_eq!(got, want, "min_max_flipped u{} flip={flip}", T::BITS);
+    }
+
+    // Masked payload sum consumes the bitmap the kernels produced.
+    assert_eq!(
+        simd::sum_payload_masked(&payload, &got_mask_for(lane, lo, span)),
+        reference_masked_sum(lane, &payload, lo, span),
+        "sum_payload_masked u{}",
+        T::BITS
+    );
+}
+
+fn got_mask_for<T: SimdElem>(lane: &[T], lo: T, span: T) -> Vec<u64> {
+    let mut mask = Vec::new();
+    T::bitmap_window(lane, lo, span, &mut mask);
+    mask
+}
+
+fn reference_masked_sum<T: SimdElem>(lane: &[T], payload: &[u32], lo: T, span: T) -> u64 {
+    lane.iter()
+        .zip(payload)
+        .filter(|(&x, _)| x.wsub(lo) < span)
+        .map(|(_, &p)| u64::from(p))
+        .sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn u8_kernels_bit_exact(
+        vals in proptest::collection::vec(any::<u8>(), 0..700),
+        offset in 0usize..9,
+        lo in any::<u8>(),
+        span_seed in any::<u64>(),
+        eq in any::<u8>(),
+    ) {
+        check_width::<u8>(&vals, offset, lo, span_seed, eq);
+    }
+
+    #[test]
+    fn u16_kernels_bit_exact(
+        vals in proptest::collection::vec(any::<u16>(), 0..700),
+        offset in 0usize..9,
+        lo in any::<u16>(),
+        span_seed in any::<u64>(),
+        eq in any::<u16>(),
+    ) {
+        check_width::<u16>(&vals, offset, lo, span_seed, eq);
+    }
+
+    #[test]
+    fn u32_kernels_bit_exact(
+        vals in proptest::collection::vec(any::<u32>(), 0..700),
+        offset in 0usize..9,
+        lo in any::<u32>(),
+        span_seed in any::<u64>(),
+        eq in any::<u32>(),
+    ) {
+        check_width::<u32>(&vals, offset, lo, span_seed, eq);
+    }
+
+    #[test]
+    fn u64_kernels_bit_exact(
+        vals in proptest::collection::vec(any::<u64>(), 0..700),
+        offset in 0usize..9,
+        lo in any::<u64>(),
+        span_seed in any::<u64>(),
+        eq in any::<u64>(),
+    ) {
+        check_width::<u64>(&vals, offset, lo, span_seed, eq);
+    }
+
+    #[test]
+    fn plain_kernels_match_naive_reference_i64(
+        vals in proptest::collection::vec(any::<i64>(), 0..600),
+        lo in any::<i64>(),
+        hi in any::<i64>(),
+        eq in any::<i64>(),
+    ) {
+        check_plain(&vals, lo, hi, eq)?;
+    }
+
+    #[test]
+    fn plain_kernels_match_naive_reference_i32(
+        vals in proptest::collection::vec(any::<i32>(), 0..600),
+        lo in any::<i32>(),
+        hi in any::<i32>(),
+        eq in any::<i32>(),
+    ) {
+        check_plain(&vals, lo, hi, eq)?;
+    }
+
+    #[test]
+    fn plain_kernels_match_naive_reference_u16(
+        vals in proptest::collection::vec(any::<u16>(), 0..600),
+        lo in any::<u16>(),
+        hi in any::<u16>(),
+        eq in any::<u16>(),
+    ) {
+        check_plain(&vals, lo, hi, eq)?;
+    }
+}
+
+/// The typed plain kernels (routing through raw-bits lanes) against a
+/// naive per-element reference — the signed/unsigned ordered-mapping
+/// bridge is what's under test here.
+fn check_plain<K: ColumnValue>(
+    vals: &[K],
+    lo: K,
+    hi: K,
+    eq: K,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let naive_count = vals.iter().filter(|&&x| lo <= x && x < hi).count() as u64;
+    prop_assert_eq!(kernels::count_range(vals, lo, hi), naive_count);
+    prop_assert_eq!(
+        kernels::count_eq(vals, eq),
+        vals.iter().filter(|&&x| x == eq).count() as u64
+    );
+    let mut mask = Vec::new();
+    let matched = kernels::select_range_bitmap(vals, lo, hi, &mut mask);
+    prop_assert_eq!(matched, naive_count);
+    prop_assert_eq!(mask.len(), vals.len().div_ceil(64));
+    for (i, &x) in vals.iter().enumerate() {
+        let bit = (mask[i / 64] >> (i % 64)) & 1;
+        prop_assert_eq!(bit == 1, lo <= x && x < hi, "bit {}", i);
+    }
+    let payload: Vec<u32> = (0..vals.len() as u32).collect();
+    let (m, s) = kernels::sum_payload_range(vals, &payload, lo, hi);
+    let want_s: u64 = vals
+        .iter()
+        .zip(&payload)
+        .filter(|(&x, _)| lo <= x && x < hi)
+        .map(|(_, &p)| u64::from(p))
+        .sum();
+    prop_assert_eq!((m, s), (naive_count, want_s));
+    prop_assert_eq!(
+        kernels::min_max(vals),
+        vals.iter()
+            .copied()
+            .min()
+            .map(|mn| (mn, vals.iter().copied().max().unwrap()))
+    );
+    Ok(())
+}
+
+#[test]
+fn boundary_values_and_exact_lane_multiples() {
+    // Deterministic corner cases the generators may miss: extrema at every
+    // position class, lengths exactly on and around the 64-element blocks.
+    for len in [0usize, 1, 63, 64, 65, 127, 128, 129, 191, 256] {
+        let vals: Vec<u64> = (0..len as u64)
+            .map(|i| match i % 5 {
+                0 => u64::MIN,
+                1 => u64::MAX,
+                2 => i,
+                3 => u64::MAX - i,
+                _ => 1u64 << (i % 63),
+            })
+            .collect();
+        check_width::<u64>(&vals, 0, u64::MAX - 5, u64::MAX, u64::MAX);
+        check_width::<u64>(&vals, 0, 0, 1, 0);
+        let signed: Vec<i64> = vals.iter().map(|&v| v as i64).collect();
+        check_plain(&signed, i64::MIN, i64::MAX, -1).unwrap();
+        check_plain(&signed, -5, 5, 0).unwrap();
+    }
+}
+
+#[test]
+fn full_domain_window_on_narrow_lanes() {
+    // lo = 0, span = 2^BITS - 1 (the widest window the plain kernels can
+    // express): everything except MAX matches.
+    let vals: Vec<u8> = (0..=255u16).map(|v| v as u8).collect();
+    assert_eq!(
+        portable::count_window(&vals, 0u8, u8::MAX),
+        u8::count_window(&vals, 0u8, u8::MAX)
+    );
+    assert_eq!(u8::count_window(&vals, 0u8, u8::MAX), 255);
+}
