@@ -222,9 +222,12 @@ fn main() {
     let mut entries = trajectory::plain_entries(rows, reps);
     entries.extend(trajectory::compressed_entries(rows, reps));
     for e in &entries {
+        let gbps = e
+            .gbps
+            .map_or("      -".to_string(), |g| format!("{g:>7.2}"));
         eprintln!(
-            "[trajectory] {:<28} u{:<2} {:>8} rows  {:>7.3} ns/elem  {:>7.2} GB/s  {:>5.2}x vs scalar",
-            e.kernel, e.width_bits, e.rows, e.ns_per_elem, e.gbps, e.speedup
+            "[trajectory] {:<28} u{:<2} {:>8} {}s  {:>7.3} ns/{}  {gbps} GB/s  {:>5.2}x vs scalar",
+            e.kernel, e.width_bits, e.rows, e.unit, e.ns_per_elem, e.unit, e.speedup
         );
     }
     trajectory::write_json("BENCH_scan.json", "scan_ops", smoke, &entries);

@@ -15,7 +15,7 @@ use std::time::Instant;
 
 /// The TPC-H Q6 analog (§6.4): key-range filter + payload predicate +
 /// arithmetic aggregate over two further columns.
-fn q6_like(table: &Table, domain: u64, at: u64) -> u64 {
+fn q6_like(table: &mut Table, domain: u64, at: u64) -> u64 {
     let span = domain / 50; // ~2% selectivity, Q6's shipdate year
     let lo = at.min(domain - span);
     let out = table.multi_column_sum(lo, lo + span, &[1, 2], 3, 0, 40_000);

@@ -30,13 +30,21 @@ pub struct Entry {
     /// Lane element width in bits (64 for plain u64 lanes, 8/16/32 for
     /// packed compressed lanes).
     pub width_bits: u32,
-    /// Lane length in values.
+    /// Lane length in values (or *runs*, for per-run kernels — see
+    /// [`Entry::unit`]).
     pub rows: usize,
-    /// Dispatched-path nanoseconds per element.
+    /// Dispatched-path nanoseconds per element (or per run).
     pub ns_per_elem: f64,
+    /// What one "element" is: `"elem"` for kernels scanning a decoded or
+    /// packed lane, `"run"` for kernels whose cost is per *run* (RLE
+    /// arithmetic never touches the decoded lane).
+    pub unit: &'static str,
     /// Effective scan bandwidth of the dispatched path in GB/s
-    /// (`rows * width_bits / 8` bytes over the measured time).
-    pub gbps: f64,
+    /// (`rows * width_bits / 8` bytes over the measured time). `None` for
+    /// per-run kernels: they read run metadata, not the lane, so a
+    /// lane-bytes-over-time "bandwidth" is meaningless (the old report
+    /// claimed ~10^5 GB/s here).
+    pub gbps: Option<f64>,
     /// Baseline nanoseconds per element: the portable fallback of *this*
     /// binary — i.e. the same loops the shipped artifact runs under
     /// `CASPER_FORCE_SCALAR=1`, compiler-auto-vectorized at the baseline
@@ -67,17 +75,30 @@ impl Entry {
             width_bits,
             rows,
             ns_per_elem,
-            gbps: if total_ns > 0.0 {
-                bytes / total_ns
-            } else {
-                0.0
-            },
+            unit: "elem",
+            gbps: (total_ns > 0.0).then_some(bytes / total_ns),
             scalar_ns_per_elem,
             speedup: if ns_per_elem > 0.0 {
                 scalar_ns_per_elem / ns_per_elem
             } else {
                 0.0
             },
+        }
+    }
+
+    /// An entry for a kernel whose work is proportional to *runs*, not
+    /// elements (RLE run arithmetic): reports ns per run and omits the
+    /// bandwidth figure entirely.
+    pub fn per_run(kernel: impl Into<String>, runs: usize, ns_per_run: f64) -> Self {
+        Self {
+            kernel: kernel.into(),
+            width_bits: 64,
+            rows: runs,
+            ns_per_elem: ns_per_run,
+            unit: "run",
+            gbps: None,
+            scalar_ns_per_elem: ns_per_run,
+            speedup: 1.0,
         }
     }
 }
@@ -289,14 +310,19 @@ pub fn compressed_entries(rows: usize, reps: usize) -> Vec<Entry> {
 
     // RLE stays scalar (two binary searches + prefix-sum subtraction, no
     // per-value work to vectorize) but is benchmarked so regressions show.
+    // Its cost is per *run*, and it never touches the decoded lane — so
+    // the honest figures are ns/run with no bandwidth (the old per-element
+    // accounting divided a handful of binary-search probes by a million
+    // rows and reported ~10^5 GB/s).
     {
         let mut data: Vec<u64> = (0..rows as u64).map(|i| i % 4096 * 300).collect();
         data.sort_unstable();
         let frag = Rle::encode(&data);
-        let ns = time_per_elem(rows, reps, || {
+        let runs = frag.runs().len();
+        let ns_per_run = time_per_elem(runs, reps, || {
             compressed::rle_count_range(&frag, 30_000, 600_000)
         });
-        out.push(Entry::new("rle_count_range", 64, rows, ns, ns));
+        out.push(Entry::per_run("rle_count_range", runs, ns_per_run));
     }
 
     out
@@ -339,12 +365,82 @@ pub fn write_json(file: &str, bench: &str, smoke: bool, entries: &[Entry]) {
     let _ = writeln!(out, "  \"entries\": [");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 < entries.len() { "," } else { "" };
+        let gbps = e
+            .gbps
+            .map_or(String::new(), |g| format!("\"gbps\": {g:.3}, "));
         let _ = writeln!(
             out,
-            "    {{\"kernel\": \"{}\", \"width_bits\": {}, \"rows\": {}, \
-             \"ns_per_elem\": {:.4}, \"gbps\": {:.3}, \
-             \"scalar_ns_per_elem\": {:.4}, \"speedup\": {:.2}}}{comma}",
-            e.kernel, e.width_bits, e.rows, e.ns_per_elem, e.gbps, e.scalar_ns_per_elem, e.speedup
+            "    {{\"kernel\": \"{}\", \"width_bits\": {}, \"rows\": {}, \"unit\": \"{}\", \
+             \"ns_per_{}\": {:.4}, {}\
+             \"scalar_ns_per_{}\": {:.4}, \"speedup\": {:.2}}}{comma}",
+            e.kernel,
+            e.width_bits,
+            e.rows,
+            e.unit,
+            e.unit,
+            e.ns_per_elem,
+            gbps,
+            e.unit,
+            e.scalar_ns_per_elem,
+            e.speedup
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    match std::fs::write(&path, &out) {
+        Ok(()) => eprintln!("[trajectory] wrote {}", path.display()),
+        Err(e) => eprintln!("[trajectory] could not write {}: {e}", path.display()),
+    }
+}
+
+/// One named scalar metric for the durability trajectory
+/// (`BENCH_persist.json`).
+#[derive(Debug, Clone)]
+pub struct Metric {
+    /// Metric name (e.g. `incremental_checkpoint_ms`).
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Unit label (`ms`, `us`, `ratio`, …).
+    pub unit: &'static str,
+}
+
+impl Metric {
+    /// Build a metric row.
+    pub fn new(name: impl Into<String>, value: f64, unit: &'static str) -> Self {
+        Self {
+            name: name.into(),
+            value,
+            unit,
+        }
+    }
+}
+
+/// Serialize named metrics to `<workspace root>/<file>` — the durability
+/// counterpart of [`write_json`], emitted by the `recovery_time` bench so
+/// the perf trajectory covers checkpoints and restore, not just scans.
+pub fn write_metrics_json(
+    file: &str,
+    bench: &str,
+    smoke: bool,
+    context: &[(&str, u64)],
+    metrics: &[Metric],
+) {
+    let path = workspace_rooted(file);
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"{bench}\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    for (k, v) in context {
+        let _ = writeln!(out, "  \"{k}\": {v},");
+    }
+    let _ = writeln!(out, "  \"metrics\": [");
+    for (i, m) in metrics.iter().enumerate() {
+        let comma = if i + 1 < metrics.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"value\": {:.4}, \"unit\": \"{}\"}}{comma}",
+            m.name, m.value, m.unit
         );
     }
     let _ = writeln!(out, "  ]");
@@ -363,8 +459,13 @@ mod tests {
     fn entry_derives_bandwidth_and_speedup() {
         // 1M u64 values at 1 ns/elem = 8 bytes/ns = 8 GB/s.
         let e = Entry::new("count_range", 64, 1 << 20, 1.0, 3.5);
-        assert!((e.gbps - 8.0).abs() < 1e-9);
+        assert!((e.gbps.expect("lane kernels report bandwidth") - 8.0).abs() < 1e-9);
         assert!((e.speedup - 3.5).abs() < 1e-9);
+        // Per-run kernels report no bandwidth at all.
+        let r = Entry::per_run("rle_count_range", 4096, 2.0);
+        assert_eq!(r.gbps, None);
+        assert_eq!(r.unit, "run");
+        assert_eq!(r.rows, 4096);
     }
 
     #[test]

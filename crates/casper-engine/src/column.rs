@@ -15,9 +15,44 @@ use casper_storage::{
     BlockLayout, ChunkConfig, OpCost, PartitionSpec, PartitionedChunk, SortedColumn, SortedDelta,
     StorageError, UpdatePolicy,
 };
+use casper_workload::HapQuery;
+
+/// A chunk whose bytes still live in a persisted snapshot segment: only
+/// the live row count is known eagerly; the loader decodes (and
+/// checksum-verifies) the real store on first touch. Built by
+/// `casper-persist`'s mmap restore so `DurableTable::open` is
+/// metadata-only work — a chunk pays its decode the first time a query
+/// routes to it.
+pub struct LazyChunk {
+    live: usize,
+    loader: Option<Box<dyn FnOnce() -> Result<ChunkStore, StorageError> + Send + Sync>>,
+}
+
+impl LazyChunk {
+    /// Wrap a deferred chunk loader; `live` is the store's live row count
+    /// (served by [`ChunkStore::len`] before hydration).
+    pub fn new(
+        live: usize,
+        loader: Box<dyn FnOnce() -> Result<ChunkStore, StorageError> + Send + Sync>,
+    ) -> Self {
+        Self {
+            live,
+            loader: Some(loader),
+        }
+    }
+}
+
+impl std::fmt::Debug for LazyChunk {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LazyChunk")
+            .field("live", &self.live)
+            .field("hydrated", &self.loader.is_none())
+            .finish()
+    }
+}
 
 /// Storage behind one chunk, depending on the layout mode.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub enum ChunkStore {
     /// Range-partitioned chunk (NoOrder/Equi/EquiGV/Casper).
     Partitioned(PartitionedChunk<u64>),
@@ -25,15 +60,41 @@ pub enum ChunkStore {
     Sorted(SortedColumn<u64>),
     /// Sorted chunk with a delta buffer (StateOfArt).
     Delta(SortedDelta<u64>),
+    /// Not yet decoded from its persisted segment (mmap restore). Every
+    /// data access path requires hydration first — [`Table::execute`]
+    /// hydrates the chunks a query routes to before dispatching, so only
+    /// direct `ChunkedColumn` access on a lazily-restored column can ever
+    /// reach one of these (and panics with a clear message if it does).
+    ///
+    /// [`Table::execute`]: crate::table::Table::execute
+    Unloaded(LazyChunk),
+}
+
+impl Clone for ChunkStore {
+    fn clone(&self) -> Self {
+        match self {
+            ChunkStore::Partitioned(c) => ChunkStore::Partitioned(c.clone()),
+            ChunkStore::Sorted(c) => ChunkStore::Sorted(c.clone()),
+            ChunkStore::Delta(c) => ChunkStore::Delta(c.clone()),
+            // Dirty chunks are hydrated by definition (writes hydrate), and
+            // clean chunks are never captured for serialization — their
+            // persisted bytes are reused instead.
+            ChunkStore::Unloaded(_) => panic!(
+                "cannot clone an unhydrated chunk: hydrate it first \
+                 (ChunkedColumn::hydrate_all)"
+            ),
+        }
+    }
 }
 
 impl ChunkStore {
-    /// Live row count.
+    /// Live row count (known without hydration for unloaded chunks).
     pub fn len(&self) -> usize {
         match self {
             ChunkStore::Partitioned(c) => c.live_len(),
             ChunkStore::Sorted(c) => c.len(),
             ChunkStore::Delta(c) => c.len_estimate(),
+            ChunkStore::Unloaded(l) => l.live,
         }
     }
 
@@ -41,6 +102,25 @@ impl ChunkStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Whether this chunk still awaits hydration from its segment.
+    pub fn is_unloaded(&self) -> bool {
+        matches!(self, ChunkStore::Unloaded(_))
+    }
+}
+
+/// The panic every data path raises on an unhydrated chunk — reaching one
+/// means a caller bypassed [`Table::execute`]'s hydration step.
+///
+/// [`Table::execute`]: crate::table::Table::execute
+macro_rules! unhydrated {
+    () => {
+        panic!(
+            "unhydrated chunk reached a data path: queries on a \
+             lazily-restored column must flow through Table::execute, or \
+             hydrate explicitly via ChunkedColumn::hydrate_all"
+        )
+    };
 }
 
 /// A key column split into range chunks, with slot-aligned payload columns
@@ -53,6 +133,16 @@ pub struct ChunkedColumn {
     fences: Option<Vec<u64>>,
     config: EngineConfig,
     payload_width: usize,
+    /// Per-chunk monotone modification counters: every write, ripple,
+    /// compression-mode change or optimizer re-layout that touches a chunk
+    /// bumps its counter, so a persistence layer can diff two counter
+    /// snapshots and enumerate exactly the chunks dirtied in between
+    /// (incremental checkpointing). Hydration does **not** bump — decoding
+    /// a persisted chunk changes nothing logically.
+    versions: Vec<u64>,
+    /// Chunks still awaiting hydration (fast-path guard so fully-hydrated
+    /// columns pay one integer compare per query).
+    unloaded: usize,
 }
 
 impl ChunkedColumn {
@@ -90,11 +180,14 @@ impl ChunkedColumn {
             chunks.push(build_chunk(chunk_keys, chunk_payloads, &config));
             start = end;
         }
+        let versions = vec![0; chunks.len()];
         Self {
             chunks,
             fences: ordered.then_some(fences),
             config,
             payload_width,
+            versions,
+            unloaded: 0,
         }
     }
 
@@ -116,11 +209,118 @@ impl ChunkedColumn {
         if let Some(f) = &fences {
             assert_eq!(f.len(), chunks.len(), "one fence per chunk");
         }
+        let versions = vec![0; chunks.len()];
+        let unloaded = chunks.iter().filter(|c| c.is_unloaded()).count();
         Self {
             chunks,
             fences,
             config,
             payload_width,
+            versions,
+            unloaded,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Dirty tracking + lazy hydration
+    // ------------------------------------------------------------------
+
+    /// Per-chunk modification counters (parallel to [`Self::chunks`]).
+    /// A persistence layer snapshots this at checkpoint time; a chunk is
+    /// dirty iff its counter differs from the snapshot.
+    pub fn versions(&self) -> &[u64] {
+        &self.versions
+    }
+
+    /// Record a modification of chunk `i` (write, ripple, storage-mode
+    /// change or re-layout).
+    #[inline]
+    fn touch(&mut self, i: usize) {
+        self.versions[i] += 1;
+    }
+
+    /// Number of chunks still awaiting hydration from persisted segments.
+    pub fn unloaded_count(&self) -> usize {
+        self.unloaded
+    }
+
+    /// Decode chunk `i` from its segment if it is still [`ChunkStore::Unloaded`].
+    /// Checksum/decoding damage surfaces as [`StorageError::Corrupt`];
+    /// hydration does not mark the chunk dirty.
+    pub fn hydrate_chunk(&mut self, i: usize) -> Result<(), StorageError> {
+        if let ChunkStore::Unloaded(lazy) = &mut self.chunks[i] {
+            let loader = lazy.loader.take().ok_or_else(|| StorageError::Corrupt {
+                reason: format!("chunk {i}: hydration re-entered after a failed load"),
+            })?;
+            let store = loader()?;
+            if store.len() != lazy.live {
+                return Err(StorageError::Corrupt {
+                    reason: format!(
+                        "chunk {i}: segment decodes to {} live rows but the manifest says {}",
+                        store.len(),
+                        lazy.live
+                    ),
+                });
+            }
+            self.chunks[i] = store;
+            self.unloaded -= 1;
+        }
+        Ok(())
+    }
+
+    /// Hydrate every remaining unloaded chunk.
+    pub fn hydrate_all(&mut self) -> Result<(), StorageError> {
+        for i in 0..self.chunks.len() {
+            self.hydrate_chunk(i)?;
+        }
+        Ok(())
+    }
+
+    /// Hydrate exactly the chunks `q` routes to: the owning chunk for
+    /// point-shaped operations, the overlapping chunks for ranges, every
+    /// chunk when the column broadcasts (`NoOrder`). Called by
+    /// [`crate::table::Table::execute`] before dispatch, which is what
+    /// makes restore-time laziness invisible to query code.
+    pub fn hydrate_for_query(&mut self, q: &HapQuery) -> Result<(), StorageError> {
+        if self.unloaded == 0 {
+            return Ok(());
+        }
+        use casper_core::Op;
+        match q.key_op() {
+            Op::Point(v) | Op::Insert(v) | Op::Delete(v) => self.hydrate_key(v),
+            Op::Range(lo, hi) => {
+                for c in self.chunk_range_for(lo, hi) {
+                    self.hydrate_chunk(c)?;
+                }
+                Ok(())
+            }
+            Op::Update(old, new) => {
+                self.hydrate_key(old)?;
+                self.hydrate_key(new)
+            }
+        }
+    }
+
+    /// Hydrate the chunk owning `v` (all chunks for broadcast columns).
+    fn hydrate_key(&mut self, v: u64) -> Result<(), StorageError> {
+        match self.route(v) {
+            Some(c) => self.hydrate_chunk(c),
+            None => self.hydrate_all(),
+        }
+    }
+
+    /// Indices of the chunks overlapping `[lo, hi)` (mirrors the target
+    /// selection of `scan_chunks`).
+    fn chunk_range_for(&self, lo: u64, hi: u64) -> std::ops::Range<usize> {
+        match (&self.fences, self.route(lo)) {
+            (Some(fences), Some(first)) => {
+                let mut end = first + 1;
+                while end < self.chunks.len() && fences[end - 1] < hi {
+                    end += 1;
+                }
+                first..end
+            }
+            _ => 0..self.chunks.len(),
         }
     }
 
@@ -160,9 +360,45 @@ impl ChunkedColumn {
         &self.chunks
     }
 
-    /// Mutable chunk access (optimizer).
+    /// Mutable chunk access (optimizer rebuild). Conservatively marks
+    /// every chunk dirty: the optimizer rewrites stores through the
+    /// returned slice, and the borrow gives no way to observe which ones
+    /// it touched.
     pub(crate) fn chunks_mut(&mut self) -> &mut [ChunkStore] {
+        for v in &mut self.versions {
+            *v += 1;
+        }
         &mut self.chunks
+    }
+
+    /// Best-effort ghost prefetch for `key`'s owning chunk (§6.1 decoupled
+    /// rippling): routes the key, skips unhydrated or non-partitioned
+    /// stores, and dirties only the chunk it actually touches — a
+    /// transactional insert must not mark the whole table dirty for the
+    /// incremental checkpointer.
+    pub(crate) fn prefetch_ghosts_for_key(&mut self, key: u64, count: usize) {
+        let target = match self.route(key) {
+            // Ordered column: prefetch only into the owning chunk, and only
+            // if it is a hydrated partitioned store — planting ghosts for
+            // an out-of-range key in some other chunk would dirty (and
+            // re-checkpoint) a chunk that logically did not change.
+            Some(routed) => matches!(self.chunks.get(routed), Some(ChunkStore::Partitioned(_)))
+                .then_some(routed),
+            // NoOrder broadcasts: fall back to the first partitioned
+            // chunk, matching the historical best-effort behavior.
+            None => self
+                .chunks
+                .iter()
+                .position(|c| matches!(c, ChunkStore::Partitioned(_))),
+        };
+        if let Some(i) = target {
+            if let ChunkStore::Partitioned(chunk) = &mut self.chunks[i] {
+                // Prefetch may move slots and decompress the target
+                // partition, so the chunk is physically dirty.
+                chunk.prefetch_ghosts(key, count);
+                self.touch(i);
+            }
+        }
     }
 
     /// Route a key to its owning chunk; `None` means broadcast.
@@ -204,6 +440,7 @@ impl ChunkedColumn {
                 (rows, c2)
             }
             ChunkStore::Delta(d) => d.point_rows(v, cols),
+            ChunkStore::Unloaded(_) => unhydrated!(),
         });
         let mut cost = OpCost::default();
         let mut rows = Vec::new();
@@ -221,6 +458,7 @@ impl ChunkedColumn {
             ChunkStore::Partitioned(p) => p.range_count(lo, hi),
             ChunkStore::Sorted(s) => s.range_count(lo, hi),
             ChunkStore::Delta(d) => d.range_count(lo, hi),
+            ChunkStore::Unloaded(_) => unhydrated!(),
         });
         let mut total = 0u64;
         let mut cost = OpCost::default();
@@ -237,6 +475,7 @@ impl ChunkedColumn {
             ChunkStore::Partitioned(p) => p.range_sum_payload(lo, hi, cols),
             ChunkStore::Sorted(s) => s.range_sum_payload(lo, hi, cols),
             ChunkStore::Delta(d) => d.range_sum_payload(lo, hi, cols),
+            ChunkStore::Unloaded(_) => unhydrated!(),
         });
         let mut total = 0u64;
         let mut cost = OpCost::default();
@@ -322,6 +561,7 @@ impl ChunkedColumn {
                 sum += d.replay_sum_where(lo, hi, sum_cols, pred_col, pred_lo, pred_hi);
                 (sum.max(0) as u64, cost)
             }
+            ChunkStore::Unloaded(_) => unhydrated!(),
         });
         let mut total = 0u64;
         let mut cost = OpCost::default();
@@ -372,6 +612,7 @@ impl ChunkedColumn {
                 .unwrap_or(self.chunks.len() - 1)
         });
         let cost = store_insert(&mut self.chunks[chunk], key, payload)?;
+        self.touch(chunk);
         self.maybe_raise_fence(chunk, key);
         Ok(cost)
     }
@@ -386,6 +627,9 @@ impl ChunkedColumn {
         let mut cost = OpCost::default();
         for c in targets {
             let (n, oc) = store_delete(&mut self.chunks[c], v);
+            if n > 0 {
+                self.touch(c);
+            }
             affected += n;
             cost.absorb(oc);
         }
@@ -407,6 +651,7 @@ impl ChunkedColumn {
                         let r = p.update(old, new)?;
                         cost.absorb(r.cost);
                         if r.affected > 0 {
+                            self.touch(c);
                             return Ok((r.affected, cost));
                         }
                     }
@@ -416,6 +661,9 @@ impl ChunkedColumn {
         };
         if from == to {
             let (n, cost) = store_update(&mut self.chunks[from], old, new)?;
+            if n > 0 {
+                self.touch(from);
+            }
             self.maybe_raise_fence(from, new);
             return Ok((n, cost));
         }
@@ -562,7 +810,11 @@ impl ChunkedColumn {
         });
         let mut first_err: Option<StorageError> = None;
         let mut raises: Vec<(usize, u64)> = Vec::new();
+        let mut touched: Vec<usize> = Vec::new();
         for job in jobs {
+            if job.out.iter().any(|&(_, affected, _)| affected > 0) {
+                touched.push(job.chunk);
+            }
             for (idx, affected, cost) in job.out {
                 results[idx] = (affected, cost);
             }
@@ -572,6 +824,9 @@ impl ChunkedColumn {
             if first_err.is_none() {
                 first_err = job.err;
             }
+        }
+        for c in touched {
+            self.touch(c);
         }
         for (chunk, key) in raises {
             self.maybe_raise_fence(chunk, key);
@@ -624,6 +879,7 @@ fn store_insert(store: &mut ChunkStore, key: u64, payload: &[u32]) -> Result<OpC
         },
         ChunkStore::Sorted(s) => Ok(s.insert(key, payload)),
         ChunkStore::Delta(d) => Ok(d.insert(key, payload)),
+        ChunkStore::Unloaded(_) => unhydrated!(),
     }
 }
 
@@ -647,6 +903,7 @@ fn store_delete(store: &mut ChunkStore, v: u64) -> (u64, OpCost) {
                 (0, c0)
             }
         }
+        ChunkStore::Unloaded(_) => unhydrated!(),
     }
 }
 
@@ -670,6 +927,7 @@ fn store_update(store: &mut ChunkStore, old: u64, new: u64) -> Result<(u64, OpCo
                 Ok((0, c0))
             }
         }
+        ChunkStore::Unloaded(_) => unhydrated!(),
     }
 }
 
@@ -751,6 +1009,7 @@ pub(crate) fn rebuild_partitioned(
             d.force_merge();
             d.main().to_parts()
         }
+        ChunkStore::Unloaded(_) => unhydrated!(),
     };
     let chunk_config = ChunkConfig {
         policy: UpdatePolicy::Ghost,
@@ -779,6 +1038,7 @@ pub(crate) fn chunk_block_fences(store: &ChunkStore, block_bytes: usize) -> Vec<
         ChunkStore::Partitioned(p) => p.extract_live_sorted().0,
         ChunkStore::Sorted(s) => s.values().to_vec(),
         ChunkStore::Delta(d) => d.main().values().to_vec(),
+        ChunkStore::Unloaded(_) => unhydrated!(),
     };
     keys.chunks(vpb).map(|c| c[0]).collect()
 }

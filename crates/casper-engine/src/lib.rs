@@ -34,7 +34,7 @@ pub mod table;
 pub mod txn;
 
 pub use adapt::{AdaptConfig, AdaptiveController};
-pub use column::{ChunkedColumn, WriteOp};
+pub use column::{ChunkedColumn, LazyChunk, WriteOp};
 pub use metrics::{LatencyRecorder, Summary};
 pub use modes::{EngineConfig, LayoutMode};
 pub use table::{QueryOutput, QueryResult, Table};

@@ -168,6 +168,13 @@ pub fn optimize_table(
     sample: &[HapQuery],
     opts: &OptimizeOptions,
 ) -> OptimizeReport {
+    // A lazily-restored column must be fully decoded before the rebuild
+    // sweep (the optimizer reads and rewrites every chunk). `DurableTable`
+    // hydrates with typed error handling before reaching here; this is the
+    // backstop for direct engine users.
+    table.column_mut().hydrate_all().expect(
+        "corrupt persisted chunk surfaced during optimize; open the table eagerly to diagnose",
+    );
     // Unordered columns cannot be range-chunked in place: re-load sorted.
     if table.column().config().mode == LayoutMode::NoOrder {
         let mut keys = Vec::with_capacity(table.len());
@@ -182,6 +189,9 @@ pub fn optimize_table(
                     let mut d = d.clone();
                     d.force_merge();
                     d.main().to_parts()
+                }
+                ChunkStore::Unloaded(_) => {
+                    unreachable!("optimize_table hydrates the column before converting it")
                 }
             };
             keys.extend(k);

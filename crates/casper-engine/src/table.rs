@@ -115,8 +115,19 @@ impl Table {
         &mut self.column
     }
 
-    /// Execute one HAP query.
+    /// Decode every chunk still awaiting hydration from a persisted
+    /// segment (no-op on ordinary tables). See
+    /// [`ChunkedColumn::hydrate_all`].
+    pub fn hydrate_all(&mut self) -> Result<(), StorageError> {
+        self.column.hydrate_all()
+    }
+
+    /// Execute one HAP query. On a lazily-restored table (mmap recovery)
+    /// the chunks the query routes to are hydrated first, so restore-time
+    /// laziness is invisible here — a chunk pays its decode exactly once,
+    /// on the first query that touches it.
     pub fn execute(&mut self, q: &HapQuery) -> Result<QueryOutput, StorageError> {
+        self.column.hydrate_for_query(q)?;
         Ok(match q {
             HapQuery::Q1 { v, k } => {
                 let cols: Vec<usize> = (0..(*k).min(self.schema.payload_cols)).collect();
@@ -169,7 +180,7 @@ impl Table {
     /// over rows with key in `[lo, hi)` whose `pred_col` payload lies in
     /// `[pred_lo, pred_hi)`.
     pub fn multi_column_sum(
-        &self,
+        &mut self,
         lo: u64,
         hi: u64,
         sum_cols: &[usize],
@@ -177,6 +188,11 @@ impl Table {
         pred_lo: u32,
         pred_hi: u32,
     ) -> QueryOutput {
+        // Same contract as `execute`: hydrate the chunks the key range
+        // routes to, so lazily-restored tables serve this path too.
+        self.column
+            .hydrate_for_query(&HapQuery::Q2 { vs: lo, ve: hi })
+            .expect("corrupt persisted chunk surfaced during multi_column_sum");
         let (sum, cost) = self
             .column
             .q3_sum_where(lo, hi, sum_cols, pred_col, pred_lo, pred_hi);
@@ -202,6 +218,9 @@ impl Table {
         queries: &[HapQuery],
     ) -> Result<Vec<QueryOutput>, StorageError> {
         use crate::column::WriteOp;
+        // Batched streams fan writes out chunk-parallel; hydrate everything
+        // up front rather than threading lazy-decode through the workers.
+        self.column.hydrate_all()?;
         let mut outputs: Vec<Option<QueryOutput>> = vec![None; queries.len()];
         // Write ops borrow their payloads straight from the query stream —
         // buffering a run allocates nothing per operation.

@@ -17,7 +17,6 @@
 //! insert immediately prefetches ghost slots into the target partition, and
 //! that prefetch persists even when the transaction aborts.
 
-use crate::column::ChunkStore;
 use crate::table::Table;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -212,14 +211,9 @@ impl TxnManager {
         key: u64,
         payload: Vec<u32>,
     ) {
-        for store in table.column_mut().chunks_mut() {
-            if let ChunkStore::Partitioned(chunk) = store {
-                // Best effort: only the owning chunk benefits, and
-                // prefetching an already-buffered partition is a no-op.
-                chunk.prefetch_ghosts(key, 1);
-                break;
-            }
-        }
+        // Best effort: only the owning chunk benefits (and is dirtied),
+        // and prefetching an already-buffered partition is a no-op.
+        table.column_mut().prefetch_ghosts_for_key(key, 1);
         txn.insert(key, payload);
     }
 
@@ -349,6 +343,7 @@ impl TxnManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::column::ChunkStore;
     use crate::modes::{EngineConfig, LayoutMode};
     use casper_workload::{HapSchema, KeyDist, WorkloadGenerator};
 

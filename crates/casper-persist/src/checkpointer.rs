@@ -1,0 +1,100 @@
+//! The background checkpointer: a dedicated thread that serializes and
+//! fsyncs checkpoint jobs off the commit path.
+//!
+//! The foreground (`DurableTable`) **captures** a checkpoint under its own
+//! short pause — seal the WAL batch, rotate to a fresh WAL file, clone the
+//! dirty chunk stores (a memcpy, no serialization) — and hands the job
+//! here. The thread then pays the expensive part alone: encoding the dirty
+//! records, writing + fsyncing the segment, writing the manifest, and
+//! swinging `CURRENT`. Commits meanwhile continue against the *new* WAL,
+//! so the only fsync left on the commit path is the group-commit seal they
+//! already pay.
+//!
+//! ## Locking contract
+//!
+//! `DurableTable` is externally synchronized (`&mut self`), so the
+//! "lock" is the capture itself: the foreground clones dirty state while
+//! no query runs, then never shares live table memory with the thread.
+//! At most one job is in flight; completion is applied by the foreground
+//! (`try_recv` on every seal, blocking `recv` for the synchronous
+//! `checkpoint()` / `optimize()` / drop paths). Crash at any point is
+//! safe: until `CURRENT` swings, recovery resolves the previous manifest
+//! plus the intact WAL chain (the rotated-out WAL file is only pruned
+//! *after* the swing).
+
+use crate::incremental::{run_checkpoint, CheckpointJob, Manifest};
+use crate::PersistError;
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::thread::JoinHandle;
+
+/// Handle to the checkpointer thread.
+#[derive(Debug)]
+pub(crate) struct Checkpointer {
+    jobs: Option<Sender<CheckpointJob>>,
+    done: Receiver<Result<Manifest, PersistError>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+fn thread_died() -> PersistError {
+    PersistError::Storage(casper_storage::StorageError::Corrupt {
+        reason: "checkpointer thread died (panicked or channel closed)".into(),
+    })
+}
+
+impl Checkpointer {
+    /// Spawn the worker thread.
+    pub fn spawn() -> Self {
+        let (jobs_tx, jobs_rx) = std::sync::mpsc::channel::<CheckpointJob>();
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        let handle = std::thread::Builder::new()
+            .name("casper-checkpointer".into())
+            .spawn(move || {
+                while let Ok(job) = jobs_rx.recv() {
+                    let result = run_checkpoint(&job);
+                    if done_tx.send(result).is_err() {
+                        break; // foreground gone; nothing to report to
+                    }
+                }
+            })
+            .expect("spawn checkpointer thread");
+        Self {
+            jobs: Some(jobs_tx),
+            done: done_rx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Queue a job (the caller tracks that exactly one is in flight).
+    pub fn submit(&self, job: CheckpointJob) -> Result<(), PersistError> {
+        self.jobs
+            .as_ref()
+            .expect("sender lives until drop")
+            .send(job)
+            .map_err(|_| thread_died())
+    }
+
+    /// Non-blocking poll for a finished job.
+    pub fn try_recv(&self) -> Option<Result<Manifest, PersistError>> {
+        match self.done.try_recv() {
+            Ok(r) => Some(r),
+            Err(TryRecvError::Empty) => None,
+            Err(TryRecvError::Disconnected) => Some(Err(thread_died())),
+        }
+    }
+
+    /// Block until the in-flight job finishes.
+    pub fn recv(&self) -> Result<Manifest, PersistError> {
+        self.done.recv().map_err(|_| thread_died())?
+    }
+}
+
+impl Drop for Checkpointer {
+    fn drop(&mut self) {
+        // Closing the job channel ends the worker loop; join so no write
+        // races the process teardown.
+        self.jobs.take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}

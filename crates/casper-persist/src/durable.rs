@@ -3,36 +3,48 @@
 //! The on-disk directory holds exactly one *current generation*:
 //!
 //! ```text
-//! CURRENT            – ASCII generation number, replaced atomically
-//! snap-<gen>.casper  – layout-preserving snapshot (see crate::snapshot)
-//! wal-<gen>.log      – append-only redo log of writes since the snapshot
+//! CURRENT              – ASCII generation number, replaced atomically
+//! manifest-<gen>.casper – chunk id → (segment, offset, len, crc) map (v2)
+//! seg-<seq>.casper     – append-once segments of encoded chunk records
+//! wal-<seq>.log        – append-only redo log(s) since the manifest
+//! snap-<gen>.casper    – legacy v1 whole-table snapshot (still readable)
 //! ```
 //!
 //! Writes flow WAL-first in the group-commit sense: an executed write is
 //! staged into the open WAL batch and becomes durable (write + fsync) when
-//! the batch seals — after every write with `group_commit == 1`, or every
-//! N writes, or explicitly via [`DurableTable::flush`]. Transaction commits
-//! seal their whole write set as one batch. Recovery loads the snapshot
-//! (bit-exact layout, zero re-solves, zero re-encodes), truncates the WAL's
-//! torn tail, and replays the committed batches.
+//! the batch seals. Recovery loads the manifest (metadata only under mmap
+//! restore — chunks hydrate lazily from mapped segments, checksum-verified
+//! at first touch), truncates the WAL chain's torn tail, and replays the
+//! committed batches.
 //!
-//! A **checkpoint** folds the WAL into a fresh snapshot under the next
-//! generation number: snapshot written to a temp file and atomically
-//! renamed, a fresh WAL created, `CURRENT` swung over (also via atomic
-//! rename), and the old generation removed. The optimizer entry point
-//! [`DurableTable::optimize`] checkpoints after every re-layout, so
-//! adaptive re-partitioning is itself durable — a restart resumes with the
-//! optimized layout instead of re-paying the solve.
+//! A **checkpoint** is *incremental*: the engine's per-chunk modification
+//! counters identify exactly the chunks dirtied since the last checkpoint,
+//! and only those are re-serialized — into a fresh segment — while clean
+//! chunks keep their existing records. With the **background
+//! checkpointer** enabled (default), the foreground only seals + rotates
+//! the WAL and clones dirty chunk state; serialization and fsyncs run on a
+//! dedicated thread, so the commit path keeps nothing but its group-commit
+//! fsync. Once a manifest references more than
+//! [`DurableOptions::max_segments`] segments, the next checkpoint compacts
+//! the chain (clean records are byte-copied, never re-encoded).
+//! [`DurableTable::optimize`] still checkpoints synchronously after every
+//! re-layout, so adaptive re-partitioning remains durable at return.
 
-use crate::snapshot::{decode_snapshot, encode_snapshot};
-use crate::wal::{replay, Wal, WalOp};
+use crate::checkpointer::Checkpointer;
+use crate::incremental::{
+    decode_manifest, manifest_path, numbered_file, prune_stale, restore_table, CheckpointJob,
+    ChunkEntry, Manifest, RecordSource,
+};
+use crate::snapshot::decode_snapshot;
+use crate::wal::{replay, scan, Wal, WalOp};
 use crate::PersistError;
 use casper_core::FrequencyModel;
 use casper_engine::adapt::{AdaptDecision, AdaptiveController};
 use casper_engine::optimize::{capture_per_chunk, optimize_table, OptimizeOptions, OptimizeReport};
-use casper_engine::{EngineConfig, QueryOutput, Table, Transaction, TxnError, TxnManager};
+use casper_engine::{QueryOutput, Table, Transaction, TxnError, TxnManager};
 use casper_storage::StorageError;
-use casper_workload::{HapQuery, HapSchema};
+use casper_workload::HapQuery;
+use std::collections::BTreeSet;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -48,6 +60,22 @@ pub struct DurableOptions {
     /// (0 disables; checkpoints still happen on [`DurableTable::optimize`]
     /// and explicit [`DurableTable::checkpoint`] calls).
     pub wal_checkpoint_bytes: u64,
+    /// Run watermark-triggered checkpoints on a dedicated thread: the
+    /// foreground only rotates the WAL and clones dirty chunk state;
+    /// serialization and fsyncs happen off the commit path. Explicit
+    /// [`DurableTable::checkpoint`] / [`DurableTable::optimize`] calls
+    /// still wait for completion (their durability guarantee is
+    /// synchronous either way).
+    pub background_checkpointer: bool,
+    /// Compact once a manifest references more than this many segments:
+    /// the next checkpoint rewrites every live record into one fresh
+    /// segment (clean records byte-copied, not re-encoded).
+    pub max_segments: usize,
+    /// Restore through mapped segments with per-chunk lazy hydration
+    /// (`open` becomes metadata-only work; each chunk decodes — checksum
+    /// verified — on the first query that routes to it). Disable to decode
+    /// everything eagerly at open.
+    pub mmap_restore: bool,
 }
 
 impl Default for DurableOptions {
@@ -55,6 +83,9 @@ impl Default for DurableOptions {
         Self {
             group_commit: 1,
             wal_checkpoint_bytes: 0,
+            background_checkpointer: true,
+            max_segments: 6,
+            mmap_restore: true,
         }
     }
 }
@@ -62,28 +93,68 @@ impl Default for DurableOptions {
 /// Observable durability state (tests, monitoring).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DurableStats {
-    /// Current checkpoint generation.
+    /// Current durable checkpoint generation.
     pub generation: u64,
-    /// Highest LSN folded into the current snapshot.
+    /// Highest LSN folded into the current manifest/snapshot.
     pub durable_lsn: u64,
     /// LSN the next staged record will receive.
     pub next_lsn: u64,
-    /// Sealed WAL bytes on disk.
+    /// Sealed bytes in the live WAL file.
     pub wal_bytes: u64,
     /// Records staged but not yet sealed (not yet durable).
     pub staged_records: u64,
+    /// Chunks dirtied since the last captured checkpoint — what the next
+    /// incremental checkpoint would serialize.
+    pub dirty_chunks: u64,
+    /// Distinct segment files the current manifest references (0 for a
+    /// not-yet-upgraded v1 directory).
+    pub segments: u64,
+    /// Whether a background checkpoint is currently in flight.
+    pub checkpoint_in_flight: bool,
+    /// Whether a background checkpoint has failed since the last
+    /// successful one (details via [`DurableTable::take_checkpoint_error`]).
+    pub checkpoint_failed: bool,
 }
 
-/// A table wired to a snapshot + WAL persistence directory.
+/// Capture-time bookkeeping for a submitted checkpoint: committed into
+/// `clean_versions` only when the job completes.
+#[derive(Debug)]
+struct Inflight {
+    versions: Vec<u64>,
+}
+
+/// A table wired to a manifest + segments + WAL persistence directory.
 #[derive(Debug)]
 pub struct DurableTable {
     table: Table,
     dir: PathBuf,
     wal: Wal,
+    /// Durable manifest generation (what `CURRENT` names).
     generation: u64,
+    /// Live WAL file number (`>= generation`: capture rotates the WAL
+    /// before its manifest commits, so an in-flight or failed checkpoint
+    /// leaves a replayable chain `wal-<gen> .. wal-<wal_seq>`).
+    wal_seq: u64,
     durable_lsn: u64,
     fms: Vec<FrequencyModel>,
     opts: DurableOptions,
+    /// Current durable manifest entries (empty until a v1 directory takes
+    /// its first — necessarily full — v2 checkpoint).
+    entries: Vec<ChunkEntry>,
+    /// Column version counters at the last *captured* checkpoint; a chunk
+    /// is dirty iff its live counter differs.
+    clean_versions: Vec<u64>,
+    /// Next segment sequence number to allocate.
+    next_seg: u64,
+    worker: Option<Checkpointer>,
+    inflight: Option<Inflight>,
+    /// A background (watermark) checkpoint failure, held for out-of-band
+    /// reporting: the write that happened to observe it committed durably
+    /// and must not be failed retroactively. Cleared by
+    /// [`DurableTable::take_checkpoint_error`] or by the next successful
+    /// checkpoint; until then the chunks simply stay dirty and the WAL
+    /// chain keeps growing (recovery replays it — nothing is lost).
+    background_error: Option<PersistError>,
 }
 
 fn corrupt(reason: impl Into<String>) -> PersistError {
@@ -96,18 +167,27 @@ fn snap_path(dir: &Path, generation: u64) -> PathBuf {
     dir.join(format!("snap-{generation:06}.casper"))
 }
 
-fn wal_path(dir: &Path, generation: u64) -> PathBuf {
-    dir.join(format!("wal-{generation:06}.log"))
+fn wal_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:06}.log"))
 }
 
-fn current_path(dir: &Path) -> PathBuf {
+pub(crate) fn current_path(dir: &Path) -> PathBuf {
     dir.join("CURRENT")
+}
+
+/// Best-effort directory fsync: makes freshly created directory entries
+/// (a rotated WAL file, a renamed manifest) durable on filesystems where
+/// file fsync alone does not cover the dirent.
+pub(crate) fn sync_dir(dir: &Path) {
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
 }
 
 /// Write `bytes` to `path` via a temp file + atomic rename, fsyncing the
 /// file (and, best effort, the directory) so the rename is the commit
 /// point.
-fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
     let tmp = path.with_extension("tmp");
     {
         let mut f = fs::File::create(&tmp)?;
@@ -116,22 +196,21 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
     }
     fs::rename(&tmp, path)?;
     if let Some(dir) = path.parent() {
-        if let Ok(d) = fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
+        sync_dir(dir);
     }
     Ok(())
 }
 
 impl DurableTable {
     /// Create a fresh durable table at `dir` (which must not already hold
-    /// one): writes the generation-1 snapshot, an empty WAL and `CURRENT`.
+    /// one): writes the generation-1 segment + manifest, an empty WAL and
+    /// `CURRENT`.
     pub fn create(
         dir: &Path,
-        schema: HapSchema,
+        schema: casper_workload::HapSchema,
         keys: Vec<u64>,
         payload_cols: Vec<Vec<u32>>,
-        config: EngineConfig,
+        config: casper_engine::EngineConfig,
         opts: DurableOptions,
     ) -> Result<Self, PersistError> {
         Self::create_from_table(dir, Table::load(schema, keys, payload_cols, config), opts)
@@ -141,7 +220,7 @@ impl DurableTable {
     /// one that was optimized before first persisting it).
     pub fn create_from_table(
         dir: &Path,
-        table: Table,
+        mut table: Table,
         opts: DurableOptions,
     ) -> Result<Self, PersistError> {
         fs::create_dir_all(dir)?;
@@ -151,11 +230,8 @@ impl DurableTable {
                 dir.display()
             )));
         }
+        table.hydrate_all()?;
         let generation = 1u64;
-        write_atomic(
-            &snap_path(dir, generation),
-            &encode_snapshot(&table, &[], generation, 0),
-        )?;
         // A crash of a previous create between WAL creation and the
         // CURRENT write leaves a stale WAL behind (CURRENT absent, so the
         // directory never became a live table); clear it for the retry.
@@ -164,27 +240,141 @@ impl DurableTable {
             fs::remove_file(&wp)?;
         }
         let wal = Wal::create(&wp, 1)?;
-        write_atomic(&current_path(dir), format!("{generation}\n").as_bytes())?;
+        let chunks = table.column().chunks();
+        let fresh: Vec<(usize, RecordSource)> = chunks
+            .iter()
+            .enumerate()
+            .map(|(i, store)| (i, RecordSource::Encode(store.clone())))
+            .collect();
+        let job = CheckpointJob {
+            dir: dir.to_path_buf(),
+            new_gen: generation,
+            seg_seq: 1,
+            durable_lsn: 0,
+            schema: table.schema(),
+            config: *table.column().config(),
+            fences: table.column().fences().map(<[u64]>::to_vec),
+            fms: Vec::new(),
+            n_chunks: chunks.len(),
+            fresh,
+            reused: Vec::new(),
+        };
+        let manifest = crate::incremental::run_checkpoint(&job)?;
+        let clean_versions = table.column().versions().to_vec();
         Ok(Self {
             table,
             dir: dir.to_path_buf(),
             wal,
             generation,
+            wal_seq: generation,
             durable_lsn: 0,
             fms: Vec::new(),
+            entries: manifest.entries,
+            clean_versions,
+            next_seg: 2,
+            worker: opts.background_checkpointer.then(Checkpointer::spawn),
+            inflight: None,
+            background_error: None,
             opts,
         })
     }
 
-    /// Reopen a durable table: load the current snapshot (restoring the
-    /// exact persisted layout — no solver run, no codec re-encode), recover
-    /// the WAL (torn-tail truncation) and replay its committed batches.
+    /// Reopen a durable table. A v2 directory restores through mapped
+    /// segments — metadata-only work; chunks hydrate (checksum-verified)
+    /// on first touch — then recovers the WAL chain (torn-tail truncation
+    /// on the last link) and replays its committed batches. A v1 directory
+    /// decodes its whole-table snapshot exactly as before; its first
+    /// checkpoint upgrades it to the v2 format.
     pub fn open(dir: &Path, opts: DurableOptions) -> Result<Self, PersistError> {
         let current = fs::read_to_string(current_path(dir))?;
         let generation: u64 = current
             .trim()
             .parse()
             .map_err(|_| corrupt(format!("CURRENT holds {current:?}, not a generation")))?;
+        if manifest_path(dir, generation).exists() {
+            Self::open_v2(dir, generation, opts)
+        } else {
+            Self::open_v1(dir, generation, opts)
+        }
+    }
+
+    fn open_v2(dir: &Path, generation: u64, opts: DurableOptions) -> Result<Self, PersistError> {
+        let manifest = decode_manifest(&fs::read(manifest_path(dir, generation))?)?;
+        if manifest.generation != generation {
+            return Err(corrupt(format!(
+                "manifest says generation {} but CURRENT says {generation}",
+                manifest.generation
+            )));
+        }
+        let mut table = restore_table(dir, &manifest, !opts.mmap_restore)?;
+        // Versions are zero on a fresh restore; snapshotting them *before*
+        // replay is what marks replayed-into chunks dirty for the next
+        // incremental checkpoint.
+        let clean_versions = vec![0u64; manifest.entries.len()];
+
+        // Replay the WAL chain wal-<gen> .. wal-<highest>. Only the last
+        // link can be torn (rotation seals its predecessor first), so the
+        // middle links replay from a plain scan and the last one goes
+        // through full recovery (truncation + writer positioning).
+        let first = wal_path(dir, generation);
+        if !first.exists() {
+            Wal::create(&first, manifest.durable_lsn + 1)?;
+            sync_dir(dir);
+        }
+        let mut seq = generation;
+        let mut chain_last = manifest.durable_lsn;
+        while wal_path(dir, seq + 1).exists() {
+            let bytes = fs::read(wal_path(dir, seq))?;
+            let s = scan(&bytes);
+            // A middle link was fully sealed before the rotation that
+            // created its successor, so it must scan to its exact end —
+            // anything else is damage, and silently replaying only its
+            // prefix (while later links still apply) would punch a hole
+            // in the committed history.
+            if s.valid_len != bytes.len() {
+                return Err(corrupt(format!(
+                    "WAL chain link {} is damaged: only {} of {} bytes \
+                     form sealed batches, yet a successor link exists",
+                    wal_path(dir, seq).display(),
+                    s.valid_len,
+                    bytes.len()
+                )));
+            }
+            replay(&s, &mut table, manifest.durable_lsn)?;
+            chain_last = chain_last.max(s.last_lsn);
+            seq += 1;
+        }
+        let (mut wal, s) = Wal::recover(&wal_path(dir, seq))?;
+        replay(&s, &mut table, manifest.durable_lsn)?;
+        chain_last = chain_last.max(s.last_lsn);
+        wal.ensure_lsn_at_least(chain_last + 1);
+
+        let next_seg = Self::max_segment_on_disk(dir)
+            .max(manifest.referenced_segments().last().copied().unwrap_or(0))
+            + 1;
+        // Clear leftovers of interrupted checkpoints (unreferenced
+        // segments, orphaned manifests) — but never the WAL chain at or
+        // above the durable generation.
+        prune_stale(dir, &manifest);
+        Ok(Self {
+            table,
+            dir: dir.to_path_buf(),
+            wal,
+            generation,
+            wal_seq: seq,
+            durable_lsn: manifest.durable_lsn,
+            fms: manifest.fms,
+            entries: manifest.entries,
+            clean_versions,
+            next_seg,
+            worker: opts.background_checkpointer.then(Checkpointer::spawn),
+            inflight: None,
+            background_error: None,
+            opts,
+        })
+    }
+
+    fn open_v1(dir: &Path, generation: u64, opts: DurableOptions) -> Result<Self, PersistError> {
         let snapshot_bytes = fs::read(snap_path(dir, generation))?;
         let restored = decode_snapshot(&snapshot_bytes)?;
         if restored.generation != generation {
@@ -194,36 +384,69 @@ impl DurableTable {
             )));
         }
         let mut table = restored.table;
+        let n = table.column().chunks().len();
         let wp = wal_path(dir, generation);
         if !wp.exists() {
             // A crash can theoretically land between snapshot rename and
             // WAL creation of a checkpoint; an absent WAL simply means no
             // writes since the snapshot.
             Wal::create(&wp, restored.durable_lsn + 1)?;
+            sync_dir(dir);
         }
-        let (mut wal, scan) = Wal::recover(&wp)?;
-        replay(&scan, &mut table, restored.durable_lsn)?;
+        let (mut wal, s) = Wal::recover(&wp)?;
+        replay(&s, &mut table, restored.durable_lsn)?;
         // An empty post-checkpoint WAL starts numbering after the LSNs the
         // snapshot already folded in; otherwise fresh records would replay
         // as already-applied.
-        wal.ensure_lsn_at_least(restored.durable_lsn + 1);
+        wal.ensure_lsn_at_least(restored.durable_lsn.max(s.last_lsn) + 1);
         let this = Self {
             table,
             dir: dir.to_path_buf(),
             wal,
             generation,
+            wal_seq: generation,
             durable_lsn: restored.durable_lsn,
             fms: restored.fms,
+            // No manifest yet: the first checkpoint is a full one and
+            // writes the v2 files (the upgrade path).
+            entries: Vec::new(),
+            clean_versions: vec![0; n],
+            next_seg: Self::max_segment_on_disk(dir) + 1,
+            worker: opts.background_checkpointer.then(Checkpointer::spawn),
+            inflight: None,
+            background_error: None,
             opts,
         };
-        this.remove_stale_generations();
+        this.remove_stale_v1_generations();
         Ok(this)
     }
 
+    /// Highest `seg-*.casper` number present in the directory (0 if none):
+    /// fresh segments must never collide with leftovers of a checkpoint
+    /// that died before its manifest committed.
+    fn max_segment_on_disk(dir: &Path) -> u64 {
+        let Ok(entries) = fs::read_dir(dir) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .filter_map(|e| numbered_file(&e.file_name().to_string_lossy(), "seg-", ".casper"))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// The wrapped table (read-only; mutations must flow through
-    /// [`DurableTable::execute`] so they are logged).
+    /// [`DurableTable::execute`] so they are logged). On an mmap restore
+    /// some chunks may still be unhydrated — call
+    /// [`DurableTable::hydrate_all`] first if you need direct column
+    /// access.
     pub fn table(&self) -> &Table {
         &self.table
+    }
+
+    /// Decode every chunk still awaiting lazy hydration.
+    pub fn hydrate_all(&mut self) -> Result<(), PersistError> {
+        self.table.hydrate_all().map_err(PersistError::from)
     }
 
     /// Live row count.
@@ -237,25 +460,41 @@ impl DurableTable {
     }
 
     /// Captured frequency-model state from the last durable optimize pass
-    /// (restored from the snapshot on open).
+    /// (restored from the manifest on open).
     pub fn frequency_models(&self) -> &[FrequencyModel] {
         &self.fms
     }
 
     /// Current durability counters.
     pub fn stats(&self) -> DurableStats {
+        let versions = self.table.column().versions();
+        let dirty = if self.entries.len() == versions.len() {
+            versions
+                .iter()
+                .zip(&self.clean_versions)
+                .filter(|(v, c)| v != c)
+                .count()
+        } else {
+            versions.len() // no manifest: everything is dirty
+        };
+        let segments: BTreeSet<u64> = self.entries.iter().map(|e| e.seg).collect();
         DurableStats {
             generation: self.generation,
             durable_lsn: self.durable_lsn,
             next_lsn: self.wal.next_lsn(),
             wal_bytes: self.wal.durable_bytes(),
             staged_records: self.wal.staged_records(),
+            dirty_chunks: dirty as u64,
+            segments: segments.len() as u64,
+            checkpoint_in_flight: self.inflight.is_some(),
+            checkpoint_failed: self.background_error.is_some(),
         }
     }
 
     /// Execute one query. Writes are staged into the WAL's open batch
     /// after they apply; the batch seals (one write + fsync) every
-    /// `group_commit` records. Reads pass straight through.
+    /// `group_commit` records. Reads pass straight through (hydrating any
+    /// lazily-restored chunk they route to).
     pub fn execute(&mut self, q: &HapQuery) -> Result<QueryOutput, PersistError> {
         let logged = WalOp::from_query(q);
         let out = self.table.execute(q)?;
@@ -289,6 +528,11 @@ impl DurableTable {
     /// batch. A validation conflict stages nothing.
     pub fn commit_txn(&mut self, mgr: &TxnManager, txn: Transaction) -> Result<u64, PersistError> {
         let queries = txn.as_queries();
+        // The manager applies through the column directly; hydrate the
+        // chunks its write set routes to first.
+        for q in &queries {
+            self.table.column_mut().hydrate_for_query(q)?;
+        }
         let ts = match mgr.commit(txn, &mut self.table) {
             Ok(ts) => ts,
             Err(e @ TxnError::Conflict { .. }) => return Err(e.into()),
@@ -325,56 +569,230 @@ impl DurableTable {
 
     fn seal_and_maybe_checkpoint(&mut self) -> Result<(), PersistError> {
         self.wal.seal()?;
+        // Absorb a finished background checkpoint before deciding whether
+        // to start another (failures are stashed, not attributed to this
+        // write — see `poll_checkpoint`).
+        self.poll_checkpoint();
         if self.opts.wal_checkpoint_bytes > 0
             && self.wal.durable_bytes() >= self.opts.wal_checkpoint_bytes
+            && self.inflight.is_none()
         {
-            self.checkpoint()?;
+            let job = self.capture(false)?;
+            match (&self.worker, self.opts.background_checkpointer) {
+                (Some(worker), true) => worker.submit(job)?,
+                _ => {
+                    let result = crate::incremental::run_checkpoint(&job);
+                    self.apply_completion(result)?;
+                }
+            }
         }
         Ok(())
     }
 
-    /// Fold the WAL into a fresh snapshot under the next generation:
-    /// temp-file + atomic rename for the snapshot, a fresh WAL, an atomic
-    /// `CURRENT` swing, then removal of the old generation. Returns the new
-    /// generation number.
+    /// Incremental checkpoint, waited to completion: re-serialize exactly
+    /// the chunks dirtied since the last checkpoint into a fresh segment,
+    /// commit a manifest referencing old records for the clean ones, swing
+    /// `CURRENT`, prune. Returns the new generation number.
     pub fn checkpoint(&mut self) -> Result<u64, PersistError> {
-        self.wal.seal()?;
-        let old_generation = self.generation;
-        let new_generation = old_generation + 1;
-        let durable_lsn = self.wal.next_lsn() - 1;
-        write_atomic(
-            &snap_path(&self.dir, new_generation),
-            &encode_snapshot(&self.table, &self.fms, new_generation, durable_lsn),
-        )?;
-        // A previous checkpoint attempt may have died between creating
-        // this WAL and swinging CURRENT; that file is garbage (CURRENT
-        // still names the old generation), so clear it for the retry.
-        let new_wal_path = wal_path(&self.dir, new_generation);
-        if new_wal_path.exists() {
-            fs::remove_file(&new_wal_path)?;
+        self.checkpoint_sync(false)
+    }
+
+    /// Full compaction, waited to completion: rewrite every live chunk
+    /// record into one fresh segment (clean records byte-copied, dirty
+    /// ones re-encoded) and collapse the segment chain.
+    pub fn compact(&mut self) -> Result<u64, PersistError> {
+        self.checkpoint_sync(true)
+    }
+
+    fn checkpoint_sync(&mut self, force_full: bool) -> Result<u64, PersistError> {
+        self.finish_inflight()?;
+        let job = self.capture(force_full)?;
+        let new_gen = job.new_gen;
+        match (&self.worker, self.opts.background_checkpointer) {
+            (Some(worker), true) => {
+                worker.submit(job)?;
+                self.finish_inflight()?;
+            }
+            _ => {
+                let result = crate::incremental::run_checkpoint(&job);
+                self.apply_completion(result)?;
+            }
         }
-        let wal = Wal::create(&new_wal_path, durable_lsn + 1)?;
-        write_atomic(
-            &current_path(&self.dir),
-            format!("{new_generation}\n").as_bytes(),
-        )?;
-        self.wal = wal;
-        self.generation = new_generation;
-        self.durable_lsn = durable_lsn;
-        self.remove_stale_generations();
-        Ok(new_generation)
+        // This checkpoint folded everything a previously failed background
+        // attempt would have: the stale failure is moot.
+        self.background_error = None;
+        Ok(new_gen)
+    }
+
+    /// Capture a checkpoint under the foreground's pause: seal, rotate the
+    /// WAL (commits continue against the new file immediately), diff the
+    /// column's version counters against the last clean snapshot, and
+    /// clone exactly the dirty chunks. Everything costly — encoding,
+    /// segment/manifest writes, fsyncs — lives in the returned job.
+    fn capture(&mut self, force_full: bool) -> Result<CheckpointJob, PersistError> {
+        debug_assert!(self.inflight.is_none(), "one checkpoint at a time");
+        self.wal.seal()?;
+        let durable_lsn = self.wal.next_lsn() - 1;
+        let new_gen = self.wal_seq + 1;
+        // Rotate: the old WAL file stays for recovery until the manifest
+        // commits; new writes land in wal-<new_gen> with continuous LSNs.
+        let wp = wal_path(&self.dir, new_gen);
+        if wp.exists() {
+            fs::remove_file(&wp)?; // garbage of a checkpoint that died pre-commit
+        }
+        self.wal = Wal::create(&wp, durable_lsn + 1)?;
+        // The dirent of the rotated WAL must be durable *before* commits
+        // are acknowledged into it: with the background checkpointer the
+        // next directory fsync (the job's manifest rename) may be many
+        // acknowledged commits away, and losing the dirent would lose all
+        // of them.
+        sync_dir(&self.dir);
+        self.wal_seq = new_gen;
+
+        let versions = self.table.column().versions().to_vec();
+        let n = versions.len();
+        let has_manifest = self.entries.len() == n;
+        let mut full = force_full || !has_manifest;
+        if !full {
+            // Compaction trigger: would the incremental manifest reference
+            // too many segments?
+            let mut segs: BTreeSet<u64> = BTreeSet::new();
+            let mut any_dirty = false;
+            for i in 0..n {
+                if versions[i] != self.clean_versions[i] {
+                    any_dirty = true;
+                } else {
+                    segs.insert(self.entries[i].seg);
+                }
+            }
+            if any_dirty {
+                segs.insert(self.next_seg);
+            }
+            if segs.len() > self.opts.max_segments {
+                full = true;
+            }
+        }
+
+        let mut fresh: Vec<(usize, RecordSource)> = Vec::new();
+        let mut reused: Vec<(usize, ChunkEntry)> = Vec::new();
+        for (i, version) in versions.iter().enumerate() {
+            let dirty = !has_manifest || *version != self.clean_versions[i];
+            if full && !dirty {
+                // Compaction of a clean chunk: byte-copy its existing
+                // record — no hydration, no re-encode.
+                fresh.push((i, RecordSource::Copy(self.entries[i].clone())));
+            } else if dirty {
+                // Dirty chunks are hydrated by definition (writes hydrate
+                // before mutating), so the clone cannot hit an unloaded
+                // store.
+                fresh.push((
+                    i,
+                    RecordSource::Encode(self.table.column().chunks()[i].clone()),
+                ));
+            } else {
+                reused.push((i, self.entries[i].clone()));
+            }
+        }
+        let seg_seq = self.next_seg;
+        if !fresh.is_empty() {
+            self.next_seg += 1;
+        }
+        self.inflight = Some(Inflight { versions });
+        Ok(CheckpointJob {
+            dir: self.dir.clone(),
+            new_gen,
+            seg_seq,
+            durable_lsn,
+            schema: self.table.schema(),
+            config: *self.table.column().config(),
+            fences: self.table.column().fences().map(<[u64]>::to_vec),
+            fms: self.fms.clone(),
+            n_chunks: n,
+            fresh,
+            reused,
+        })
+    }
+
+    /// Absorb a finished background checkpoint if one is ready. A failed
+    /// job is *stashed* (see [`DurableTable::take_checkpoint_error`]), not
+    /// returned: the commit that happened to poll it succeeded and sealed
+    /// durably, and failing it retroactively would make callers retry (and
+    /// double-apply) a write that is already committed.
+    fn poll_checkpoint(&mut self) {
+        if self.inflight.is_none() {
+            return;
+        }
+        if let Some(worker) = &self.worker {
+            if let Some(result) = worker.try_recv() {
+                if let Err(e) = self.apply_completion(result) {
+                    self.background_error = Some(e);
+                }
+            }
+        }
+    }
+
+    /// Take (and clear) the error of a failed background checkpoint, if
+    /// any. Until a checkpoint succeeds, the affected chunks stay dirty
+    /// and the WAL chain keeps growing — durability of acknowledged writes
+    /// is never at risk, only checkpoint progress.
+    pub fn take_checkpoint_error(&mut self) -> Option<PersistError> {
+        self.background_error.take()
+    }
+
+    /// Block until the in-flight checkpoint (if any) finishes, and apply
+    /// it.
+    fn finish_inflight(&mut self) -> Result<(), PersistError> {
+        if self.inflight.is_none() {
+            return Ok(());
+        }
+        let result = self
+            .worker
+            .as_ref()
+            .expect("an in-flight checkpoint implies a worker")
+            .recv();
+        self.apply_completion(result)
+    }
+
+    /// Commit (or discard, on error) the capture bookkeeping of a finished
+    /// checkpoint. On failure the chunks stay dirty relative to the old
+    /// clean snapshot and the WAL chain keeps growing — recovery replays
+    /// it, so no acknowledged write is ever lost.
+    fn apply_completion(
+        &mut self,
+        result: Result<Manifest, PersistError>,
+    ) -> Result<(), PersistError> {
+        let inflight = self.inflight.take().expect("completion without capture");
+        let manifest = result?;
+        self.generation = manifest.generation;
+        self.durable_lsn = manifest.durable_lsn;
+        self.entries = manifest.entries;
+        self.clean_versions = inflight.versions;
+        Ok(())
     }
 
     /// Optimize the layout for a workload sample (Fig. 10 A→B→C), capture
-    /// the per-chunk frequency models, and checkpoint — the re-layout and
-    /// the FM state that justified it become durable together.
+    /// the per-chunk frequency models, and checkpoint synchronously — the
+    /// re-layout and the FM state that justified it become durable
+    /// together, before this returns.
     pub fn optimize(
         &mut self,
         sample: &[HapQuery],
         opts: &OptimizeOptions,
     ) -> Result<OptimizeReport, PersistError> {
+        // Absorb any in-flight background checkpoint *first*: its
+        // completion overwrites `entries`/`clean_versions`, which would
+        // silently undo the clear below if it landed later.
+        self.finish_inflight()?;
+        self.table.hydrate_all()?;
         self.fms = capture_per_chunk(&self.table, sample);
         let report = optimize_table(&mut self.table, sample, opts);
+        // Every chunk was rewritten, so the old manifest entries are all
+        // stale — drop them to force a full checkpoint. Relying on the
+        // version counters alone would be wrong for the NoOrder
+        // conversion, which *replaces* the column (counters restart at
+        // zero and can collide with the clean snapshot, silently
+        // re-pointing rebuilt chunks at pre-relayout records).
+        self.entries.clear();
         self.checkpoint()?;
         Ok(report)
     }
@@ -385,16 +803,24 @@ impl DurableTable {
         &mut self,
         ctl: &mut AdaptiveController,
     ) -> Result<AdaptDecision, PersistError> {
+        // As in `optimize`: a pending completion must not land after the
+        // re-layout clears the manifest entries.
+        self.finish_inflight()?;
+        self.table.hydrate_all()?;
         let decision = ctl.maybe_reoptimize(&mut self.table);
         if matches!(decision, AdaptDecision::Reoptimized { .. }) {
+            // Same contract as `optimize`: a re-layout rewrote every
+            // chunk, so the next checkpoint must be full.
+            self.entries.clear();
             self.checkpoint()?;
         }
         Ok(decision)
     }
 
-    /// Best-effort removal of files from other generations (leftovers of a
-    /// checkpoint interrupted between the `CURRENT` swing and the cleanup).
-    fn remove_stale_generations(&self) {
+    /// Best-effort removal of files from other v1 generations (leftovers
+    /// of a v1 checkpoint interrupted between the `CURRENT` swing and the
+    /// cleanup).
+    fn remove_stale_v1_generations(&self) {
         let keep = [
             snap_path(&self.dir, self.generation),
             wal_path(&self.dir, self.generation),
@@ -416,12 +842,19 @@ impl DurableTable {
 }
 
 impl Drop for DurableTable {
-    /// Best-effort seal of the open WAL batch on a *graceful* drop, so
-    /// writes `execute` acknowledged under `group_commit > 1` are not
-    /// silently discarded by a clean shutdown. (A crash still loses the
-    /// unsealed window — that is the documented group-commit trade; errors
-    /// here are ignored because panicking in Drop aborts.)
+    /// Best-effort graceful shutdown: seal the open WAL batch (so writes
+    /// acknowledged under `group_commit > 1` survive a clean exit) and
+    /// wait for an in-flight background checkpoint to commit or fail —
+    /// its files are crash-safe either way; waiting just avoids tearing
+    /// down the process mid-fsync. Errors are ignored because panicking in
+    /// Drop aborts.
     fn drop(&mut self) {
         let _ = self.wal.seal();
+        if self.inflight.is_some() {
+            if let Some(worker) = &self.worker {
+                let result = worker.recv();
+                let _ = self.apply_completion(result);
+            }
+        }
     }
 }

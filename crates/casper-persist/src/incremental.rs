@@ -1,0 +1,620 @@
+//! Snapshot format v2: incremental, segment-based checkpoints.
+//!
+//! v1 (`snapshot.rs`) re-serializes the entire table on every checkpoint.
+//! v2 splits the snapshot into two pieces so a checkpoint writes only what
+//! changed:
+//!
+//! * **Segments** (`seg-<seq>.casper`) are append-once files holding one
+//!   encoded chunk record per dirty chunk (the same per-store byte layout
+//!   as v1, via `snapshot::encode_store`). A segment is written, fsynced
+//!   and never touched again; older segments are retained while any live
+//!   manifest entry still points into them.
+//! * **Manifests** (`manifest-<gen>.casper`) are small CRC-checksummed
+//!   files mapping every chunk id to `(segment, offset, len, crc, live)`
+//!   plus the table-level metadata (engine config, fences, FM state, WAL
+//!   watermark). A checkpoint re-encodes *only dirty chunks* into a new
+//!   segment and re-points the clean ones at their existing records.
+//!
+//! `CURRENT` still swings atomically and still holds a bare generation
+//! number; recovery first looks for `manifest-<gen>` and falls back to the
+//! v1 `snap-<gen>` — v1 directories stay readable, and their first v2
+//! checkpoint upgrades them (all chunks dirty).
+//!
+//! **Compaction**: once a manifest references more than a configured
+//! number of segments, the next checkpoint rewrites every live record into
+//! one fresh segment (clean records are *byte-copied*, CRC-verified, never
+//! re-encoded) and the chain collapses.
+//!
+//! **Restore** maps segments ([`crate::mmap::Mmap`]) and hands each chunk
+//! to the engine as a [`LazyChunk`]: `DurableTable::open` does metadata
+//! work only, and a chunk verifies its record CRC and decodes on the first
+//! query that routes to it.
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::crc::crc32;
+use crate::mmap::Mmap;
+use crate::snapshot::{decode_config, decode_store, encode_config, encode_store};
+use crate::PersistError;
+use casper_core::FrequencyModel;
+use casper_engine::column::{ChunkStore, LazyChunk};
+use casper_engine::{ChunkedColumn, EngineConfig, Table};
+use casper_storage::StorageError;
+use casper_workload::HapSchema;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Magic bytes opening every manifest file.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"CSPM";
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"CSPS";
+/// Manifest format version (the v2 of the snapshot subsystem).
+pub const MANIFEST_VERSION: u32 = 2;
+/// Byte length of a segment file header (`magic | version | seq`).
+pub const SEGMENT_HEADER_LEN: u64 = 16;
+
+fn corrupt(reason: impl Into<String>) -> StorageError {
+    StorageError::Corrupt {
+        reason: reason.into(),
+    }
+}
+
+/// Where one chunk's persisted record lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Segment sequence number the record lives in.
+    pub seg: u64,
+    /// Byte offset of the record inside the segment file.
+    pub offset: u64,
+    /// Record length in bytes.
+    pub len: u64,
+    /// CRC32 of the record bytes, verified at first touch (the manifest's
+    /// own checksum protects this value, so per-record integrity holds
+    /// end-to-end without reading the segment at open).
+    pub crc: u32,
+    /// Live rows in the chunk (serves `len()` before hydration).
+    pub live: u64,
+    /// Checkpoint generation that wrote the record (compaction telemetry).
+    pub written_gen: u64,
+}
+
+/// A decoded manifest: everything `DurableTable::open` needs before any
+/// segment byte is read.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// Checkpoint generation this manifest commits.
+    pub generation: u64,
+    /// Highest WAL LSN folded into the chunk records.
+    pub durable_lsn: u64,
+    /// Table schema (payload arity).
+    pub schema: HapSchema,
+    /// Engine configuration of the persisted table.
+    pub config: EngineConfig,
+    /// Per-chunk routing fences (`None` for `NoOrder`).
+    pub fences: Option<Vec<u64>>,
+    /// One entry per chunk, in chunk order.
+    pub entries: Vec<ChunkEntry>,
+    /// Captured per-chunk frequency models.
+    pub fms: Vec<FrequencyModel>,
+}
+
+impl Manifest {
+    /// Distinct segments referenced by the live entries.
+    pub fn referenced_segments(&self) -> Vec<u64> {
+        let mut segs: Vec<u64> = self.entries.iter().map(|e| e.seg).collect();
+        segs.sort_unstable();
+        segs.dedup();
+        segs
+    }
+}
+
+// ---------------------------------------------------------------------
+// Manifest encode/decode
+// ---------------------------------------------------------------------
+
+/// Serialize a manifest (header + CRC-guarded body).
+pub fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    let mut body = ByteWriter::new();
+    body.u64(m.generation);
+    body.u64(m.durable_lsn);
+    body.u64(m.schema.payload_cols as u64);
+    encode_config(&mut body, &m.config);
+    match &m.fences {
+        Some(f) => {
+            body.u8(1);
+            body.vec_u64(f);
+        }
+        None => body.u8(0),
+    }
+    body.u64(m.entries.len() as u64);
+    for e in &m.entries {
+        body.u64(e.seg);
+        body.u64(e.offset);
+        body.u64(e.len);
+        body.u32(e.crc);
+        body.u64(e.live);
+        body.u64(e.written_gen);
+    }
+    body.u64(m.fms.len() as u64);
+    for fm in &m.fms {
+        for (_, hist) in fm.histograms() {
+            body.vec_f64(hist);
+        }
+    }
+    let body = body.into_bytes();
+
+    let mut out = ByteWriter::new();
+    for b in MANIFEST_MAGIC {
+        out.u8(b);
+    }
+    out.u32(MANIFEST_VERSION);
+    out.u64(body.len() as u64);
+    out.u32(crc32(&body));
+    let mut bytes = out.into_bytes();
+    bytes.extend_from_slice(&body);
+    bytes
+}
+
+/// Decode a manifest, verifying magic, version and checksum.
+pub fn decode_manifest(bytes: &[u8]) -> Result<Manifest, StorageError> {
+    let mut header = ByteReader::new(bytes);
+    let magic = [header.u8()?, header.u8()?, header.u8()?, header.u8()?];
+    if magic != MANIFEST_MAGIC {
+        return Err(corrupt(format!("bad manifest magic {magic:02x?}")));
+    }
+    let version = header.u32()?;
+    if version != MANIFEST_VERSION {
+        return Err(corrupt(format!(
+            "unsupported manifest version {version} (this build reads {MANIFEST_VERSION})"
+        )));
+    }
+    let body_len = header.len_u64()?;
+    let want_crc = header.u32()?;
+    if header.remaining() != body_len {
+        return Err(corrupt(format!(
+            "manifest body length {body_len} but {} bytes follow the header",
+            header.remaining()
+        )));
+    }
+    let body = &bytes[bytes.len() - body_len..];
+    let got_crc = crc32(body);
+    if got_crc != want_crc {
+        return Err(corrupt(format!(
+            "manifest checksum mismatch: stored {want_crc:#010x}, computed {got_crc:#010x}"
+        )));
+    }
+
+    let mut r = ByteReader::new(body);
+    let generation = r.u64()?;
+    let durable_lsn = r.u64()?;
+    let payload_cols = r.len_u64()?;
+    let config = decode_config(&mut r)?;
+    let fences = match r.u8()? {
+        0 => None,
+        1 => Some(r.vec_u64()?),
+        t => return Err(corrupt(format!("bad fence tag {t}"))),
+    };
+    let n_chunks = r.len_u64()?;
+    if n_chunks == 0 {
+        return Err(corrupt("manifest holds zero chunks"));
+    }
+    let mut entries = Vec::with_capacity(n_chunks.min(1 << 20));
+    for _ in 0..n_chunks {
+        entries.push(ChunkEntry {
+            seg: r.u64()?,
+            offset: r.u64()?,
+            len: r.u64()?,
+            crc: r.u32()?,
+            live: r.u64()?,
+            written_gen: r.u64()?,
+        });
+    }
+    if let Some(f) = &fences {
+        if f.len() != entries.len() {
+            return Err(corrupt(format!(
+                "{} fences for {} chunks",
+                f.len(),
+                entries.len()
+            )));
+        }
+    }
+    let n_fms = r.len_u64()?;
+    let mut fms = Vec::with_capacity(n_fms.min(1 << 20));
+    for _ in 0..n_fms {
+        let hists: [Vec<f64>; 10] = [
+            r.vec_f64()?,
+            r.vec_f64()?,
+            r.vec_f64()?,
+            r.vec_f64()?,
+            r.vec_f64()?,
+            r.vec_f64()?,
+            r.vec_f64()?,
+            r.vec_f64()?,
+            r.vec_f64()?,
+            r.vec_f64()?,
+        ];
+        fms.push(
+            FrequencyModel::from_histograms(hists)
+                .map_err(|e| corrupt(format!("frequency model: {e}")))?,
+        );
+    }
+    r.finish()?;
+    Ok(Manifest {
+        generation,
+        durable_lsn,
+        schema: HapSchema { payload_cols },
+        config,
+        fences,
+        entries,
+        fms,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Paths
+// ---------------------------------------------------------------------
+
+/// `manifest-<gen>.casper` under `dir`.
+pub fn manifest_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("manifest-{generation:06}.casper"))
+}
+
+/// `seg-<seq>.casper` under `dir`.
+pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("seg-{seq:06}.casper"))
+}
+
+/// Parse `<stem>-NNNNNN.casper|log` sequence numbers from a file name.
+pub(crate) fn numbered_file(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+    name.strip_prefix(prefix)?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+// ---------------------------------------------------------------------
+// The checkpoint job: what the (possibly background) writer executes
+// ---------------------------------------------------------------------
+
+/// One chunk record heading into a new segment.
+#[derive(Debug)]
+pub(crate) enum RecordSource {
+    /// Serialize this (hydrated, dirty) store.
+    Encode(ChunkStore),
+    /// Byte-copy an existing record (compaction of a clean chunk — the
+    /// bytes are CRC-verified in flight but never decoded).
+    Copy(ChunkEntry),
+}
+
+/// Everything a checkpoint writes, captured under the foreground's short
+/// pause: dirty chunk clones, reused manifest entries, and the table-level
+/// metadata. Serialization + fsync happen wherever the job runs (inline or
+/// on the checkpointer thread).
+#[derive(Debug)]
+pub(crate) struct CheckpointJob {
+    pub dir: PathBuf,
+    pub new_gen: u64,
+    /// Sequence number of the segment this job may create.
+    pub seg_seq: u64,
+    pub durable_lsn: u64,
+    pub schema: HapSchema,
+    pub config: EngineConfig,
+    pub fences: Option<Vec<u64>>,
+    pub fms: Vec<FrequencyModel>,
+    /// `(chunk index, source)` for records landing in the new segment.
+    pub fresh: Vec<(usize, RecordSource)>,
+    /// `(chunk index, entry)` reused from older segments untouched.
+    pub reused: Vec<(usize, ChunkEntry)>,
+    /// Total chunk count (`fresh.len() + reused.len()`).
+    pub n_chunks: usize,
+}
+
+/// Run a checkpoint job to completion: write the segment (if any records
+/// are fresh), write the manifest, swing `CURRENT`, prune stale files.
+/// Returns the manifest that is now durable. Crash-safe at every step:
+/// until the `CURRENT` rename lands, recovery still sees the previous
+/// generation plus the intact WAL chain.
+pub(crate) fn run_checkpoint(job: &CheckpointJob) -> Result<Manifest, PersistError> {
+    let mut entries: Vec<Option<ChunkEntry>> = vec![None; job.n_chunks];
+    for (idx, entry) in &job.reused {
+        entries[*idx] = Some(entry.clone());
+    }
+
+    if !job.fresh.is_empty() {
+        let path = segment_path(&job.dir, job.seg_seq);
+        let mut file = fs::File::create(&path)?;
+        let mut header = ByteWriter::new();
+        for b in SEGMENT_MAGIC {
+            header.u8(b);
+        }
+        header.u32(MANIFEST_VERSION);
+        header.u64(job.seg_seq);
+        let header = header.into_bytes();
+        debug_assert_eq!(header.len() as u64, SEGMENT_HEADER_LEN);
+        file.write_all(&header)?;
+        // Records are independent: encode (or byte-copy) and write one at
+        // a time, so a full checkpoint never holds a second serialized
+        // copy of the whole table in memory on top of the captured
+        // clones — peak extra memory is one chunk record. After each
+        // record, writeback of the bytes just written is *initiated*
+        // (non-blocking, no journal commit): a concurrent group-commit
+        // WAL fsync on the foreground would otherwise have to flush the
+        // whole accumulated segment inside its own journal transaction,
+        // stalling the commit path.
+        let mut offset = SEGMENT_HEADER_LEN;
+        for (idx, source) in &job.fresh {
+            let (bytes, live) = match source {
+                RecordSource::Encode(store) => {
+                    let mut w = ByteWriter::new();
+                    encode_store(&mut w, store);
+                    (w.into_bytes(), store.len() as u64)
+                }
+                RecordSource::Copy(entry) => (read_record(&job.dir, entry)?, entry.live),
+            };
+            file.write_all(&bytes)?;
+            crate::mmap::initiate_writeback(&file, offset, bytes.len() as u64);
+            entries[*idx] = Some(ChunkEntry {
+                seg: job.seg_seq,
+                offset,
+                len: bytes.len() as u64,
+                crc: crc32(&bytes),
+                live,
+                written_gen: job.new_gen,
+            });
+            offset += bytes.len() as u64;
+        }
+        file.sync_all()?;
+    }
+
+    let entries: Vec<ChunkEntry> = entries
+        .into_iter()
+        .map(|e| e.expect("every chunk is fresh or reused"))
+        .collect();
+    let manifest = Manifest {
+        generation: job.new_gen,
+        durable_lsn: job.durable_lsn,
+        schema: job.schema,
+        config: job.config,
+        fences: job.fences.clone(),
+        entries,
+        fms: job.fms.clone(),
+    };
+    crate::durable::write_atomic(
+        &manifest_path(&job.dir, job.new_gen),
+        &encode_manifest(&manifest),
+    )?;
+    // The commit point: readers now resolve to the new generation.
+    crate::durable::write_atomic(
+        &crate::durable::current_path(&job.dir),
+        format!("{}\n", job.new_gen).as_bytes(),
+    )?;
+    prune_stale(&job.dir, &manifest);
+    Ok(manifest)
+}
+
+/// Read and CRC-verify one persisted record (compaction byte-copy path).
+fn read_record(dir: &Path, entry: &ChunkEntry) -> Result<Vec<u8>, PersistError> {
+    use std::io::{Read, Seek, SeekFrom};
+    let path = segment_path(dir, entry.seg);
+    let mut f = fs::File::open(&path)?;
+    f.seek(SeekFrom::Start(entry.offset))?;
+    let mut bytes = vec![0u8; entry.len as usize];
+    f.read_exact(&mut bytes)?;
+    let got = crc32(&bytes);
+    if got != entry.crc {
+        return Err(corrupt(format!(
+            "segment {} record at {} fails its checksum during compaction \
+             (stored {:#010x}, computed {got:#010x})",
+            entry.seg, entry.offset, entry.crc
+        ))
+        .into());
+    }
+    Ok(bytes)
+}
+
+/// Best-effort removal of everything the new manifest no longer needs:
+/// older manifests, v1 snapshots, unreferenced segments, WAL files below
+/// the new generation, and orphaned temp files. A crash mid-prune only
+/// leaves garbage for the next prune.
+pub(crate) fn prune_stale(dir: &Path, manifest: &Manifest) {
+    let referenced = manifest.referenced_segments();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        let stale = if let Some(g) = numbered_file(&name, "manifest-", ".casper") {
+            g != manifest.generation
+        } else if let Some(s) = numbered_file(&name, "seg-", ".casper") {
+            !referenced.contains(&s)
+        } else if let Some(w) = numbered_file(&name, "wal-", ".log") {
+            w < manifest.generation
+        } else {
+            name.starts_with("snap-") || name.ends_with(".tmp")
+        };
+        if stale {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Restore
+// ---------------------------------------------------------------------
+
+/// Build a table from a manifest: map every referenced segment, verify the
+/// segment headers, and hand each chunk to the engine lazily (or decode
+/// eagerly when `eager` is set — used by tests and as a paranoia switch).
+pub(crate) fn restore_table(
+    dir: &Path,
+    manifest: &Manifest,
+    eager: bool,
+) -> Result<Table, PersistError> {
+    let mut maps: BTreeMap<u64, Arc<Mmap>> = BTreeMap::new();
+    for seg in manifest.referenced_segments() {
+        let path = segment_path(dir, seg);
+        let file = fs::File::open(&path)?;
+        let map = Arc::new(Mmap::map(&file)?);
+        verify_segment_header(&map, seg)?;
+        maps.insert(seg, map);
+    }
+    let payload_width = manifest.schema.payload_cols;
+    let config = manifest.config;
+    let mut chunks = Vec::with_capacity(manifest.entries.len());
+    for (i, entry) in manifest.entries.iter().enumerate() {
+        let map = Arc::clone(maps.get(&entry.seg).expect("segment mapped above"));
+        let entry = entry.clone();
+        let loader = move || decode_record(&map, &entry, &config, payload_width);
+        if eager {
+            chunks.push(loader()?);
+        } else {
+            let live = usize::try_from(manifest.entries[i].live)
+                .map_err(|_| corrupt("live count overflows usize"))?;
+            chunks.push(ChunkStore::Unloaded(LazyChunk::new(live, Box::new(loader))));
+        }
+    }
+    let column = ChunkedColumn::from_restored(
+        chunks,
+        manifest.fences.clone(),
+        manifest.config,
+        payload_width,
+    );
+    Ok(Table::from_restored(manifest.schema, column))
+}
+
+/// Check a mapped segment's header (magic, version, recorded sequence).
+fn verify_segment_header(map: &Mmap, seq: u64) -> Result<(), StorageError> {
+    let mut r = ByteReader::new(map);
+    let magic = [r.u8()?, r.u8()?, r.u8()?, r.u8()?];
+    if magic != SEGMENT_MAGIC {
+        return Err(corrupt(format!("segment {seq}: bad magic {magic:02x?}")));
+    }
+    let version = r.u32()?;
+    if version != MANIFEST_VERSION {
+        return Err(corrupt(format!("segment {seq}: bad version {version}")));
+    }
+    let recorded = r.u64()?;
+    if recorded != seq {
+        return Err(corrupt(format!(
+            "segment file {seq} says it is segment {recorded}"
+        )));
+    }
+    Ok(())
+}
+
+/// Decode one chunk record out of its mapped segment: bounds check, CRC
+/// verification at first touch, then the shared store decoder.
+fn decode_record(
+    map: &Mmap,
+    entry: &ChunkEntry,
+    config: &EngineConfig,
+    payload_width: usize,
+) -> Result<ChunkStore, StorageError> {
+    let start = usize::try_from(entry.offset).map_err(|_| corrupt("record offset overflow"))?;
+    let len = usize::try_from(entry.len).map_err(|_| corrupt("record length overflow"))?;
+    let bytes = map.get(start..start + len).ok_or_else(|| {
+        corrupt(format!(
+            "segment {} is {} bytes but a record claims {start}..{}",
+            entry.seg,
+            map.len(),
+            start + len
+        ))
+    })?;
+    let got = crc32(bytes);
+    if got != entry.crc {
+        return Err(corrupt(format!(
+            "chunk record in segment {} fails its checksum \
+             (stored {:#010x}, computed {got:#010x})",
+            entry.seg, entry.crc
+        )));
+    }
+    let mut r = ByteReader::new(bytes);
+    let store = decode_store(&mut r, config, payload_width)?;
+    r.finish()?;
+    Ok(store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest() -> Manifest {
+        Manifest {
+            generation: 7,
+            durable_lsn: 123,
+            schema: HapSchema { payload_cols: 3 },
+            config: EngineConfig::small(casper_engine::LayoutMode::Casper),
+            fences: Some(vec![10, 20]),
+            entries: vec![
+                ChunkEntry {
+                    seg: 2,
+                    offset: 16,
+                    len: 100,
+                    crc: 0xDEAD_BEEF,
+                    live: 64,
+                    written_gen: 3,
+                },
+                ChunkEntry {
+                    seg: 5,
+                    offset: 16,
+                    len: 80,
+                    crc: 0x1234_5678,
+                    live: 32,
+                    written_gen: 7,
+                },
+            ],
+            fms: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = manifest();
+        let bytes = encode_manifest(&m);
+        let d = decode_manifest(&bytes).expect("decode");
+        assert_eq!(d.generation, 7);
+        assert_eq!(d.durable_lsn, 123);
+        assert_eq!(d.entries, m.entries);
+        assert_eq!(d.fences, m.fences);
+        assert_eq!(d.referenced_segments(), vec![2, 5]);
+    }
+
+    #[test]
+    fn manifest_flipped_bit_is_corrupt() {
+        let mut bytes = encode_manifest(&manifest());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        assert!(matches!(
+            decode_manifest(&bytes),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn manifest_truncation_is_typed() {
+        let bytes = encode_manifest(&manifest());
+        for cut in [0, 3, 11, 15, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    decode_manifest(&bytes[..cut]),
+                    Err(StorageError::Corrupt { .. })
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn numbered_file_parses() {
+        assert_eq!(
+            numbered_file("seg-000012.casper", "seg-", ".casper"),
+            Some(12)
+        );
+        assert_eq!(numbered_file("wal-000003.log", "wal-", ".log"), Some(3));
+        assert_eq!(numbered_file("seg-xx.casper", "seg-", ".casper"), None);
+        assert_eq!(numbered_file("CURRENT", "seg-", ".casper"), None);
+    }
+}

@@ -8,31 +8,45 @@
 //! existing systems"; such systems treat their physical design as durable
 //! state).
 //!
-//! Three pieces:
+//! The pieces:
 //!
-//! * [`snapshot`] — a versioned, checksummed binary format serializing a
-//!   whole table *bit-exactly*: chunk slots, partition boundaries, zone
-//!   maps, encoded fragments, ghost accounting and captured FM state.
-//!   Restore performs **zero layout solves and zero codec re-encodes**
-//!   (asserted via the solver/codec telemetry counters).
+//! * [`incremental`] — snapshot format **v2**: append-once *segments* of
+//!   per-chunk records plus small CRC-checksummed *manifests* mapping
+//!   chunk id → (segment, offset, len, crc). Checkpoints re-serialize
+//!   **only the chunks dirtied since the last one** (the engine's
+//!   per-chunk version counters enumerate them) and compact the segment
+//!   chain periodically; restore maps segments ([`mmap`]) and hydrates
+//!   chunks lazily, checksum-verified at first touch.
+//! * [`snapshot`] — the original v1 whole-table format, still readable
+//!   (a v1 directory upgrades on its first v2 checkpoint). Restore
+//!   performs **zero layout solves and zero codec re-encodes** on either
+//!   path (asserted via the solver/codec telemetry counters).
 //! * [`wal`] — an append-only redo log of Q4/Q5/Q6 writes with group-commit
 //!   batching, per-record CRC32, and torn-tail truncation on replay.
-//! * [`durable`] — [`DurableTable`], the engine wrapper wiring WAL staging
-//!   into write execution and transaction commit, plus generation-numbered
-//!   checkpoints (atomic rename) that fold the WAL into a fresh snapshot —
-//!   triggered automatically after every optimizer re-layout.
+//! * [`checkpointer`] — the background checkpoint thread: the foreground
+//!   seals + rotates the WAL and clones dirty chunk state; serialization
+//!   and fsyncs run off the commit path.
+//! * [`durable`] — [`DurableTable`], the engine wrapper tying it together:
+//!   WAL staging on every write, watermark-triggered background
+//!   checkpoints, synchronous checkpoints after every optimizer re-layout,
+//!   mmap restore.
 //!
-//! Formats are hand-rolled in-repo (CRC32 included) following the
+//! Formats are hand-rolled in-repo (CRC32 and mmap included) following the
 //! workspace's offline `crates/shims/` discipline; the byte layouts are
 //! documented in `docs/persist-format.md`.
 
+pub mod checkpointer;
 pub mod codec;
 pub mod crc;
 pub mod durable;
+pub mod incremental;
+pub mod mmap;
 pub mod snapshot;
 pub mod wal;
 
 pub use durable::{DurableOptions, DurableStats, DurableTable};
+pub use incremental::{decode_manifest, encode_manifest, ChunkEntry, Manifest};
+pub use mmap::Mmap;
 pub use snapshot::{decode_snapshot, encode_snapshot, RestoredSnapshot};
 pub use wal::{Wal, WalBatch, WalOp, WalScan};
 

@@ -112,7 +112,7 @@ pub fn encode_snapshot(
     bytes
 }
 
-fn encode_config(w: &mut ByteWriter, c: &EngineConfig) {
+pub(crate) fn encode_config(w: &mut ByteWriter, c: &EngineConfig) {
     w.u8(mode_tag(c.mode));
     w.u64(c.block_bytes as u64);
     w.u64(c.chunk_values as u64);
@@ -124,7 +124,7 @@ fn encode_config(w: &mut ByteWriter, c: &EngineConfig) {
     w.u64(c.ghost_fetch_block as u64);
 }
 
-fn encode_store(w: &mut ByteWriter, store: &ChunkStore) {
+pub(crate) fn encode_store(w: &mut ByteWriter, store: &ChunkStore) {
     match store {
         ChunkStore::Partitioned(chunk) => {
             w.u8(0);
@@ -160,6 +160,10 @@ fn encode_store(w: &mut ByteWriter, store: &ChunkStore) {
             }
             w.u64(d.capacity() as u64);
         }
+        // Never reached: dirty chunks are hydrated by definition, and the
+        // incremental checkpointer reuses (or byte-copies) the persisted
+        // record of a clean chunk instead of re-encoding it.
+        ChunkStore::Unloaded(_) => panic!("cannot serialize an unhydrated chunk"),
     }
 }
 
@@ -350,7 +354,7 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<RestoredSnapshot, StorageError> {
     })
 }
 
-fn decode_config(r: &mut ByteReader<'_>) -> Result<EngineConfig, StorageError> {
+pub(crate) fn decode_config(r: &mut ByteReader<'_>) -> Result<EngineConfig, StorageError> {
     let mode = mode_from_tag(r.u8()?)?;
     Ok(EngineConfig {
         mode,
@@ -365,7 +369,7 @@ fn decode_config(r: &mut ByteReader<'_>) -> Result<EngineConfig, StorageError> {
     })
 }
 
-fn decode_store(
+pub(crate) fn decode_store(
     r: &mut ByteReader<'_>,
     config: &EngineConfig,
     payload_width: usize,

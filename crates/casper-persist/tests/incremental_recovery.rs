@@ -1,0 +1,580 @@
+//! Crash-window properties of the incremental (v2) checkpoint chain.
+//!
+//! A v2 checkpoint commits in three steps — segment write, manifest write,
+//! `CURRENT` swing — with the WAL rotated *before* any of them. These
+//! tests kill the checkpoint between and **inside** each step (truncating
+//! the in-flight file at every byte offset, extending PR 3's
+//! WAL-truncation property to the snapshot chain) and assert recovery
+//! always lands on exactly the pre-checkpoint state plus every sealed WAL
+//! batch: no data loss past the last sealed batch, ever.
+//!
+//! Also here: replay idempotence across a multi-segment chain, forced
+//! compaction, the v1 → v2 upgrade round trip, and typed corruption
+//! surfacing for damaged segments/manifests.
+
+use casper_engine::{EngineConfig, LayoutMode, Table};
+use casper_persist::{DurableOptions, DurableTable, PersistError};
+use casper_workload::{HapQuery, HapSchema};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const ROWS: u64 = 192;
+/// Keys are even numbers 0, 2, …, 2·(ROWS−1); three chunks of 64.
+const CHUNK_VALUES: usize = 64;
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn schema() -> HapSchema {
+    HapSchema { payload_cols: 2 }
+}
+
+fn engine_config() -> EngineConfig {
+    let mut config = EngineConfig::small(LayoutMode::Casper);
+    config.chunk_values = CHUNK_VALUES;
+    config.threads = 1;
+    config
+}
+
+fn payload_row(key: u64) -> Vec<u32> {
+    vec![(key % 251) as u32, (key % 83) as u32]
+}
+
+fn seed_table() -> Table {
+    let keys: Vec<u64> = (0..ROWS).map(|i| i * 2).collect();
+    let cols: Vec<Vec<u32>> = (0..2)
+        .map(|c| keys.iter().map(|&k| payload_row(k)[c]).collect())
+        .collect();
+    Table::load(schema(), keys, cols, engine_config())
+}
+
+/// Marker key of write `i` (odd → never collides with seeded keys).
+fn marker(i: usize) -> u64 {
+    1 + 2 * i as u64
+}
+
+fn markers(n: usize) -> Vec<HapQuery> {
+    (0..n)
+        .map(|i| HapQuery::Q4 {
+            key: marker(i),
+            payload: payload_row(marker(i)),
+        })
+        .collect()
+}
+
+/// Fingerprint: marker presence, row count, full count, a couple of sums.
+fn fingerprint_durable(t: &mut DurableTable, n_markers: usize) -> Vec<u64> {
+    let mut out = vec![t.len() as u64];
+    for i in 0..n_markers {
+        out.push(
+            t.execute(&HapQuery::Q1 { v: marker(i), k: 2 })
+                .expect("probe")
+                .result
+                .scalar(),
+        );
+    }
+    for q in [
+        HapQuery::Q2 {
+            vs: 0,
+            ve: u64::MAX,
+        },
+        HapQuery::Q3 {
+            vs: 50,
+            ve: 300,
+            k: 2,
+        },
+    ] {
+        out.push(t.execute(&q).expect("probe").result.scalar());
+    }
+    out
+}
+
+fn fingerprint_oracle(t: &mut Table, n_markers: usize) -> Vec<u64> {
+    let mut out = vec![t.len() as u64];
+    for i in 0..n_markers {
+        out.push(
+            t.execute(&HapQuery::Q1 { v: marker(i), k: 2 })
+                .expect("probe")
+                .result
+                .scalar(),
+        );
+    }
+    for q in [
+        HapQuery::Q2 {
+            vs: 0,
+            ve: u64::MAX,
+        },
+        HapQuery::Q3 {
+            vs: 50,
+            ve: 300,
+            k: 2,
+        },
+    ] {
+        out.push(t.execute(&q).expect("probe").result.scalar());
+    }
+    out
+}
+
+fn copy_dir(from: &Path, to: &Path) {
+    let _ = fs::remove_dir_all(to);
+    fs::create_dir_all(to).expect("mkdir");
+    for entry in fs::read_dir(from).expect("read src").flatten() {
+        fs::copy(entry.path(), to.join(entry.file_name())).expect("copy");
+    }
+}
+
+/// Build the crash fixture: a created table (gen 1), `n` sealed marker
+/// batches in the WAL, a directory copy taken *before* the checkpoint, the
+/// checkpoint's in-flight files, and the committed-state oracle.
+struct Fixture {
+    /// Directory state before the checkpoint (manifest-1 + wal-1 chain).
+    pre: PathBuf,
+    /// Directory state after the committed checkpoint.
+    post: PathBuf,
+    /// Bytes of the segment the checkpoint wrote.
+    seg_bytes: Vec<u8>,
+    /// Name of that segment file.
+    seg_name: String,
+    /// Bytes of the manifest the checkpoint wrote.
+    manifest_bytes: Vec<u8>,
+    /// The oracle holding the seeded rows plus all `n` markers.
+    want: Vec<u64>,
+    n_markers: usize,
+}
+
+fn build_fixture(tag: &str) -> Fixture {
+    let base = test_dir(&format!("incr_{tag}_base"));
+    let pre = test_dir(&format!("incr_{tag}_pre"));
+    let post = test_dir(&format!("incr_{tag}_post"));
+    let n_markers = 6usize;
+
+    let mut durable =
+        DurableTable::create_from_table(&base, seed_table(), DurableOptions::default())
+            .expect("create");
+    for q in markers(n_markers) {
+        durable.execute(&q).expect("write");
+    }
+    copy_dir(&base, &pre);
+    let g2 = durable.checkpoint().expect("checkpoint");
+    assert_eq!(g2, 2);
+    drop(durable);
+    copy_dir(&base, &post);
+
+    let seg_name = fs::read_dir(&post)
+        .expect("post dir")
+        .flatten()
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("seg-"))
+        .max()
+        .expect("checkpoint wrote a segment");
+    let seg_bytes = fs::read(post.join(&seg_name)).expect("seg bytes");
+    let manifest_bytes = fs::read(post.join("manifest-000002.casper")).expect("manifest bytes");
+
+    let mut oracle = seed_table();
+    for q in markers(n_markers) {
+        oracle.execute(&q).expect("oracle");
+    }
+    let want = fingerprint_oracle(&mut oracle, n_markers);
+    Fixture {
+        pre,
+        post,
+        seg_bytes,
+        seg_name,
+        manifest_bytes,
+        want,
+        n_markers,
+    }
+}
+
+/// Install a crash state: the pre-checkpoint files, the rotated (empty)
+/// wal-000002 the capture created, plus whatever in-flight files the
+/// "kill" left behind.
+fn install_crash_state(fx: &Fixture, scratch: &Path, extra: &[(&str, &[u8])]) {
+    copy_dir(&fx.pre, scratch);
+    // The capture rotates the WAL before the checkpoint writes anything.
+    fs::write(scratch.join("wal-000002.log"), b"").expect("rotated wal");
+    for (name, bytes) in extra {
+        fs::write(scratch.join(name), bytes).expect("install extra");
+    }
+}
+
+#[test]
+fn kill_during_segment_write_at_every_byte_offset() {
+    let fx = build_fixture("seg");
+    let scratch = test_dir("incr_seg_scratch");
+    for cut in 0..=fx.seg_bytes.len() {
+        install_crash_state(
+            &fx,
+            &scratch,
+            &[(fx.seg_name.as_str(), &fx.seg_bytes[..cut])],
+        );
+        let mut t = DurableTable::open(&scratch, DurableOptions::default())
+            .unwrap_or_else(|e| panic!("open with segment cut at {cut}: {e}"));
+        assert_eq!(t.stats().generation, 1, "cut {cut}: CURRENT never swung");
+        assert_eq!(
+            fingerprint_durable(&mut t, fx.n_markers),
+            fx.want,
+            "segment cut at {cut} lost sealed data"
+        );
+    }
+}
+
+#[test]
+fn kill_during_manifest_write_at_every_byte_offset() {
+    let fx = build_fixture("mani");
+    let scratch = test_dir("incr_mani_scratch");
+    for cut in 0..=fx.manifest_bytes.len() {
+        // Full segment on disk, manifest torn at `cut`, CURRENT still 1 —
+        // the torn manifest is dead weight: recovery must resolve gen 1
+        // and replay the whole WAL chain.
+        install_crash_state(
+            &fx,
+            &scratch,
+            &[
+                (fx.seg_name.as_str(), &fx.seg_bytes[..]),
+                ("manifest-000002.casper", &fx.manifest_bytes[..cut]),
+            ],
+        );
+        let mut t = DurableTable::open(&scratch, DurableOptions::default())
+            .unwrap_or_else(|e| panic!("open with manifest cut at {cut}: {e}"));
+        assert_eq!(t.stats().generation, 1, "cut {cut}");
+        assert_eq!(
+            fingerprint_durable(&mut t, fx.n_markers),
+            fx.want,
+            "manifest cut at {cut} lost sealed data"
+        );
+    }
+}
+
+#[test]
+fn kill_after_current_swing_resolves_the_new_generation() {
+    let fx = build_fixture("swing");
+    // The committed post state (kill right after the swing, before any
+    // pruning finished) must open at generation 2 with identical data.
+    let mut t = DurableTable::open(&fx.post, DurableOptions::default()).expect("open post");
+    assert_eq!(t.stats().generation, 2);
+    assert_eq!(fingerprint_durable(&mut t, fx.n_markers), fx.want);
+}
+
+#[test]
+fn recovered_table_accepts_writes_after_every_kill_phase() {
+    let fx = build_fixture("resume");
+    let scratch = test_dir("incr_resume_scratch");
+    for (phase, extra) in [
+        ("no-files", Vec::new()),
+        (
+            "half-segment",
+            vec![(
+                fx.seg_name.as_str(),
+                &fx.seg_bytes[..fx.seg_bytes.len() / 2],
+            )],
+        ),
+        (
+            "full-segment-half-manifest",
+            vec![
+                (fx.seg_name.as_str(), &fx.seg_bytes[..]),
+                (
+                    "manifest-000002.casper",
+                    &fx.manifest_bytes[..fx.manifest_bytes.len() / 2],
+                ),
+            ],
+        ),
+    ] {
+        install_crash_state(&fx, &scratch, &extra);
+        let key = marker(500);
+        {
+            let mut t = DurableTable::open(&scratch, DurableOptions::default()).expect("open");
+            t.execute(&HapQuery::Q4 {
+                key,
+                payload: payload_row(key),
+            })
+            .expect("post-recovery write");
+            // And a full checkpoint cycle must succeed from the recovered
+            // state (new generation > every file the crash left behind).
+            t.checkpoint().expect("post-recovery checkpoint");
+        }
+        let mut again = DurableTable::open(&scratch, DurableOptions::default()).expect("reopen");
+        assert_eq!(
+            again
+                .execute(&HapQuery::Q1 { v: key, k: 1 })
+                .expect("probe")
+                .result
+                .scalar(),
+            1,
+            "phase {phase}: post-recovery write lost"
+        );
+    }
+}
+
+#[test]
+fn multi_segment_chain_replays_idempotently_and_compacts() {
+    let dir = test_dir("incr_chain");
+    let mut durable =
+        DurableTable::create_from_table(&dir, seed_table(), DurableOptions::default())
+            .expect("create");
+    // Three rounds, each dirtying a different chunk (keys ~0, ~128, ~256
+    // route to chunks 0/1/2), each followed by an incremental checkpoint:
+    // the manifest ends up referencing several segments.
+    for (round, base_key) in [(0u64, 1u64), (1, 129), (2, 257)] {
+        for i in 0..4u64 {
+            let key = base_key + 2 * i;
+            durable
+                .execute(&HapQuery::Q4 {
+                    key,
+                    payload: payload_row(key),
+                })
+                .expect("write");
+        }
+        let generation = durable.checkpoint().expect("checkpoint");
+        assert_eq!(generation, round + 2);
+    }
+    let segments_before = durable.stats().segments;
+    assert!(
+        segments_before >= 2,
+        "incremental chain should span segments, got {segments_before}"
+    );
+    let n = 0;
+    let want = fingerprint_durable(&mut durable, n);
+    drop(durable);
+
+    // Replay idempotence: two cold opens of the same chain agree.
+    let first = {
+        let mut t = DurableTable::open(&dir, DurableOptions::default()).expect("open 1");
+        fingerprint_durable(&mut t, n)
+    };
+    let second = {
+        let mut t = DurableTable::open(&dir, DurableOptions::default()).expect("open 2");
+        fingerprint_durable(&mut t, n)
+    };
+    assert_eq!(first, second, "double recovery diverged");
+    assert_eq!(first, want, "recovery diverged from the live table");
+
+    // Forced compaction collapses the chain to one segment, byte-copying
+    // clean records; contents must be identical afterwards.
+    let mut t = DurableTable::open(&dir, DurableOptions::default()).expect("open 3");
+    t.compact().expect("compact");
+    assert_eq!(t.stats().segments, 1, "compaction must collapse the chain");
+    assert_eq!(fingerprint_durable(&mut t, n), want);
+    drop(t);
+    let seg_files = fs::read_dir(&dir)
+        .expect("dir")
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().starts_with("seg-"))
+        .count();
+    assert_eq!(seg_files, 1, "stale segments must be pruned");
+    let mut t = DurableTable::open(&dir, DurableOptions::default()).expect("open 4");
+    assert_eq!(
+        fingerprint_durable(&mut t, n),
+        want,
+        "post-compaction reopen"
+    );
+}
+
+#[test]
+fn segment_chain_grows_only_by_dirty_chunks() {
+    let dir = test_dir("incr_dirty_only");
+    let mut durable =
+        DurableTable::create_from_table(&dir, seed_table(), DurableOptions::default())
+            .expect("create");
+    let full_seg = fs::metadata(dir.join("seg-000001.casper"))
+        .expect("initial segment")
+        .len();
+    // Dirty exactly one of the three chunks.
+    durable
+        .execute(&HapQuery::Q4 {
+            key: 7,
+            payload: payload_row(7),
+        })
+        .expect("write");
+    assert_eq!(durable.stats().dirty_chunks, 1);
+    durable.checkpoint().expect("checkpoint");
+    let inc_seg = fs::metadata(dir.join("seg-000002.casper"))
+        .expect("incremental segment")
+        .len();
+    assert!(
+        inc_seg * 2 < full_seg,
+        "incremental segment ({inc_seg}B) should be well under half the \
+         full one ({full_seg}B) when 1 of 3 chunks is dirty"
+    );
+    // A checkpoint with nothing dirty folds the WAL without any segment.
+    let g = durable.checkpoint().expect("empty checkpoint");
+    assert_eq!(durable.stats().generation, g);
+    assert_eq!(durable.stats().dirty_chunks, 0);
+    assert!(
+        !casper_persist::incremental::segment_path(&dir, 3).exists(),
+        "a pure WAL fold must not allocate a segment"
+    );
+}
+
+#[test]
+fn v1_snapshot_still_opens_and_upgrades_to_v2() {
+    let dir = test_dir("incr_v1_upgrade");
+    fs::create_dir_all(&dir).expect("mkdir");
+    // Hand-build a v1-format directory: whole-table snapshot + CURRENT.
+    let table = seed_table();
+    let v1 = casper_persist::encode_snapshot(&table, &[], 1, 0);
+    fs::write(dir.join("snap-000001.casper"), &v1).expect("v1 snapshot");
+    fs::write(dir.join("CURRENT"), b"1\n").expect("current");
+
+    let mut oracle = seed_table();
+    let mut t = DurableTable::open(&dir, DurableOptions::default()).expect("open v1");
+    assert_eq!(
+        fingerprint_durable(&mut t, 3),
+        fingerprint_oracle(&mut oracle, 3),
+        "v1 restore diverged"
+    );
+    // Writes + the upgrade checkpoint (necessarily full: no manifest yet).
+    for q in markers(4) {
+        t.execute(&q).expect("write");
+        oracle.execute(&q).expect("oracle");
+    }
+    t.checkpoint().expect("upgrade checkpoint");
+    drop(t);
+    assert!(
+        dir.join("manifest-000002.casper").exists(),
+        "upgrade must write a v2 manifest"
+    );
+    assert!(
+        !dir.join("snap-000001.casper").exists(),
+        "v1 snapshot pruned after the upgrade"
+    );
+    let mut t = DurableTable::open(&dir, DurableOptions::default()).expect("reopen v2");
+    assert_eq!(
+        fingerprint_durable(&mut t, 4),
+        fingerprint_oracle(&mut oracle, 4),
+        "v2 reopen after upgrade diverged"
+    );
+}
+
+#[test]
+fn damaged_segment_record_surfaces_typed_corruption_at_first_touch() {
+    let dir = test_dir("incr_damage_seg");
+    let durable = DurableTable::create_from_table(&dir, seed_table(), DurableOptions::default())
+        .expect("create");
+    let want_len = durable.len();
+    drop(durable);
+    // Flip one byte inside a chunk record (past the 16-byte header).
+    let seg = dir.join("seg-000001.casper");
+    let mut bytes = fs::read(&seg).expect("seg");
+    let mid = 16 + (bytes.len() - 16) / 2;
+    bytes[mid] ^= 0x20;
+    fs::write(&seg, &bytes).expect("damage");
+
+    // Metadata-only open still succeeds (the manifest is intact)…
+    let mut t = DurableTable::open(&dir, DurableOptions::default()).expect("open");
+    assert_eq!(t.len(), want_len, "live counts come from the manifest");
+    // …but the first query touching the damaged chunk gets a typed error,
+    // not a panic and not silent garbage.
+    let err = (0..ROWS)
+        .map(|i| t.execute(&HapQuery::Q1 { v: i * 2, k: 1 }))
+        .find_map(Result::err)
+        .expect("some chunk must fail its checksum");
+    assert!(
+        matches!(
+            err,
+            PersistError::Storage(casper_storage::StorageError::Corrupt { .. })
+        ),
+        "got {err}"
+    );
+}
+
+#[test]
+fn damaged_manifest_fails_open_typed() {
+    let dir = test_dir("incr_damage_mani");
+    let durable = DurableTable::create_from_table(&dir, seed_table(), DurableOptions::default())
+        .expect("create");
+    drop(durable);
+    let path = dir.join("manifest-000001.casper");
+    let mut bytes = fs::read(&path).expect("manifest");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x08;
+    fs::write(&path, &bytes).expect("damage");
+    let err = DurableTable::open(&dir, DurableOptions::default()).expect_err("must fail");
+    assert!(
+        matches!(
+            err,
+            PersistError::Storage(casper_storage::StorageError::Corrupt { .. })
+        ),
+        "got {err}"
+    );
+}
+
+#[test]
+fn noorder_optimize_checkpoints_fully_despite_counter_reset() {
+    // The NoOrder -> Casper conversion *replaces* the column, restarting
+    // the per-chunk version counters — which can collide with the clean
+    // snapshot and fool an incremental checkpoint into re-pointing rebuilt
+    // chunks at stale pre-relayout records. `optimize` must force a full
+    // checkpoint instead.
+    use casper_engine::optimize::OptimizeOptions;
+    let dir = test_dir("incr_noorder_opt");
+    let mut config = engine_config();
+    config.mode = LayoutMode::NoOrder;
+    let keys: Vec<u64> = (0..ROWS).map(|i| i * 2).collect();
+    let cols: Vec<Vec<u32>> = (0..2)
+        .map(|c| keys.iter().map(|&k| payload_row(k)[c]).collect())
+        .collect();
+    let table = Table::load(schema(), keys, cols, config);
+    let mut t =
+        DurableTable::create_from_table(&dir, table, DurableOptions::default()).expect("create");
+    // Dirty exactly one chunk via a row-count-preserving write (a delete:
+    // an insert would change the rebuilt chunk count and mask the hazard),
+    // then checkpoint: the clean counter snapshot is now 1 for that chunk
+    // — exactly the value every chunk of a freshly rebuilt column lands on
+    // after the optimizer's one `chunks_mut` sweep.
+    t.execute(&HapQuery::Q5 { v: 100 }).expect("delete");
+    t.checkpoint().expect("checkpoint");
+
+    let sample: Vec<HapQuery> = (0..40u64)
+        .map(|i| HapQuery::Q2 {
+            vs: i * 8,
+            ve: i * 8 + 40,
+        })
+        .collect();
+    t.optimize(&sample, &OptimizeOptions::default())
+        .expect("optimize");
+    let want = fingerprint_durable(&mut t, 1);
+    drop(t);
+
+    let mut reopened = DurableTable::open(&dir, DurableOptions::default()).expect("reopen");
+    assert_eq!(
+        fingerprint_durable(&mut reopened, 1),
+        want,
+        "reopen after NoOrder optimize must see the re-laid-out data, \
+         not stale pre-relayout records"
+    );
+}
+
+#[test]
+fn damaged_middle_wal_link_fails_open_typed() {
+    // A middle link of the WAL chain was fully sealed before its successor
+    // was created; damage inside it must surface as typed corruption, not
+    // a silent hole in the committed history (later links still replaying
+    // past dropped batches).
+    let dir = test_dir("incr_mid_wal");
+    let mut t = DurableTable::create_from_table(&dir, seed_table(), DurableOptions::default())
+        .expect("create");
+    for q in markers(6) {
+        t.execute(&q).expect("write");
+    }
+    drop(t);
+    // Fabricate an in-flight-checkpoint chain: the rotated successor
+    // exists, making wal-000001 a middle link.
+    fs::write(dir.join("wal-000002.log"), b"").expect("successor");
+    let wal1 = dir.join("wal-000001.log");
+    let mut bytes = fs::read(&wal1).expect("wal");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    fs::write(&wal1, &bytes).expect("damage");
+    let err = DurableTable::open(&dir, DurableOptions::default()).expect_err("must fail");
+    assert!(
+        matches!(
+            err,
+            PersistError::Storage(casper_storage::StorageError::Corrupt { .. })
+        ),
+        "got {err}"
+    );
+}

@@ -36,12 +36,21 @@ fn marker(i: usize) -> u64 {
     9_000_001 + 2 * i as u64
 }
 
-/// Copy `CURRENT` + snapshot, install `wal_bytes` as the generation-1 log.
+/// Copy `CURRENT` + the snapshot files (v2 manifest/segments, or a v1
+/// snap), install `wal_bytes` as the generation-1 log.
 fn install(dir: &Path, src: &Path, wal_bytes: &[u8]) {
     let _ = fs::remove_dir_all(dir);
     fs::create_dir_all(dir).expect("mkdir");
-    for f in ["CURRENT", "snap-000001.casper"] {
-        fs::copy(src.join(f), dir.join(f)).expect("copy");
+    for entry in fs::read_dir(src).expect("src dir").flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy().into_owned();
+        if name == "CURRENT"
+            || name.starts_with("manifest-")
+            || name.starts_with("seg-")
+            || name.starts_with("snap-")
+        {
+            fs::copy(entry.path(), dir.join(&name)).expect("copy");
+        }
     }
     fs::write(dir.join("wal-000001.log"), wal_bytes).expect("write wal");
 }

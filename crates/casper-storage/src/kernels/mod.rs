@@ -111,21 +111,26 @@ pub fn min_max<K: ColumnValue>(lane: &[K]) -> Option<(K, K)> {
 /// Count-then-collect per sub-chunk: a vectorized [`count_eq`] pass decides
 /// whether a sub-chunk holds any match at all; only matching sub-chunks
 /// (rare — point queries touch a handful of duplicates in one partition)
-/// pay the position-materializing scalar pass. Misses therefore run at the
-/// full branchless scan rate with zero output work.
+/// pay the position-materializing collect pass. Misses therefore run at the
+/// full branchless scan rate with zero output work. The collect pass is
+/// itself dispatched ([`crate::simd::SimdElem::select_eq_positions`]): on
+/// AVX-512 matching sub-chunk positions are emitted with `vpcompressd`
+/// compress-stores instead of a per-element branch.
 pub fn select_eq_into<K: ColumnValue>(lane: &[K], v: K, base: usize, out: &mut Vec<usize>) {
-    for (ci, chunk) in lane.chunks(SELECT_SUBCHUNK).enumerate() {
-        let hits = count_eq(chunk, v);
+    let bits = K::lane_bits(lane);
+    let target = v.to_bits();
+    let mut scratch: Vec<u32> = Vec::new();
+    for (ci, chunk) in bits.chunks(SELECT_SUBCHUNK).enumerate() {
+        let hits = SimdElem::count_eq(chunk, target);
         if hits == 0 {
             continue;
         }
-        out.reserve(hits as usize);
+        scratch.clear();
+        scratch.reserve(hits as usize);
+        SimdElem::select_eq_positions(chunk, target, 0, &mut scratch);
         let chunk_base = base + ci * SELECT_SUBCHUNK;
-        for (i, &x) in chunk.iter().enumerate() {
-            if x == v {
-                out.push(chunk_base + i);
-            }
-        }
+        out.reserve(scratch.len());
+        out.extend(scratch.iter().map(|&p| chunk_base + p as usize));
     }
 }
 

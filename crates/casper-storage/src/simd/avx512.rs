@@ -56,6 +56,84 @@ pub unsafe fn sum_u32(payload: &[u32]) -> u64 {
     acc
 }
 
+/// Emit the positions of every set bit of `word` as `base + bit`, via
+/// `vpcompressd`: four 16-lane index vectors are compress-stored under the
+/// word's mask quarters, so a dense match word costs four stores instead of
+/// 64 scalar pushes and a sparse word pays no per-bit branch at all.
+///
+/// # Safety
+/// Requires AVX-512F; `out` must have at least 64 spare slots of capacity
+/// past its current length (the caller reserves).
+#[inline]
+#[target_feature(enable = "avx512f,avx512bw")]
+unsafe fn compress_positions_word(word: u64, base: u32, out: &mut Vec<u32>) {
+    const IOTA: [u32; 16] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15];
+    debug_assert!(out.capacity() - out.len() >= 64);
+    let iota = _mm512_loadu_si512(IOTA.as_ptr() as *const _);
+    let basev = _mm512_set1_epi32(base as i32);
+    let start = out.len();
+    let mut emitted = 0usize;
+    for q in 0..4u32 {
+        let mask = ((word >> (q * 16)) & 0xFFFF) as u16;
+        if mask == 0 {
+            continue;
+        }
+        let idx = _mm512_add_epi32(
+            basev,
+            _mm512_add_epi32(iota, _mm512_set1_epi32((q * 16) as i32)),
+        );
+        _mm512_mask_compressstoreu_epi32(
+            out.as_mut_ptr().add(start + emitted) as *mut _,
+            mask,
+            idx,
+        );
+        emitted += mask.count_ones() as usize;
+    }
+    out.set_len(start + emitted);
+}
+
+/// Generate the compress-store equality-select kernel for one width: the
+/// width module's `eq_word` yields a 64-bit match mask per block, and
+/// [`compress_positions_word`] turns set bits into positions without a
+/// per-bit branch.
+macro_rules! avx512_select_eq {
+    ($t:ty) => {
+        /// Append `base + i` for every `i` with `lane[i] == target`;
+        /// returns the match count. Bit-exact against
+        /// [`crate::simd::portable::select_eq_positions`].
+        ///
+        /// # Safety
+        /// Requires AVX-512F/BW.
+        #[target_feature(enable = "avx512f,avx512bw")]
+        pub unsafe fn select_eq_positions(
+            lane: &[$t],
+            target: $t,
+            base: u32,
+            out: &mut Vec<u32>,
+        ) -> u64 {
+            let mut matched = 0u64;
+            let mut chunks = lane.chunks_exact(64);
+            let mut block = 0u32;
+            for c in &mut chunks {
+                let word = eq_word(c.as_ptr(), target);
+                if word != 0 {
+                    matched += u64::from(word.count_ones());
+                    out.reserve(64);
+                    super::compress_positions_word(word, base + block * 64, out);
+                }
+                block += 1;
+            }
+            for (i, &x) in chunks.remainder().iter().enumerate() {
+                if x == target {
+                    out.push(base + block * 64 + i as u32);
+                    matched += 1;
+                }
+            }
+            matched
+        }
+    };
+}
+
 /// Generate the min/max kernel for one width from its `epu` intrinsics.
 macro_rules! avx512_min_max {
     ($t:ty, $lanes:expr, set1 = $set1:ident, min = $min:ident, max = $max:ident) => {
@@ -121,6 +199,7 @@ pub mod w8 {
         min = _mm512_min_epu8,
         max = _mm512_max_epu8
     );
+    avx512_select_eq!(u8);
     arch_kernels!("avx512f,avx512bw", u8);
 }
 
@@ -156,6 +235,7 @@ pub mod w16 {
         min = _mm512_min_epu16,
         max = _mm512_max_epu16
     );
+    avx512_select_eq!(u16);
     arch_kernels!("avx512f,avx512bw", u16);
 }
 
@@ -196,6 +276,7 @@ pub mod w32 {
         min = _mm512_min_epu32,
         max = _mm512_max_epu32
     );
+    avx512_select_eq!(u32);
     arch_kernels!("avx512f,avx512bw", u32);
 }
 
@@ -263,5 +344,6 @@ pub mod w64 {
         (lo, hi)
     }
 
+    avx512_select_eq!(u64);
     arch_kernels!("avx512f,avx512bw", u64);
 }

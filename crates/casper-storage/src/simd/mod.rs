@@ -177,6 +177,12 @@ pub trait SimdElem:
     /// the sign mask as `flip` turns the unsigned comparators into
     /// order-correct signed ones; pass `0` for plain unsigned (dispatched).
     fn min_max_flipped(lane: &[Self], flip: Self) -> Option<(Self, Self)>;
+    /// Append `base + i` for every `i` with `lane[i] == target` (ascending;
+    /// `base + lane.len()` must fit in `u32`); returns the match count. On
+    /// AVX-512 this is the `vpcompressd` compress-store collect pass; AVX2
+    /// has no compress-store, so that level (and Scalar) runs the portable
+    /// twin (dispatched).
+    fn select_eq_positions(lane: &[Self], target: Self, base: u32, out: &mut Vec<u32>) -> u64;
 }
 
 /// Generate the four lane-kernel loop shapes for an arch backend width
@@ -368,6 +374,27 @@ macro_rules! impl_simd_elem {
                     return None;
                 }
                 Some(dispatch!($width, min_max_flipped(lane, flip)))
+            }
+
+            #[inline]
+            fn select_eq_positions(
+                lane: &[Self],
+                target: Self,
+                base: u32,
+                out: &mut Vec<u32>,
+            ) -> u64 {
+                debug_assert!(base as u64 + lane.len() as u64 <= u64::from(u32::MAX) + 1);
+                match $crate::simd::level() {
+                    #[cfg(target_arch = "x86_64")]
+                    // SAFETY: `level()` only returns Avx512 when
+                    // `is_x86_feature_detected!` proved the features.
+                    SimdLevel::Avx512 => unsafe {
+                        avx512::$width::select_eq_positions(lane, target, base, out)
+                    },
+                    // AVX2 has no compress-store; the portable loop is the
+                    // collect pass below AVX-512.
+                    _ => portable::select_eq_positions(lane, target, base, out),
+                }
             }
         }
     };

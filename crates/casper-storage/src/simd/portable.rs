@@ -79,6 +79,25 @@ pub fn min_max_flipped<T: SimdElem>(lane: &[T], flip: T) -> (T, T) {
     (T::narrow(lo), T::narrow(hi))
 }
 
+/// Append `base + i` for every `i` with `lane[i] == target`; returns the
+/// match count. Reference twin of the AVX-512 compress-store kernel —
+/// positions are emitted in ascending order, exactly one per match.
+pub fn select_eq_positions<T: SimdElem>(
+    lane: &[T],
+    target: T,
+    base: u32,
+    out: &mut Vec<u32>,
+) -> u64 {
+    let mut matched = 0u64;
+    for (i, &x) in lane.iter().enumerate() {
+        if x == target {
+            out.push(base + i as u32);
+            matched += 1;
+        }
+    }
+    matched
+}
+
 /// Widening `u32 → u64` sum.
 pub fn sum_u32(payload: &[u32]) -> u64 {
     let mut acc = 0u64;

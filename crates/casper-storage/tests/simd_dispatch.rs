@@ -69,6 +69,21 @@ fn check_width<T: SimdElem>(vals: &[T], offset: usize, lo: T, span_seed: u64, eq
         "sum_payload_masked u{}",
         T::BITS
     );
+
+    // Compress-store equality collect: positions, order and count must all
+    // match the portable twin (and the naive filter).
+    let (mut got_pos, mut want_pos) = (Vec::new(), Vec::new());
+    let gm = T::select_eq_positions(lane, eq, 17, &mut got_pos);
+    let wm = portable::select_eq_positions(lane, eq, 17, &mut want_pos);
+    assert_eq!(gm, wm, "select_eq_positions count u{}", T::BITS);
+    assert_eq!(got_pos, want_pos, "select_eq_positions u{}", T::BITS);
+    let naive: Vec<u32> = lane
+        .iter()
+        .enumerate()
+        .filter(|(_, &x)| x == eq)
+        .map(|(i, _)| 17 + i as u32)
+        .collect();
+    assert_eq!(got_pos, naive, "select_eq_positions vs naive u{}", T::BITS);
 }
 
 fn got_mask_for<T: SimdElem>(lane: &[T], lo: T, span: T) -> Vec<u64> {
@@ -225,6 +240,28 @@ fn boundary_values_and_exact_lane_multiples() {
         check_plain(&signed, i64::MIN, i64::MAX, -1).unwrap();
         check_plain(&signed, -5, 5, 0).unwrap();
     }
+}
+
+#[test]
+fn select_eq_dense_and_sparse_words() {
+    // The compress-store collect must handle an all-match word (dense: all
+    // four mask quarters full), a single-bit word, and an empty tail —
+    // exactly the cases where a miscounted store cursor would corrupt
+    // neighbouring positions.
+    for len in [64usize, 65, 128, 200] {
+        let vals = vec![42u8; len];
+        let mut out = Vec::new();
+        let n = u8::select_eq_positions(&vals, 42, 0, &mut out);
+        assert_eq!(n as usize, len);
+        assert_eq!(out, (0..len as u32).collect::<Vec<_>>(), "dense len {len}");
+    }
+    let mut vals = vec![0u16; 300];
+    vals[63] = 7;
+    vals[64] = 7;
+    vals[299] = 7;
+    let mut out = Vec::new();
+    assert_eq!(u16::select_eq_positions(&vals, 7, 100, &mut out), 3);
+    assert_eq!(out, vec![163, 164, 399]);
 }
 
 #[test]
