@@ -10,6 +10,17 @@
 //! so the only fsync left on the commit path is the group-commit seal they
 //! already pay.
 //!
+//! ## Retry discipline
+//!
+//! Transient I/O failures (ENOSPC that an operator may clear, a flaky
+//! fsync) are retried with bounded exponential backoff before the failure
+//! surfaces to the foreground. Retrying the *whole job* is safe because
+//! `run_checkpoint` re-creates the segment file with a fresh descriptor
+//! and rewrites it end to end on every attempt — no retried fsync ever
+//! runs against a descriptor whose dirty pages a failed fsync may have
+//! dropped (the fsyncgate trap). Corruption and transaction errors are
+//! permanent and fail immediately.
+//!
 //! ## Locking contract
 //!
 //! `DurableTable` is externally synchronized (`&mut self`), so the
@@ -26,12 +37,77 @@ use crate::incremental::{run_checkpoint, CheckpointJob, Manifest};
 use crate::PersistError;
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How a checkpoint job is retried on transient I/O failure.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RetryPolicy {
+    /// Total attempts (1 = no retry).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles per retry, capped at 1s.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 1,
+            backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+const BACKOFF_CAP: Duration = Duration::from_secs(1);
+
+/// Outcome of one (possibly retried) checkpoint job.
+#[derive(Debug)]
+pub(crate) struct Completion {
+    /// The final result after retries.
+    pub result: Result<Manifest, PersistError>,
+    /// Attempts actually made (≥ 1; > 1 means retries happened).
+    pub attempts: u32,
+}
+
+/// True for failures worth retrying: raw I/O errors (ENOSPC, EIO, a failed
+/// fsync) can clear; corruption and transaction errors cannot.
+fn transient(e: &PersistError) -> bool {
+    matches!(e, PersistError::Io(_))
+}
+
+/// Run `job` under `policy`: retry transient failures with doubling,
+/// capped backoff. See the module docs for why whole-job retry is safe.
+pub(crate) fn run_with_retry(job: &CheckpointJob, policy: &RetryPolicy) -> Completion {
+    let attempts_allowed = policy.attempts.max(1);
+    let mut backoff = policy.backoff;
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        match run_checkpoint(job) {
+            Ok(m) => {
+                return Completion {
+                    result: Ok(m),
+                    attempts,
+                }
+            }
+            Err(e) if transient(&e) && attempts < attempts_allowed => {
+                std::thread::sleep(backoff.min(BACKOFF_CAP));
+                backoff = (backoff * 2).min(BACKOFF_CAP);
+            }
+            Err(e) => {
+                return Completion {
+                    result: Err(e),
+                    attempts,
+                }
+            }
+        }
+    }
+}
 
 /// Handle to the checkpointer thread.
 #[derive(Debug)]
 pub(crate) struct Checkpointer {
     jobs: Option<Sender<CheckpointJob>>,
-    done: Receiver<Result<Manifest, PersistError>>,
+    done: Receiver<Completion>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -42,26 +118,26 @@ fn thread_died() -> PersistError {
 }
 
 impl Checkpointer {
-    /// Spawn the worker thread.
-    pub fn spawn() -> Self {
+    /// Spawn the worker thread. Fails (typed, not a panic) if the OS
+    /// refuses the thread.
+    pub fn spawn(policy: RetryPolicy) -> Result<Self, PersistError> {
         let (jobs_tx, jobs_rx) = std::sync::mpsc::channel::<CheckpointJob>();
         let (done_tx, done_rx) = std::sync::mpsc::channel();
         let handle = std::thread::Builder::new()
             .name("casper-checkpointer".into())
             .spawn(move || {
                 while let Ok(job) = jobs_rx.recv() {
-                    let result = run_checkpoint(&job);
-                    if done_tx.send(result).is_err() {
+                    let completion = run_with_retry(&job, &policy);
+                    if done_tx.send(completion).is_err() {
                         break; // foreground gone; nothing to report to
                     }
                 }
-            })
-            .expect("spawn checkpointer thread");
-        Self {
+            })?;
+        Ok(Self {
             jobs: Some(jobs_tx),
             done: done_rx,
             handle: Some(handle),
-        }
+        })
     }
 
     /// Queue a job (the caller tracks that exactly one is in flight).
@@ -74,17 +150,23 @@ impl Checkpointer {
     }
 
     /// Non-blocking poll for a finished job.
-    pub fn try_recv(&self) -> Option<Result<Manifest, PersistError>> {
+    pub fn try_recv(&self) -> Option<Completion> {
         match self.done.try_recv() {
-            Ok(r) => Some(r),
+            Ok(c) => Some(c),
             Err(TryRecvError::Empty) => None,
-            Err(TryRecvError::Disconnected) => Some(Err(thread_died())),
+            Err(TryRecvError::Disconnected) => Some(Completion {
+                result: Err(thread_died()),
+                attempts: 0,
+            }),
         }
     }
 
     /// Block until the in-flight job finishes.
-    pub fn recv(&self) -> Result<Manifest, PersistError> {
-        self.done.recv().map_err(|_| thread_died())?
+    pub fn recv(&self) -> Completion {
+        self.done.recv().unwrap_or_else(|_| Completion {
+            result: Err(thread_died()),
+            attempts: 0,
+        })
     }
 }
 

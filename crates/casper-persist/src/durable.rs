@@ -29,25 +29,58 @@
 //! the chain (clean records are byte-copied, never re-encoded).
 //! [`DurableTable::optimize`] still checkpoints synchronously after every
 //! re-layout, so adaptive re-partitioning remains durable at return.
+//!
+//! ## Failure model
+//!
+//! All I/O flows through a [`VfsHandle`], so every failure path below is
+//! exercised deterministically by the fault-injection harness
+//! ([`crate::fault::FaultVfs`]).
+//!
+//! * A failed WAL **write** (e.g. ENOSPC before the fsync) leaves the
+//!   batch staged; the seal retries on the next commit after truncating
+//!   back to the durable boundary.
+//! * A failed WAL **fsync** *poisons* the log (fsyncgate: a retried fsync
+//!   can falsely succeed after the kernel dropped the dirty pages). The
+//!   table immediately rotates to a fresh WAL and takes a synchronous
+//!   *recovery checkpoint* whose watermark covers the ghost batch; only
+//!   when that checkpoint commits is the write acknowledged. If it fails
+//!   too, the table **degrades** instead of acknowledging a commit of
+//!   unknown durability.
+//! * Background checkpoint failures are retried with bounded backoff on
+//!   the checkpointer thread; persistent failure (see
+//!   [`DurableOptions::degrade_after`]) escalates to degraded mode.
+//! * **Degraded** mode is explicit read-only: reads keep serving from
+//!   memory, writes return [`PersistError::Degraded`], and
+//!   [`DurableTable::reactivate`] re-proves the storage with a synchronous
+//!   checkpoint before lifting the mode.
+//! * The optional background **scrubber** re-reads checkpoint records at a
+//!   throttled rate and verifies their CRCs; a damaged record whose chunk
+//!   is resident in memory is re-marked dirty (the next checkpoint heals
+//!   it), and a damaged record whose chunk was never hydrated is
+//!   *quarantined* — surfaced as a typed error instead of a surprise CRC
+//!   panic at first touch.
 
-use crate::checkpointer::Checkpointer;
+use crate::checkpointer::{run_with_retry, Checkpointer, Completion, RetryPolicy};
 use crate::incremental::{
     decode_manifest, manifest_path, numbered_file, prune_stale, restore_table, CheckpointJob,
-    ChunkEntry, Manifest, RecordSource,
+    ChunkEntry, RecordSource,
 };
+use crate::scrub::{ScrubFinding, ScrubReport, ScrubStats, Scrubber};
 use crate::snapshot::decode_snapshot;
+use crate::vfs::{Vfs, VfsHandle};
 use crate::wal::{replay, scan, Wal, WalOp};
 use crate::PersistError;
 use casper_core::FrequencyModel;
 use casper_engine::adapt::{AdaptDecision, AdaptiveController};
+use casper_engine::column::ChunkStore;
 use casper_engine::optimize::{capture_per_chunk, optimize_table, OptimizeOptions, OptimizeReport};
 use casper_engine::{QueryOutput, Table, Transaction, TxnError, TxnManager};
 use casper_storage::StorageError;
 use casper_workload::HapQuery;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fs;
-use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 /// Tunables of the durability layer.
 #[derive(Debug, Clone, Copy)]
@@ -76,6 +109,25 @@ pub struct DurableOptions {
     /// verified — on the first query that routes to it). Disable to decode
     /// everything eagerly at open.
     pub mmap_restore: bool,
+    /// Total attempts per checkpoint job (1 = no retry). Transient I/O
+    /// failures are retried with doubling backoff; whole-job retry is safe
+    /// because every attempt re-creates the segment with a fresh
+    /// descriptor and rewrites it end to end.
+    pub checkpoint_retries: u32,
+    /// Backoff before the first checkpoint retry, in milliseconds
+    /// (doubles per retry, capped at 1s).
+    pub checkpoint_backoff_ms: u64,
+    /// Enter degraded read-only mode after this many *consecutive* failed
+    /// (post-retry) checkpoints (0 disables escalation — the WAL chain
+    /// then grows without bound under persistent failure).
+    pub degrade_after: u32,
+    /// Run a background scrub pass over the current manifest's records
+    /// every this many milliseconds (0 disables the scrubber;
+    /// [`DurableTable::scrub_now`] always works).
+    pub scrub_interval_ms: u64,
+    /// Throttle: microseconds the scrubber sleeps between records so a
+    /// pass never competes with the commit path for I/O bandwidth.
+    pub scrub_pause_per_record_us: u64,
 }
 
 impl Default for DurableOptions {
@@ -86,6 +138,11 @@ impl Default for DurableOptions {
             background_checkpointer: true,
             max_segments: 6,
             mmap_restore: true,
+            checkpoint_retries: 3,
+            checkpoint_backoff_ms: 10,
+            degrade_after: 8,
+            scrub_interval_ms: 0,
+            scrub_pause_per_record_us: 0,
         }
     }
 }
@@ -112,8 +169,58 @@ pub struct DurableStats {
     /// Whether a background checkpoint is currently in flight.
     pub checkpoint_in_flight: bool,
     /// Whether a background checkpoint has failed since the last
-    /// successful one (details via [`DurableTable::take_checkpoint_error`]).
+    /// successful one (details via [`DurableTable::take_checkpoint_error`]
+    /// and [`DurableTable::checkpoint_stats`]).
     pub checkpoint_failed: bool,
+    /// Whether the table is in degraded read-only mode.
+    pub degraded: bool,
+    /// Consecutive failed (post-retry) checkpoints; resets on success.
+    pub consecutive_checkpoint_failures: u64,
+    /// Damaged records found by scrub passes (background + manual),
+    /// cumulative, pre-dedup.
+    pub scrub_corrupt_records: u64,
+    /// Chunks quarantined by the scrubber (damaged on disk, never
+    /// hydrated — their data exists nowhere in memory to heal from).
+    pub quarantined_chunks: u64,
+}
+
+/// One failed checkpoint, retained in [`CheckpointStats::recent_failures`].
+#[derive(Debug, Clone)]
+pub struct CheckpointFailure {
+    /// WAL watermark the failed checkpoint tried to fold in (the "when"
+    /// in log coordinates — wall-clock timestamps would not survive a
+    /// restart meaningfully, LSNs do).
+    pub durable_lsn: u64,
+    /// Generation the failed checkpoint tried to commit.
+    pub generation: u64,
+    /// Attempts made (retries included).
+    pub attempts: u32,
+    /// The final error, rendered.
+    pub error: String,
+}
+
+/// Checkpoint health counters + a ring of recent failures.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointStats {
+    /// Consecutive failed (post-retry) checkpoints; resets on success.
+    pub consecutive_failures: u64,
+    /// Total failed (post-retry) checkpoints over the table's lifetime.
+    pub total_failures: u64,
+    /// Total retry attempts (beyond each job's first attempt).
+    pub total_retries: u64,
+    /// The most recent failures, oldest first (bounded ring).
+    pub recent_failures: Vec<CheckpointFailure>,
+}
+
+/// Recent-failure ring capacity.
+const FAILURE_RING: usize = 8;
+
+/// Whether the table accepts writes.
+#[derive(Debug, Clone)]
+enum TableMode {
+    Active,
+    /// Read-only: persistent durability failure. Holds the reason chain.
+    Degraded(String),
 }
 
 /// Capture-time bookkeeping for a submitted checkpoint: committed into
@@ -121,6 +228,10 @@ pub struct DurableStats {
 #[derive(Debug)]
 struct Inflight {
     versions: Vec<u64>,
+    /// Watermark the job is folding in (failure reporting).
+    durable_lsn: u64,
+    /// Generation the job would commit (failure reporting).
+    new_gen: u64,
 }
 
 /// A table wired to a manifest + segments + WAL persistence directory.
@@ -128,6 +239,7 @@ struct Inflight {
 pub struct DurableTable {
     table: Table,
     dir: PathBuf,
+    vfs: VfsHandle,
     wal: Wal,
     /// Durable manifest generation (what `CURRENT` names).
     generation: u64,
@@ -142,7 +254,9 @@ pub struct DurableTable {
     /// its first — necessarily full — v2 checkpoint).
     entries: Vec<ChunkEntry>,
     /// Column version counters at the last *captured* checkpoint; a chunk
-    /// is dirty iff its live counter differs.
+    /// is dirty iff its live counter differs. `u64::MAX` is a sentinel no
+    /// live counter ever reaches: the scrubber plants it to force-dirty a
+    /// chunk whose on-disk record it found damaged.
     clean_versions: Vec<u64>,
     /// Next segment sequence number to allocate.
     next_seg: u64,
@@ -155,6 +269,16 @@ pub struct DurableTable {
     /// checkpoint; until then the chunks simply stay dirty and the WAL
     /// chain keeps growing (recovery replays it — nothing is lost).
     background_error: Option<PersistError>,
+    mode: TableMode,
+    cp_stats: CheckpointStats,
+    scrubber: Option<Scrubber>,
+    /// Scrub counters from manual [`DurableTable::scrub_now`] passes
+    /// (background passes accumulate in the scrubber's shared state).
+    manual_scrub: ScrubStats,
+    /// Chunks whose on-disk record is damaged and which were never
+    /// hydrated: their data exists nowhere, so hydration would fail a CRC
+    /// check. Keyed by chunk index, holding the scrub finding's reason.
+    quarantined: BTreeMap<usize, String>,
 }
 
 fn corrupt(reason: impl Into<String>) -> PersistError {
@@ -175,30 +299,61 @@ pub(crate) fn current_path(dir: &Path) -> PathBuf {
     dir.join("CURRENT")
 }
 
-/// Best-effort directory fsync: makes freshly created directory entries
-/// (a rotated WAL file, a renamed manifest) durable on filesystems where
-/// file fsync alone does not cover the dirent.
-pub(crate) fn sync_dir(dir: &Path) {
-    if let Ok(d) = fs::File::open(dir) {
-        let _ = d.sync_all();
-    }
+/// Best-effort directory fsync, for dirents whose loss costs nothing
+/// acknowledged (a freshly created empty WAL, prune garbage).
+pub(crate) fn sync_dir(vfs: &VfsHandle, dir: &Path) {
+    let _ = vfs.fsync_dir(dir);
 }
 
 /// Write `bytes` to `path` via a temp file + atomic rename, fsyncing the
-/// file (and, best effort, the directory) so the rename is the commit
-/// point.
-pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+/// file and then the directory so the rename is the commit point. The
+/// directory fsync is *checked*: `CURRENT` and manifest swings acknowledge
+/// durability to their callers, and a lost dirent would silently roll the
+/// commit back at the next crash.
+pub(crate) fn write_atomic(vfs: &VfsHandle, path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
     let tmp = path.with_extension("tmp");
     {
-        let mut f = fs::File::create(&tmp)?;
+        let mut f = vfs.create(&tmp)?;
         f.write_all(bytes)?;
         f.sync_all()?;
     }
-    fs::rename(&tmp, path)?;
+    vfs.rename(&tmp, path)?;
     if let Some(dir) = path.parent() {
-        sync_dir(dir);
+        vfs.fsync_dir(dir)?;
     }
     Ok(())
+}
+
+fn retry_policy(opts: &DurableOptions) -> RetryPolicy {
+    RetryPolicy {
+        attempts: opts.checkpoint_retries.max(1),
+        backoff: Duration::from_millis(opts.checkpoint_backoff_ms),
+    }
+}
+
+fn spawn_worker(opts: &DurableOptions) -> Result<Option<Checkpointer>, PersistError> {
+    if opts.background_checkpointer {
+        Ok(Some(Checkpointer::spawn(retry_policy(opts))?))
+    } else {
+        Ok(None)
+    }
+}
+
+fn spawn_scrubber(
+    opts: &DurableOptions,
+    vfs: &VfsHandle,
+    dir: &Path,
+) -> Result<Option<Scrubber>, PersistError> {
+    if opts.scrub_interval_ms > 0 {
+        Ok(Some(Scrubber::spawn(
+            vfs.clone(),
+            dir.to_path_buf(),
+            Duration::from_millis(opts.scrub_interval_ms),
+            Duration::from_micros(opts.scrub_pause_per_record_us),
+        )?))
+    } else {
+        Ok(None)
+    }
 }
 
 impl DurableTable {
@@ -220,6 +375,18 @@ impl DurableTable {
     /// one that was optimized before first persisting it).
     pub fn create_from_table(
         dir: &Path,
+        table: Table,
+        opts: DurableOptions,
+    ) -> Result<Self, PersistError> {
+        Self::create_from_table_with_vfs(VfsHandle::default(), dir, table, opts)
+    }
+
+    /// As [`DurableTable::create_from_table`], routing all I/O through
+    /// `vfs` (the fault-injection entry point; production callers use the
+    /// plain constructors, which pass the real filesystem).
+    pub fn create_from_table_with_vfs(
+        vfs: VfsHandle,
+        dir: &Path,
         mut table: Table,
         opts: DurableOptions,
     ) -> Result<Self, PersistError> {
@@ -237,9 +404,9 @@ impl DurableTable {
         // directory never became a live table); clear it for the retry.
         let wp = wal_path(dir, generation);
         if wp.exists() {
-            fs::remove_file(&wp)?;
+            vfs.remove(&wp)?;
         }
-        let wal = Wal::create(&wp, 1)?;
+        let wal = Wal::create(&vfs, &wp, 1)?;
         let chunks = table.column().chunks();
         let fresh: Vec<(usize, RecordSource)> = chunks
             .iter()
@@ -247,6 +414,7 @@ impl DurableTable {
             .map(|(i, store)| (i, RecordSource::Encode(store.clone())))
             .collect();
         let job = CheckpointJob {
+            vfs: vfs.clone(),
             dir: dir.to_path_buf(),
             new_gen: generation,
             seg_seq: 1,
@@ -272,9 +440,15 @@ impl DurableTable {
             entries: manifest.entries,
             clean_versions,
             next_seg: 2,
-            worker: opts.background_checkpointer.then(Checkpointer::spawn),
+            worker: spawn_worker(&opts)?,
             inflight: None,
             background_error: None,
+            mode: TableMode::Active,
+            cp_stats: CheckpointStats::default(),
+            scrubber: spawn_scrubber(&opts, &vfs, dir)?,
+            manual_scrub: ScrubStats::default(),
+            quarantined: BTreeMap::new(),
+            vfs,
             opts,
         })
     }
@@ -286,27 +460,42 @@ impl DurableTable {
     /// decodes its whole-table snapshot exactly as before; its first
     /// checkpoint upgrades it to the v2 format.
     pub fn open(dir: &Path, opts: DurableOptions) -> Result<Self, PersistError> {
-        let current = fs::read_to_string(current_path(dir))?;
+        Self::open_with_vfs(VfsHandle::default(), dir, opts)
+    }
+
+    /// As [`DurableTable::open`], routing all I/O through `vfs`.
+    pub fn open_with_vfs(
+        vfs: VfsHandle,
+        dir: &Path,
+        opts: DurableOptions,
+    ) -> Result<Self, PersistError> {
+        let current_bytes = vfs.read(&current_path(dir))?;
+        let current = String::from_utf8_lossy(&current_bytes).into_owned();
         let generation: u64 = current
             .trim()
             .parse()
             .map_err(|_| corrupt(format!("CURRENT holds {current:?}, not a generation")))?;
         if manifest_path(dir, generation).exists() {
-            Self::open_v2(dir, generation, opts)
+            Self::open_v2(vfs, dir, generation, opts)
         } else {
-            Self::open_v1(dir, generation, opts)
+            Self::open_v1(vfs, dir, generation, opts)
         }
     }
 
-    fn open_v2(dir: &Path, generation: u64, opts: DurableOptions) -> Result<Self, PersistError> {
-        let manifest = decode_manifest(&fs::read(manifest_path(dir, generation))?)?;
+    fn open_v2(
+        vfs: VfsHandle,
+        dir: &Path,
+        generation: u64,
+        opts: DurableOptions,
+    ) -> Result<Self, PersistError> {
+        let manifest = decode_manifest(&vfs.read(&manifest_path(dir, generation))?)?;
         if manifest.generation != generation {
             return Err(corrupt(format!(
                 "manifest says generation {} but CURRENT says {generation}",
                 manifest.generation
             )));
         }
-        let mut table = restore_table(dir, &manifest, !opts.mmap_restore)?;
+        let mut table = restore_table(&vfs, dir, &manifest, !opts.mmap_restore)?;
         // Versions are zero on a fresh restore; snapshotting them *before*
         // replay is what marks replayed-into chunks dirty for the next
         // incremental checkpoint.
@@ -318,13 +507,13 @@ impl DurableTable {
         // through full recovery (truncation + writer positioning).
         let first = wal_path(dir, generation);
         if !first.exists() {
-            Wal::create(&first, manifest.durable_lsn + 1)?;
-            sync_dir(dir);
+            Wal::create(&vfs, &first, manifest.durable_lsn + 1)?;
+            sync_dir(&vfs, dir);
         }
         let mut seq = generation;
         let mut chain_last = manifest.durable_lsn;
         while wal_path(dir, seq + 1).exists() {
-            let bytes = fs::read(wal_path(dir, seq))?;
+            let bytes = vfs.read(&wal_path(dir, seq))?;
             let s = scan(&bytes);
             // A middle link was fully sealed before the rotation that
             // created its successor, so it must scan to its exact end —
@@ -344,7 +533,7 @@ impl DurableTable {
             chain_last = chain_last.max(s.last_lsn);
             seq += 1;
         }
-        let (mut wal, s) = Wal::recover(&wal_path(dir, seq))?;
+        let (mut wal, s) = Wal::recover(&vfs, &wal_path(dir, seq))?;
         replay(&s, &mut table, manifest.durable_lsn)?;
         chain_last = chain_last.max(s.last_lsn);
         wal.ensure_lsn_at_least(chain_last + 1);
@@ -355,7 +544,7 @@ impl DurableTable {
         // Clear leftovers of interrupted checkpoints (unreferenced
         // segments, orphaned manifests) — but never the WAL chain at or
         // above the durable generation.
-        prune_stale(dir, &manifest);
+        prune_stale(&vfs, dir, &manifest);
         Ok(Self {
             table,
             dir: dir.to_path_buf(),
@@ -367,15 +556,26 @@ impl DurableTable {
             entries: manifest.entries,
             clean_versions,
             next_seg,
-            worker: opts.background_checkpointer.then(Checkpointer::spawn),
+            worker: spawn_worker(&opts)?,
             inflight: None,
             background_error: None,
+            mode: TableMode::Active,
+            cp_stats: CheckpointStats::default(),
+            scrubber: spawn_scrubber(&opts, &vfs, dir)?,
+            manual_scrub: ScrubStats::default(),
+            quarantined: BTreeMap::new(),
+            vfs,
             opts,
         })
     }
 
-    fn open_v1(dir: &Path, generation: u64, opts: DurableOptions) -> Result<Self, PersistError> {
-        let snapshot_bytes = fs::read(snap_path(dir, generation))?;
+    fn open_v1(
+        vfs: VfsHandle,
+        dir: &Path,
+        generation: u64,
+        opts: DurableOptions,
+    ) -> Result<Self, PersistError> {
+        let snapshot_bytes = vfs.read(&snap_path(dir, generation))?;
         let restored = decode_snapshot(&snapshot_bytes)?;
         if restored.generation != generation {
             return Err(corrupt(format!(
@@ -390,10 +590,10 @@ impl DurableTable {
             // A crash can theoretically land between snapshot rename and
             // WAL creation of a checkpoint; an absent WAL simply means no
             // writes since the snapshot.
-            Wal::create(&wp, restored.durable_lsn + 1)?;
-            sync_dir(dir);
+            Wal::create(&vfs, &wp, restored.durable_lsn + 1)?;
+            sync_dir(&vfs, dir);
         }
-        let (mut wal, s) = Wal::recover(&wp)?;
+        let (mut wal, s) = Wal::recover(&vfs, &wp)?;
         replay(&s, &mut table, restored.durable_lsn)?;
         // An empty post-checkpoint WAL starts numbering after the LSNs the
         // snapshot already folded in; otherwise fresh records would replay
@@ -412,9 +612,15 @@ impl DurableTable {
             entries: Vec::new(),
             clean_versions: vec![0; n],
             next_seg: Self::max_segment_on_disk(dir) + 1,
-            worker: opts.background_checkpointer.then(Checkpointer::spawn),
+            worker: spawn_worker(&opts)?,
             inflight: None,
             background_error: None,
+            mode: TableMode::Active,
+            cp_stats: CheckpointStats::default(),
+            scrubber: spawn_scrubber(&opts, &vfs, dir)?,
+            manual_scrub: ScrubStats::default(),
+            quarantined: BTreeMap::new(),
+            vfs,
             opts,
         };
         this.remove_stale_v1_generations();
@@ -444,9 +650,69 @@ impl DurableTable {
         &self.table
     }
 
-    /// Decode every chunk still awaiting lazy hydration.
+    /// Decode every chunk still awaiting lazy hydration. Fails with a
+    /// typed [`StorageError::Quarantined`] if the scrubber found a chunk
+    /// whose on-disk record is damaged and which has no in-memory copy.
     pub fn hydrate_all(&mut self) -> Result<(), PersistError> {
+        self.ensure_no_quarantine()?;
         self.table.hydrate_all().map_err(PersistError::from)
+    }
+
+    fn ensure_no_quarantine(&self) -> Result<(), PersistError> {
+        if let Some((chunk, reason)) = self.quarantined.iter().next() {
+            return Err(PersistError::Storage(StorageError::Quarantined {
+                chunk: *chunk as u64,
+                reason: reason.clone(),
+            }));
+        }
+        Ok(())
+    }
+
+    fn ensure_active(&self) -> Result<(), PersistError> {
+        match &self.mode {
+            TableMode::Active => Ok(()),
+            TableMode::Degraded(reason) => Err(PersistError::Degraded {
+                reason: reason.clone(),
+            }),
+        }
+    }
+
+    /// Whether the table is in degraded read-only mode.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self.mode, TableMode::Degraded(_))
+    }
+
+    /// Why the table degraded, if it did.
+    pub fn degraded_reason(&self) -> Option<&str> {
+        match &self.mode {
+            TableMode::Active => None,
+            TableMode::Degraded(reason) => Some(reason),
+        }
+    }
+
+    /// Attempt to leave degraded mode: run a synchronous checkpoint as the
+    /// health proof (it exercises segment write, fsync, manifest + CURRENT
+    /// swing and the directory fsync). On success the table accepts writes
+    /// again; on failure it stays degraded with the fresh reason.
+    pub fn reactivate(&mut self) -> Result<u64, PersistError> {
+        if !self.is_degraded() {
+            return Ok(self.generation);
+        }
+        self.mode = TableMode::Active;
+        self.cp_stats.consecutive_failures = 0;
+        match self.checkpoint_sync(false) {
+            Ok(gen) => Ok(gen),
+            Err(e) => {
+                self.mode = TableMode::Degraded(format!("reactivate failed: {e}"));
+                Err(e)
+            }
+        }
+    }
+
+    fn enter_degraded(&mut self, reason: String) {
+        if !self.is_degraded() {
+            self.mode = TableMode::Degraded(reason);
+        }
     }
 
     /// Live row count.
@@ -478,6 +744,7 @@ impl DurableTable {
             versions.len() // no manifest: everything is dirty
         };
         let segments: BTreeSet<u64> = self.entries.iter().map(|e| e.seg).collect();
+        let scrub = self.scrub_stats();
         DurableStats {
             generation: self.generation,
             durable_lsn: self.durable_lsn,
@@ -488,15 +755,107 @@ impl DurableTable {
             segments: segments.len() as u64,
             checkpoint_in_flight: self.inflight.is_some(),
             checkpoint_failed: self.background_error.is_some(),
+            degraded: self.is_degraded(),
+            consecutive_checkpoint_failures: self.cp_stats.consecutive_failures,
+            scrub_corrupt_records: scrub.corrupt_records,
+            quarantined_chunks: self.quarantined.len() as u64,
+        }
+    }
+
+    /// Checkpoint health: failure counters and the recent-failure ring.
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        self.cp_stats.clone()
+    }
+
+    /// Cumulative scrub counters (background passes + manual
+    /// [`DurableTable::scrub_now`] calls).
+    pub fn scrub_stats(&self) -> ScrubStats {
+        let mut s = self.manual_scrub;
+        if let Some(scrubber) = &self.scrubber {
+            let bg = scrubber.shared.stats();
+            s.passes += bg.passes;
+            s.records_checked += bg.records_checked;
+            s.corrupt_records += bg.corrupt_records;
+            s.failed_passes += bg.failed_passes;
+        }
+        s
+    }
+
+    /// Chunk indexes currently quarantined (damaged on disk, no in-memory
+    /// copy to heal from).
+    pub fn quarantined_chunks(&self) -> Vec<usize> {
+        self.quarantined.keys().copied().collect()
+    }
+
+    /// Run one synchronous scrub pass over the current manifest and apply
+    /// its findings (mark damaged-but-resident chunks dirty so the next
+    /// checkpoint rewrites them; quarantine damaged never-hydrated ones).
+    pub fn scrub_now(&mut self) -> Result<ScrubReport, PersistError> {
+        let report = crate::scrub::scrub_pass(&self.vfs, &self.dir, Duration::ZERO, None)?;
+        self.manual_scrub.passes += 1;
+        self.manual_scrub.records_checked += report.records_checked;
+        self.manual_scrub.corrupt_records += report.findings.len() as u64;
+        self.apply_scrub_findings(&report.findings);
+        Ok(report)
+    }
+
+    /// Drain background scrub findings (if the scrubber runs) and apply
+    /// them. Called from the seal path so healing needs no extra locking:
+    /// the foreground owns the table.
+    fn absorb_scrub_findings(&mut self) {
+        let findings = match &self.scrubber {
+            Some(s) => s.shared.take_findings(),
+            None => return,
+        };
+        if !findings.is_empty() {
+            self.apply_scrub_findings(&findings);
+        }
+    }
+
+    /// A damaged record whose chunk is resident: plant the dirty sentinel
+    /// so the next checkpoint re-encodes the chunk from memory into a
+    /// fresh segment (the heal). A damaged record whose chunk was never
+    /// hydrated has no copy to heal from — quarantine it so hydration
+    /// fails typed instead of tripping over the CRC mid-query.
+    fn apply_scrub_findings(&mut self, findings: &[ScrubFinding]) {
+        let chunks = self.table.column().chunks();
+        for f in findings {
+            // Findings describe the *durable* generation's records. A
+            // finding raced past a checkpoint that already superseded its
+            // record is stale — the damaged bytes are unreferenced (or
+            // about to be pruned).
+            if f.generation != self.generation || f.chunk >= self.clean_versions.len() {
+                continue;
+            }
+            let hydrated = !matches!(chunks.get(f.chunk), Some(ChunkStore::Unloaded(_)));
+            if hydrated {
+                self.clean_versions[f.chunk] = u64::MAX;
+                if let Some(inflight) = &mut self.inflight {
+                    // The in-flight job may re-point at the damaged record
+                    // (the chunk looked clean at capture); keep the dirty
+                    // mark alive across its completion.
+                    if f.chunk < inflight.versions.len() {
+                        inflight.versions[f.chunk] = u64::MAX;
+                    }
+                }
+            } else {
+                self.quarantined
+                    .entry(f.chunk)
+                    .or_insert_with(|| f.reason.clone());
+            }
         }
     }
 
     /// Execute one query. Writes are staged into the WAL's open batch
     /// after they apply; the batch seals (one write + fsync) every
     /// `group_commit` records. Reads pass straight through (hydrating any
-    /// lazily-restored chunk they route to).
+    /// lazily-restored chunk they route to). On a degraded table reads
+    /// keep working; writes fail with [`PersistError::Degraded`].
     pub fn execute(&mut self, q: &HapQuery) -> Result<QueryOutput, PersistError> {
         let logged = WalOp::from_query(q);
+        if logged.is_some() {
+            self.ensure_active()?;
+        }
         let out = self.table.execute(q)?;
         if let Some(op) = logged {
             self.wal.stage(&op);
@@ -510,6 +869,9 @@ impl DurableTable {
     /// Execute a batch under one group commit: all writes seal (and fsync)
     /// together.
     pub fn execute_all(&mut self, queries: &[HapQuery]) -> Result<Vec<QueryOutput>, PersistError> {
+        if queries.iter().any(|q| WalOp::from_query(q).is_some()) {
+            self.ensure_active()?;
+        }
         let mut outs = Vec::with_capacity(queries.len());
         for q in queries {
             let logged = WalOp::from_query(q);
@@ -527,6 +889,7 @@ impl DurableTable {
     /// [`TxnManager`], then seal the transaction's write set as one WAL
     /// batch. A validation conflict stages nothing.
     pub fn commit_txn(&mut self, mgr: &TxnManager, txn: Transaction) -> Result<u64, PersistError> {
+        self.ensure_active()?;
         let queries = txn.as_queries();
         // The manager applies through the column directly; hydrate the
         // chunks its write set routes to first.
@@ -564,11 +927,31 @@ impl DurableTable {
 
     /// Seal the open WAL batch, making every staged write durable now.
     pub fn flush(&mut self) -> Result<(), PersistError> {
+        if self.wal.staged_records() > 0 {
+            self.ensure_active()?;
+        }
         self.seal_and_maybe_checkpoint()
     }
 
     fn seal_and_maybe_checkpoint(&mut self) -> Result<(), PersistError> {
-        self.wal.seal()?;
+        if let Err(e) = self.wal.seal() {
+            if !self.wal.poisoned() {
+                // A failed *write* (ENOSPC before the fsync): the batch
+                // stays staged and the next seal retries from the durable
+                // boundary. Nothing was acknowledged, nothing is at risk.
+                return Err(e);
+            }
+            // A failed *fsync*: the batch's durability is unknown and this
+            // fd can never prove it (fsyncgate). Rotate to a fresh WAL and
+            // take a synchronous recovery checkpoint whose watermark
+            // covers the ghost batch; the write is acknowledged only once
+            // that checkpoint commits. `checkpoint_sync` degrades the
+            // table if the recovery checkpoint fails — a commit of
+            // unknown durability is never acknowledged.
+            self.checkpoint_sync(false)?;
+            return Ok(());
+        }
+        self.absorb_scrub_findings();
         // Absorb a finished background checkpoint before deciding whether
         // to start another (failures are stashed, not attributed to this
         // write — see `poll_checkpoint`).
@@ -576,13 +959,20 @@ impl DurableTable {
         if self.opts.wal_checkpoint_bytes > 0
             && self.wal.durable_bytes() >= self.opts.wal_checkpoint_bytes
             && self.inflight.is_none()
+            && !self.is_degraded()
         {
             let job = self.capture(false)?;
             match (&self.worker, self.opts.background_checkpointer) {
                 (Some(worker), true) => worker.submit(job)?,
                 _ => {
-                    let result = crate::incremental::run_checkpoint(&job);
-                    self.apply_completion(result)?;
+                    let completion = run_with_retry(&job, &retry_policy(&self.opts));
+                    if let Err(e) = self.apply_completion(completion) {
+                        // Same contract as a background failure observed
+                        // by `poll_checkpoint`: this write sealed durably;
+                        // the checkpoint lag is reported out of band and
+                        // recovery replays the growing WAL chain.
+                        self.background_error = Some(e);
+                    }
                 }
             }
         }
@@ -594,6 +984,7 @@ impl DurableTable {
     /// commit a manifest referencing old records for the clean ones, swing
     /// `CURRENT`, prune. Returns the new generation number.
     pub fn checkpoint(&mut self) -> Result<u64, PersistError> {
+        self.ensure_active()?;
         self.checkpoint_sync(false)
     }
 
@@ -601,52 +992,109 @@ impl DurableTable {
     /// record into one fresh segment (clean records byte-copied, dirty
     /// ones re-encoded) and collapse the segment chain.
     pub fn compact(&mut self) -> Result<u64, PersistError> {
+        self.ensure_active()?;
         self.checkpoint_sync(true)
     }
 
     fn checkpoint_sync(&mut self, force_full: bool) -> Result<u64, PersistError> {
         self.finish_inflight()?;
-        let job = self.capture(force_full)?;
-        let new_gen = job.new_gen;
-        match (&self.worker, self.opts.background_checkpointer) {
-            (Some(worker), true) => {
-                worker.submit(job)?;
-                self.finish_inflight()?;
-            }
-            _ => {
-                let result = crate::incremental::run_checkpoint(&job);
-                self.apply_completion(result)?;
+        self.absorb_scrub_findings();
+        if !self.wal.poisoned() {
+            if let Err(e) = self.wal.seal() {
+                if !self.wal.poisoned() {
+                    return Err(e);
+                }
+                // The seal's fsync just failed: fall through — the capture
+                // below rotates the WAL and becomes the recovery
+                // checkpoint covering the ghost batch.
             }
         }
-        // This checkpoint folded everything a previously failed background
-        // attempt would have: the stale failure is moot.
-        self.background_error = None;
-        Ok(new_gen)
+        let poisoned = self.wal.poisoned();
+        let job = self.capture(force_full)?;
+        let new_gen = job.new_gen;
+        let completion = match (&self.worker, self.opts.background_checkpointer, poisoned) {
+            // Healthy path: run on the worker, wait for it.
+            (Some(worker), true, false) => {
+                worker.submit(job)?;
+                worker.recv()
+            }
+            // Inline (no worker, or a poisoned WAL whose recovery must not
+            // depend on a second thread being healthy).
+            _ => run_with_retry(&job, &retry_policy(&self.opts)),
+        };
+        match self.apply_completion(completion) {
+            Ok(()) => {
+                // This checkpoint folded everything a previously failed
+                // background attempt would have: the stale failure is moot.
+                self.background_error = None;
+                Ok(new_gen)
+            }
+            Err(e) => {
+                if poisoned {
+                    // The ghost batch is covered by neither a durable WAL
+                    // nor a checkpoint: acknowledging anything now would
+                    // risk acked-then-lost. Flip to read-only.
+                    let reason = format!(
+                        "WAL fsync failed (batch durability unknown) and the \
+                         recovery checkpoint failed: {e}"
+                    );
+                    self.enter_degraded(reason.clone());
+                    Err(PersistError::Degraded { reason })
+                } else {
+                    Err(e)
+                }
+            }
+        }
     }
 
-    /// Capture a checkpoint under the foreground's pause: seal, rotate the
-    /// WAL (commits continue against the new file immediately), diff the
+    /// Capture a checkpoint under the foreground's pause: rotate the WAL
+    /// (commits continue against the new file immediately), diff the
     /// column's version counters against the last clean snapshot, and
     /// clone exactly the dirty chunks. Everything costly — encoding,
     /// segment/manifest writes, fsyncs — lives in the returned job.
+    ///
+    /// Callers seal first (capture never fsyncs the old WAL itself): on
+    /// the healthy path the batch is already durable, and on the poisoned
+    /// path the watermark below folds the ghost batch in.
     fn capture(&mut self, force_full: bool) -> Result<CheckpointJob, PersistError> {
         debug_assert!(self.inflight.is_none(), "one checkpoint at a time");
-        self.wal.seal()?;
-        let durable_lsn = self.wal.next_lsn() - 1;
+        let poisoned = self.wal.poisoned();
+        debug_assert!(
+            poisoned || self.wal.staged_records() == 0,
+            "seal before capture"
+        );
+        let durable_lsn = if poisoned {
+            // The ghost batch's commit marker would have carried
+            // `next_lsn` (a failed seal advances nothing). Its effects are
+            // in the table this checkpoint snapshots, so fold its LSN into
+            // the watermark: if the batch *did* reach disk, replay skips
+            // it (no double-apply); if it did not, nothing references it.
+            self.wal.next_lsn()
+        } else {
+            self.wal.next_lsn() - 1
+        };
+        if poisoned {
+            // Best-effort: scrub the possibly-ghost tail off the abandoned
+            // file so a reopen before this checkpoint commits sees the
+            // file end exactly at its durable boundary.
+            self.wal.truncate_tail(&self.vfs);
+        }
         let new_gen = self.wal_seq + 1;
         // Rotate: the old WAL file stays for recovery until the manifest
         // commits; new writes land in wal-<new_gen> with continuous LSNs.
         let wp = wal_path(&self.dir, new_gen);
         if wp.exists() {
-            fs::remove_file(&wp)?; // garbage of a checkpoint that died pre-commit
+            self.vfs.remove(&wp)?; // garbage of a checkpoint that died pre-commit
         }
-        self.wal = Wal::create(&wp, durable_lsn + 1)?;
+        let new_wal = Wal::create(&self.vfs, &wp, durable_lsn + 1)?;
         // The dirent of the rotated WAL must be durable *before* commits
         // are acknowledged into it: with the background checkpointer the
         // next directory fsync (the job's manifest rename) may be many
         // acknowledged commits away, and losing the dirent would lose all
-        // of them.
-        sync_dir(&self.dir);
+        // of them. Checked, not best-effort — and ordered before the
+        // writer swap so a failure leaves the old WAL in place.
+        self.vfs.fsync_dir(&self.dir)?;
+        self.wal = new_wal;
         self.wal_seq = new_gen;
 
         let versions = self.table.column().versions().to_vec();
@@ -683,7 +1131,8 @@ impl DurableTable {
                 fresh.push((i, RecordSource::Copy(self.entries[i].clone())));
             } else if dirty {
                 // Dirty chunks are hydrated by definition (writes hydrate
-                // before mutating), so the clone cannot hit an unloaded
+                // before mutating, and the scrubber only force-dirties
+                // resident chunks), so the clone cannot hit an unloaded
                 // store.
                 fresh.push((
                     i,
@@ -697,8 +1146,13 @@ impl DurableTable {
         if !fresh.is_empty() {
             self.next_seg += 1;
         }
-        self.inflight = Some(Inflight { versions });
+        self.inflight = Some(Inflight {
+            versions,
+            durable_lsn,
+            new_gen,
+        });
         Ok(CheckpointJob {
+            vfs: self.vfs.clone(),
             dir: self.dir.clone(),
             new_gen,
             seg_seq,
@@ -723,8 +1177,8 @@ impl DurableTable {
             return;
         }
         if let Some(worker) = &self.worker {
-            if let Some(result) = worker.try_recv() {
-                if let Err(e) = self.apply_completion(result) {
+            if let Some(completion) = worker.try_recv() {
+                if let Err(e) = self.apply_completion(completion) {
                     self.background_error = Some(e);
                 }
             }
@@ -745,29 +1199,58 @@ impl DurableTable {
         if self.inflight.is_none() {
             return Ok(());
         }
-        let result = self
+        let completion = self
             .worker
             .as_ref()
             .expect("an in-flight checkpoint implies a worker")
             .recv();
-        self.apply_completion(result)
+        self.apply_completion(completion)
     }
 
     /// Commit (or discard, on error) the capture bookkeeping of a finished
-    /// checkpoint. On failure the chunks stay dirty relative to the old
-    /// clean snapshot and the WAL chain keeps growing — recovery replays
-    /// it, so no acknowledged write is ever lost.
-    fn apply_completion(
-        &mut self,
-        result: Result<Manifest, PersistError>,
-    ) -> Result<(), PersistError> {
+    /// checkpoint, and keep the failure ledger: consecutive failures
+    /// escalate to degraded mode once they pass
+    /// [`DurableOptions::degrade_after`]. On failure the chunks stay dirty
+    /// relative to the old clean snapshot and the WAL chain keeps growing
+    /// — recovery replays it, so no acknowledged write is ever lost.
+    fn apply_completion(&mut self, completion: Completion) -> Result<(), PersistError> {
         let inflight = self.inflight.take().expect("completion without capture");
-        let manifest = result?;
-        self.generation = manifest.generation;
-        self.durable_lsn = manifest.durable_lsn;
-        self.entries = manifest.entries;
-        self.clean_versions = inflight.versions;
-        Ok(())
+        self.cp_stats.total_retries += u64::from(completion.attempts.saturating_sub(1));
+        match completion.result {
+            Ok(manifest) => {
+                self.cp_stats.consecutive_failures = 0;
+                self.generation = manifest.generation;
+                self.durable_lsn = manifest.durable_lsn;
+                self.entries = manifest.entries;
+                self.clean_versions = inflight.versions;
+                Ok(())
+            }
+            Err(e) => {
+                self.cp_stats.consecutive_failures += 1;
+                self.cp_stats.total_failures += 1;
+                let mut ring: VecDeque<CheckpointFailure> =
+                    std::mem::take(&mut self.cp_stats.recent_failures).into();
+                if ring.len() >= FAILURE_RING {
+                    ring.pop_front();
+                }
+                ring.push_back(CheckpointFailure {
+                    durable_lsn: inflight.durable_lsn,
+                    generation: inflight.new_gen,
+                    attempts: completion.attempts,
+                    error: e.to_string(),
+                });
+                self.cp_stats.recent_failures = ring.into();
+                if self.opts.degrade_after > 0
+                    && self.cp_stats.consecutive_failures >= u64::from(self.opts.degrade_after)
+                {
+                    self.enter_degraded(format!(
+                        "{} consecutive checkpoint failures (last: {e})",
+                        self.cp_stats.consecutive_failures
+                    ));
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Optimize the layout for a workload sample (Fig. 10 A→B→C), capture
@@ -779,11 +1262,12 @@ impl DurableTable {
         sample: &[HapQuery],
         opts: &OptimizeOptions,
     ) -> Result<OptimizeReport, PersistError> {
+        self.ensure_active()?;
         // Absorb any in-flight background checkpoint *first*: its
         // completion overwrites `entries`/`clean_versions`, which would
         // silently undo the clear below if it landed later.
         self.finish_inflight()?;
-        self.table.hydrate_all()?;
+        self.hydrate_all()?;
         self.fms = capture_per_chunk(&self.table, sample);
         let report = optimize_table(&mut self.table, sample, opts);
         // Every chunk was rewritten, so the old manifest entries are all
@@ -793,6 +1277,9 @@ impl DurableTable {
         // zero and can collide with the clean snapshot, silently
         // re-pointing rebuilt chunks at pre-relayout records).
         self.entries.clear();
+        // The re-layout re-encoded every chunk from hydrated data; any
+        // quarantined record is superseded by the full checkpoint below.
+        self.quarantined.clear();
         self.checkpoint()?;
         Ok(report)
     }
@@ -803,15 +1290,17 @@ impl DurableTable {
         &mut self,
         ctl: &mut AdaptiveController,
     ) -> Result<AdaptDecision, PersistError> {
+        self.ensure_active()?;
         // As in `optimize`: a pending completion must not land after the
         // re-layout clears the manifest entries.
         self.finish_inflight()?;
-        self.table.hydrate_all()?;
+        self.hydrate_all()?;
         let decision = ctl.maybe_reoptimize(&mut self.table);
         if matches!(decision, AdaptDecision::Reoptimized { .. }) {
             // Same contract as `optimize`: a re-layout rewrote every
             // chunk, so the next checkpoint must be full.
             self.entries.clear();
+            self.quarantined.clear();
             self.checkpoint()?;
         }
         Ok(decision)
@@ -835,7 +1324,7 @@ impl DurableTable {
             let name = name.to_string_lossy();
             let ours = name.starts_with("snap-") || name.starts_with("wal-");
             if ours && !keep.contains(&p) {
-                let _ = fs::remove_file(&p);
+                let _ = self.vfs.remove(&p);
             }
         }
     }
@@ -852,8 +1341,8 @@ impl Drop for DurableTable {
         let _ = self.wal.seal();
         if self.inflight.is_some() {
             if let Some(worker) = &self.worker {
-                let result = worker.recv();
-                let _ = self.apply_completion(result);
+                let completion = worker.recv();
+                let _ = self.apply_completion(completion);
             }
         }
     }

@@ -34,6 +34,7 @@ use crate::codec::{ByteReader, ByteWriter};
 use crate::crc::crc32;
 use crate::mmap::Mmap;
 use crate::snapshot::{decode_config, decode_store, encode_config, encode_store};
+use crate::vfs::{Vfs, VfsHandle};
 use crate::PersistError;
 use casper_core::FrequencyModel;
 use casper_engine::column::{ChunkStore, LazyChunk};
@@ -42,7 +43,7 @@ use casper_storage::StorageError;
 use casper_workload::HapSchema;
 use std::collections::BTreeMap;
 use std::fs;
-use std::io::Write as _;
+use std::io::SeekFrom;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -294,6 +295,9 @@ pub(crate) enum RecordSource {
 /// on the checkpointer thread).
 #[derive(Debug)]
 pub(crate) struct CheckpointJob {
+    /// The VFS every byte of the job goes through (cloned from the owning
+    /// table so fault schedules reach the background thread too).
+    pub vfs: VfsHandle,
     pub dir: PathBuf,
     pub new_gen: u64,
     /// Sequence number of the segment this job may create.
@@ -316,6 +320,11 @@ pub(crate) struct CheckpointJob {
 /// Returns the manifest that is now durable. Crash-safe at every step:
 /// until the `CURRENT` rename lands, recovery still sees the previous
 /// generation plus the intact WAL chain.
+///
+/// Retry-safe as a whole: every attempt re-creates (truncates) the segment
+/// file with a fresh descriptor and rewrites it end to end, so after a
+/// failed fsync no retried sync ever runs against the old descriptor's
+/// possibly-dropped dirty pages.
 pub(crate) fn run_checkpoint(job: &CheckpointJob) -> Result<Manifest, PersistError> {
     let mut entries: Vec<Option<ChunkEntry>> = vec![None; job.n_chunks];
     for (idx, entry) in &job.reused {
@@ -324,7 +333,7 @@ pub(crate) fn run_checkpoint(job: &CheckpointJob) -> Result<Manifest, PersistErr
 
     if !job.fresh.is_empty() {
         let path = segment_path(&job.dir, job.seg_seq);
-        let mut file = fs::File::create(&path)?;
+        let mut file = job.vfs.create(&path)?;
         let mut header = ByteWriter::new();
         for b in SEGMENT_MAGIC {
             header.u8(b);
@@ -347,14 +356,25 @@ pub(crate) fn run_checkpoint(job: &CheckpointJob) -> Result<Manifest, PersistErr
         for (idx, source) in &job.fresh {
             let (bytes, live) = match source {
                 RecordSource::Encode(store) => {
+                    if matches!(store, ChunkStore::Unloaded(_)) {
+                        // A quarantined (scrub-damaged, never hydrated)
+                        // chunk must not reach capture; if one does, fail
+                        // with a typed error instead of panicking inside
+                        // the encoder.
+                        return Err(corrupt(format!(
+                            "chunk {idx} reached the checkpoint writer unhydrated \
+                             (quarantined or damaged record)"
+                        ))
+                        .into());
+                    }
                     let mut w = ByteWriter::new();
                     encode_store(&mut w, store);
                     (w.into_bytes(), store.len() as u64)
                 }
-                RecordSource::Copy(entry) => (read_record(&job.dir, entry)?, entry.live),
+                RecordSource::Copy(entry) => (read_record(&job.vfs, &job.dir, entry)?, entry.live),
             };
             file.write_all(&bytes)?;
-            crate::mmap::initiate_writeback(&file, offset, bytes.len() as u64);
+            crate::mmap::initiate_writeback(file.std_file(), offset, bytes.len() as u64);
             entries[*idx] = Some(ChunkEntry {
                 seg: job.seg_seq,
                 offset,
@@ -382,23 +402,29 @@ pub(crate) fn run_checkpoint(job: &CheckpointJob) -> Result<Manifest, PersistErr
         fms: job.fms.clone(),
     };
     crate::durable::write_atomic(
+        &job.vfs,
         &manifest_path(&job.dir, job.new_gen),
         &encode_manifest(&manifest),
     )?;
     // The commit point: readers now resolve to the new generation.
     crate::durable::write_atomic(
+        &job.vfs,
         &crate::durable::current_path(&job.dir),
         format!("{}\n", job.new_gen).as_bytes(),
     )?;
-    prune_stale(&job.dir, &manifest);
+    prune_stale(&job.vfs, &job.dir, &manifest);
     Ok(manifest)
 }
 
-/// Read and CRC-verify one persisted record (compaction byte-copy path).
-fn read_record(dir: &Path, entry: &ChunkEntry) -> Result<Vec<u8>, PersistError> {
-    use std::io::{Read, Seek, SeekFrom};
+/// Read and CRC-verify one persisted record (compaction byte-copy path and
+/// the scrubber's verification pass).
+pub(crate) fn read_record(
+    vfs: &VfsHandle,
+    dir: &Path,
+    entry: &ChunkEntry,
+) -> Result<Vec<u8>, PersistError> {
     let path = segment_path(dir, entry.seg);
-    let mut f = fs::File::open(&path)?;
+    let mut f = vfs.open_read(&path)?;
     f.seek(SeekFrom::Start(entry.offset))?;
     let mut bytes = vec![0u8; entry.len as usize];
     f.read_exact(&mut bytes)?;
@@ -418,7 +444,7 @@ fn read_record(dir: &Path, entry: &ChunkEntry) -> Result<Vec<u8>, PersistError> 
 /// older manifests, v1 snapshots, unreferenced segments, WAL files below
 /// the new generation, and orphaned temp files. A crash mid-prune only
 /// leaves garbage for the next prune.
-pub(crate) fn prune_stale(dir: &Path, manifest: &Manifest) {
+pub(crate) fn prune_stale(vfs: &VfsHandle, dir: &Path, manifest: &Manifest) {
     let referenced = manifest.referenced_segments();
     let Ok(entries) = fs::read_dir(dir) else {
         return;
@@ -436,7 +462,7 @@ pub(crate) fn prune_stale(dir: &Path, manifest: &Manifest) {
             name.starts_with("snap-") || name.ends_with(".tmp")
         };
         if stale {
-            let _ = fs::remove_file(entry.path());
+            let _ = vfs.remove(&entry.path());
         }
     }
 }
@@ -449,6 +475,7 @@ pub(crate) fn prune_stale(dir: &Path, manifest: &Manifest) {
 /// segment headers, and hand each chunk to the engine lazily (or decode
 /// eagerly when `eager` is set — used by tests and as a paranoia switch).
 pub(crate) fn restore_table(
+    vfs: &VfsHandle,
     dir: &Path,
     manifest: &Manifest,
     eager: bool,
@@ -456,8 +483,7 @@ pub(crate) fn restore_table(
     let mut maps: BTreeMap<u64, Arc<Mmap>> = BTreeMap::new();
     for seg in manifest.referenced_segments() {
         let path = segment_path(dir, seg);
-        let file = fs::File::open(&path)?;
-        let map = Arc::new(Mmap::map(&file)?);
+        let map = Arc::new(vfs.mmap(&path)?);
         verify_segment_header(&map, seg)?;
         maps.insert(seg, map);
     }

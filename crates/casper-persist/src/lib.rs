@@ -39,15 +39,21 @@ pub mod checkpointer;
 pub mod codec;
 pub mod crc;
 pub mod durable;
+pub mod fault;
 pub mod incremental;
 pub mod mmap;
+pub mod scrub;
 pub mod snapshot;
+pub mod vfs;
 pub mod wal;
 
-pub use durable::{DurableOptions, DurableStats, DurableTable};
+pub use durable::{CheckpointFailure, CheckpointStats, DurableOptions, DurableStats, DurableTable};
+pub use fault::{FaultCounters, FaultErr, FaultRule, FaultVfs, VfsOp};
 pub use incremental::{decode_manifest, encode_manifest, ChunkEntry, Manifest};
 pub use mmap::Mmap;
+pub use scrub::{ScrubFinding, ScrubReport, ScrubStats};
 pub use snapshot::{decode_snapshot, encode_snapshot, RestoredSnapshot};
+pub use vfs::{RealVfs, Vfs, VfsFile, VfsHandle};
 pub use wal::{Wal, WalBatch, WalOp, WalScan};
 
 use casper_engine::TxnError;
@@ -64,6 +70,16 @@ pub enum PersistError {
     Storage(StorageError),
     /// A transaction failed validation during a durable commit.
     Txn(TxnError),
+    /// The table is in degraded read-only mode: persistent durability
+    /// failure (a poisoned WAL whose recovery checkpoint also failed, or
+    /// too many consecutive checkpoint failures) means new writes cannot
+    /// be made durable. Reads keep serving from memory; writes are
+    /// rejected with this error until [`durable::DurableTable::reactivate`]
+    /// proves the storage healthy again.
+    Degraded {
+        /// Why the table degraded (the original failure chain).
+        reason: String,
+    },
 }
 
 impl fmt::Display for PersistError {
@@ -72,6 +88,11 @@ impl fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::Storage(e) => write!(f, "{e}"),
             PersistError::Txn(e) => write!(f, "{e}"),
+            PersistError::Degraded { reason } => write!(
+                f,
+                "durable table is degraded (read-only): {reason}; \
+                 fix the storage and call reactivate()"
+            ),
         }
     }
 }
@@ -82,6 +103,7 @@ impl std::error::Error for PersistError {
             PersistError::Io(e) => Some(e),
             PersistError::Storage(e) => Some(e),
             PersistError::Txn(e) => Some(e),
+            PersistError::Degraded { .. } => None,
         }
     }
 }

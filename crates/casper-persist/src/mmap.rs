@@ -106,6 +106,16 @@ unsafe impl Send for Mmap {}
 unsafe impl Sync for Mmap {}
 
 impl Mmap {
+    /// Wrap an owned buffer in the `Mmap` interface. Used by the
+    /// fault-injecting VFS, whose `simulate_crash` rewrites files in
+    /// place — a live real mapping of such a file would alias the
+    /// rewrite, so under fault injection every "mapping" is a copy.
+    pub fn from_owned(bytes: Vec<u8>) -> Self {
+        Self {
+            inner: Inner::Owned(bytes),
+        }
+    }
+
     /// Map `file` read-only (or fall back to reading it into memory).
     pub fn map(file: &File) -> io::Result<Self> {
         let len = file.metadata()?.len();

@@ -1,0 +1,251 @@
+//! Background scrubber: proactive, throttled verification of at-rest
+//! checkpoint data.
+//!
+//! Checksums in this crate are otherwise verified *reactively* — a chunk
+//! record's CRC at first hydration, a manifest's CRC at open. Latent disk
+//! corruption in a cold record would therefore only surface at the worst
+//! possible moment (restore after a crash, or the first query that routes
+//! to the chunk). The scrubber walks the current manifest's records on a
+//! schedule, re-reads every record's bytes and verifies them against the
+//! manifest CRCs, so bit rot is found while the in-memory copy still
+//! exists and can rewrite the damaged record (see
+//! `DurableTable::absorb_scrub_findings` — a damaged-but-hydrated chunk is
+//! simply marked dirty, and the next checkpoint heals it).
+//!
+//! A pass is read-only and throttled (an optional pause between records)
+//! so it never competes with the commit path for I/O bandwidth.
+
+use crate::incremental::{manifest_path, read_record, ChunkEntry, Manifest};
+use crate::vfs::{Vfs, VfsHandle};
+use crate::PersistError;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One damaged record discovered by a scrub pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubFinding {
+    /// Manifest generation the damaged record belongs to.
+    pub generation: u64,
+    /// Chunk index whose record is damaged.
+    pub chunk: usize,
+    /// Segment the record lives in.
+    pub segment: u64,
+    /// Byte offset of the record inside the segment.
+    pub offset: u64,
+    /// What failed (checksum mismatch, read error…).
+    pub reason: String,
+}
+
+/// Outcome of one complete scrub pass.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubReport {
+    /// Manifest generation that was scrubbed (0 when the directory held
+    /// no v2 manifest — nothing to scrub).
+    pub generation: u64,
+    /// Records whose bytes were read and CRC-verified.
+    pub records_checked: u64,
+    /// Damaged records, in chunk order.
+    pub findings: Vec<ScrubFinding>,
+}
+
+/// Cumulative scrubber counters, surfaced through `DurableTable::stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubStats {
+    /// Completed passes.
+    pub passes: u64,
+    /// Records verified across all passes.
+    pub records_checked: u64,
+    /// Damaged records found across all passes (pre-dedup).
+    pub corrupt_records: u64,
+    /// Passes that aborted on an I/O error before completing.
+    pub failed_passes: u64,
+}
+
+/// Verify one record's bytes against its manifest entry.
+fn check_entry(
+    vfs: &VfsHandle,
+    dir: &Path,
+    generation: u64,
+    chunk: usize,
+    entry: &ChunkEntry,
+) -> Option<ScrubFinding> {
+    match read_record(vfs, dir, entry) {
+        Ok(_) => None,
+        Err(e) => Some(ScrubFinding {
+            generation,
+            chunk,
+            segment: entry.seg,
+            offset: entry.offset,
+            reason: e.to_string(),
+        }),
+    }
+}
+
+/// Run one synchronous scrub pass over `dir`'s current manifest.
+///
+/// Reads `CURRENT`, decodes `manifest-<gen>`, then re-reads and
+/// CRC-verifies every chunk record, sleeping `pause_per_record` between
+/// records (the throttle) and stopping early when `stop` flips. A v1
+/// directory (no v2 manifest) yields an empty report — v1 snapshots are
+/// whole-file CRC-checked at open and upgrade to v2 on their first
+/// checkpoint. Damaged records are *reported*, never touched: healing is
+/// the owner's job, where the in-memory table still has the data.
+pub fn scrub_pass(
+    vfs: &VfsHandle,
+    dir: &Path,
+    pause_per_record: Duration,
+    stop: Option<&AtomicBool>,
+) -> Result<ScrubReport, PersistError> {
+    let current_bytes = vfs.read(&crate::durable::current_path(dir))?;
+    let current = String::from_utf8_lossy(&current_bytes);
+    let generation: u64 = current.trim().parse().map_err(|_| {
+        PersistError::Storage(casper_storage::StorageError::Corrupt {
+            reason: format!(
+                "CURRENT holds {:?}, not a generation number",
+                current.trim()
+            ),
+        })
+    })?;
+    let manifest_bytes = match vfs.read(&manifest_path(dir, generation)) {
+        Ok(b) => b,
+        // v1 directory: generation points at a snap- file, nothing to scrub.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(ScrubReport::default()),
+        Err(e) => return Err(e.into()),
+    };
+    let manifest: Manifest = crate::incremental::decode_manifest(&manifest_bytes)?;
+    let mut report = ScrubReport {
+        generation,
+        ..Default::default()
+    };
+    for (chunk, entry) in manifest.entries.iter().enumerate() {
+        if stop.is_some_and(|s| s.load(Ordering::Relaxed)) {
+            break;
+        }
+        if let Some(finding) = check_entry(vfs, dir, generation, chunk, entry) {
+            report.findings.push(finding);
+        }
+        report.records_checked += 1;
+        if !pause_per_record.is_zero() {
+            std::thread::sleep(pause_per_record);
+        }
+    }
+    Ok(report)
+}
+
+/// Findings cap: dedup keeps one finding per (generation, chunk), and the
+/// retained list never grows past this (damage beyond it still counts in
+/// the stats).
+const MAX_RETAINED_FINDINGS: usize = 64;
+
+/// State shared between the scrubber thread and the owning table.
+#[derive(Debug, Default)]
+pub(crate) struct ScrubShared {
+    stats: Mutex<ScrubStats>,
+    findings: Mutex<Vec<ScrubFinding>>,
+}
+
+impl ScrubShared {
+    pub fn stats(&self) -> ScrubStats {
+        *self.stats.lock().expect("scrub stats lock")
+    }
+
+    /// Drain the findings accumulated since the last call (deduped by
+    /// (generation, chunk), capped).
+    pub fn take_findings(&self) -> Vec<ScrubFinding> {
+        std::mem::take(&mut *self.findings.lock().expect("scrub findings lock"))
+    }
+
+    fn absorb(&self, report: &ScrubReport) {
+        {
+            let mut stats = self.stats.lock().expect("scrub stats lock");
+            stats.passes += 1;
+            stats.records_checked += report.records_checked;
+            stats.corrupt_records += report.findings.len() as u64;
+        }
+        if report.findings.is_empty() {
+            return;
+        }
+        let mut findings = self.findings.lock().expect("scrub findings lock");
+        for f in &report.findings {
+            if findings.len() >= MAX_RETAINED_FINDINGS {
+                break;
+            }
+            if !findings
+                .iter()
+                .any(|g| g.generation == f.generation && g.chunk == f.chunk)
+            {
+                findings.push(f.clone());
+            }
+        }
+    }
+
+    fn note_failed_pass(&self) {
+        self.stats.lock().expect("scrub stats lock").failed_passes += 1;
+    }
+}
+
+/// The background scrubber thread: runs a pass every `interval`, absorbing
+/// results into the shared state the owning table polls.
+#[derive(Debug)]
+pub(crate) struct Scrubber {
+    pub shared: Arc<ScrubShared>,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Scrubber {
+    /// Spawn the thread. Fails (typed) if the OS refuses the thread.
+    pub fn spawn(
+        vfs: VfsHandle,
+        dir: PathBuf,
+        interval: Duration,
+        pause_per_record: Duration,
+    ) -> Result<Self, PersistError> {
+        let shared = Arc::new(ScrubShared::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_shared = Arc::clone(&shared);
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("casper-scrubber".into())
+            .spawn(move || loop {
+                // Sleep in short slices so drop doesn't stall on a long
+                // interval.
+                let mut slept = Duration::ZERO;
+                while slept < interval {
+                    if thread_stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let slice = Duration::from_millis(10).min(interval - slept);
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+                if thread_stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                match scrub_pass(&vfs, &dir, pause_per_record, Some(&thread_stop)) {
+                    Ok(report) => thread_shared.absorb(&report),
+                    // A pass racing a checkpoint can lose files mid-walk;
+                    // the next pass sees a consistent view. Count it, move
+                    // on.
+                    Err(_) => thread_shared.note_failed_pass(),
+                }
+            })?;
+        Ok(Self {
+            shared,
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl Drop for Scrubber {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}

@@ -27,12 +27,12 @@
 
 use crate::codec::{ByteReader, ByteWriter};
 use crate::crc::crc32;
+use crate::vfs::{Vfs, VfsFile, VfsHandle};
 use crate::PersistError;
 use casper_engine::Table;
 use casper_storage::OpCost;
 use casper_workload::HapQuery;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::SeekFrom;
 use std::path::{Path, PathBuf};
 
 /// One logged write operation.
@@ -259,19 +259,26 @@ pub fn replay(
 /// — the group-commit discipline.
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    file: VfsFile,
     path: PathBuf,
     next_lsn: u64,
     /// Encoded frames of the open (unsealed) batch.
     staged: Vec<u8>,
     staged_records: u64,
     bytes_on_disk: u64,
+    /// Set when a seal's fsync failed: the durability of that batch (and
+    /// of the file's tail) is unknown — the kernel may have dropped the
+    /// dirty pages while the page cache still reads them back clean
+    /// (fsyncgate). A poisoned log is never written or fsynced again;
+    /// the owner must rotate to a fresh file and cover the ghost LSNs
+    /// with a checkpoint.
+    poisoned: bool,
 }
 
 impl Wal {
     /// Create a fresh, empty log. Fails if the file already exists.
-    pub fn create(path: &Path, next_lsn: u64) -> Result<Self, PersistError> {
-        let file = OpenOptions::new().write(true).create_new(true).open(path)?;
+    pub fn create(vfs: &VfsHandle, path: &Path, next_lsn: u64) -> Result<Self, PersistError> {
+        let file = vfs.create_new(path)?;
         Ok(Self {
             file,
             path: path.to_path_buf(),
@@ -279,14 +286,15 @@ impl Wal {
             staged: Vec::new(),
             staged_records: 0,
             bytes_on_disk: 0,
+            poisoned: false,
         })
     }
 
     /// Recover an existing log: scan it, truncate the torn tail, and
     /// position the writer after the last committed batch. Returns the
     /// writer plus the scan (for replay).
-    pub fn recover(path: &Path) -> Result<(Self, WalScan), PersistError> {
-        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+    pub fn recover(vfs: &VfsHandle, path: &Path) -> Result<(Self, WalScan), PersistError> {
+        let mut file = vfs.open_rw(path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
         let scan_result = scan(&bytes);
@@ -310,6 +318,7 @@ impl Wal {
                 staged: Vec::new(),
                 staged_records: 0,
                 bytes_on_disk: scan_result.valid_len as u64,
+                poisoned: false,
             },
             scan_result,
         ))
@@ -369,9 +378,16 @@ impl Wal {
     /// the retry first truncates back to the last durable offset, so bytes
     /// a failed attempt may have landed can never precede — and thereby
     /// corrupt — an acknowledged batch.
+    /// The retry exception: a failed **fsync** (as opposed to a failed
+    /// write) poisons the log permanently — see [`Wal::poisoned`].
     pub fn seal(&mut self) -> Result<u64, PersistError> {
         if self.staged_records == 0 {
             return Ok(0);
+        }
+        if self.poisoned {
+            return Err(PersistError::Io(std::io::Error::other(
+                "WAL is poisoned by an earlier fsync failure; rotate before writing",
+            )));
         }
         let commit_lsn = self.next_lsn;
         let body = encode_commit_body(commit_lsn, self.staged_records);
@@ -383,12 +399,42 @@ impl Wal {
         self.file.seek(SeekFrom::Start(self.bytes_on_disk))?;
         self.file.write_all(&self.staged)?;
         self.file.write_all(&commit_frame)?;
-        self.file.sync_data()?;
+        if let Err(e) = self.file.sync_data() {
+            // fsyncgate: after a failed fsync the kernel may have dropped
+            // the dirty pages while marking them clean, so a *retried*
+            // fsync on this fd can succeed without making the data
+            // durable. The batch's durability is now unknown — poison the
+            // log so it is never written or fsynced again. The owner must
+            // rotate and cover the ghost LSNs with a checkpoint before
+            // acknowledging anything.
+            self.poisoned = true;
+            return Err(e.into());
+        }
         self.next_lsn = commit_lsn + 1;
         self.bytes_on_disk += (self.staged.len() + commit_frame.len()) as u64;
         self.staged.clear();
         self.staged_records = 0;
         Ok(commit_lsn)
+    }
+
+    /// True when an earlier seal's fsync failed, leaving the log tail with
+    /// unknown durability. A poisoned log refuses further seals; the owner
+    /// rotates to a fresh file and checkpoints over the ghost LSNs.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Best-effort removal of the possibly-ghost tail of a poisoned log:
+    /// truncate a *fresh* descriptor back to the last acknowledged-durable
+    /// boundary and sync it, so a later reader of this (now abandoned)
+    /// file cannot observe the batch whose fsync failed. Errors are
+    /// ignored — the file is about to be superseded by rotation, and the
+    /// recovery checkpoint's watermark already skips the ghost LSNs.
+    pub(crate) fn truncate_tail(&self, vfs: &VfsHandle) {
+        if let Ok(mut f) = vfs.open_rw(&self.path) {
+            let _ = f.set_len(self.bytes_on_disk);
+            let _ = f.sync_data();
+        }
     }
 }
 

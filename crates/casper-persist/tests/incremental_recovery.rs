@@ -578,3 +578,229 @@ fn damaged_middle_wal_link_fails_open_typed() {
         "got {err}"
     );
 }
+
+// ---------------------------------------------------------------------------
+// Fault matrix: deterministic fault injection through the VFS, each case
+// checked against the committed-prefix oracle. The contract under every
+// fault: recovery lands on exactly the acknowledged writes, or the table
+// degrades with a typed error — never a panic, never an acked-then-lost
+// commit.
+// ---------------------------------------------------------------------------
+
+use casper_persist::{FaultErr, FaultRule, FaultVfs, VfsHandle, VfsOp};
+use std::sync::Arc;
+
+fn fault_handle(seed: u64) -> (Arc<FaultVfs>, VfsHandle) {
+    let vfs = Arc::new(FaultVfs::with_seed(seed));
+    let handle = VfsHandle::fault(Arc::clone(&vfs));
+    (vfs, handle)
+}
+
+fn raw_os(err: &PersistError) -> Option<i32> {
+    match err {
+        PersistError::Io(e) => e.raw_os_error(),
+        _ => None,
+    }
+}
+
+#[test]
+fn fault_enospc_during_compaction() {
+    let dir = test_dir("fault_enospc_compact");
+    let (vfs, handle) = fault_handle(11);
+    let n = 6usize;
+    let mut t = DurableTable::create_from_table_with_vfs(
+        handle.clone(),
+        &dir,
+        seed_table(),
+        DurableOptions::default(),
+    )
+    .expect("create");
+    for q in markers(n) {
+        t.execute(&q).expect("write");
+    }
+    let mut oracle = seed_table();
+    for q in markers(n) {
+        oracle.execute(&q).expect("oracle");
+    }
+    let want = fingerprint_oracle(&mut oracle, n);
+
+    // The device fills up mid-compaction: every segment write fails.
+    vfs.inject(FaultRule::on_path(VfsOp::Write, "seg-", FaultErr::Enospc));
+    let err = t.compact().expect_err("compaction must fail under ENOSPC");
+    assert_eq!(raw_os(&err), Some(28), "typed ENOSPC, got {err}");
+    assert!(
+        !t.is_degraded(),
+        "a single checkpoint failure must not degrade the table"
+    );
+    assert_eq!(t.checkpoint_stats().consecutive_failures, 1);
+    assert_eq!(
+        fingerprint_durable(&mut t, n),
+        want,
+        "in-memory state untouched by the failed compaction"
+    );
+    drop(t);
+
+    // Power cut while the device is still full, then recovery.
+    vfs.clear_faults();
+    vfs.simulate_crash().expect("crash");
+    let mut t =
+        DurableTable::open_with_vfs(handle.clone(), &dir, DurableOptions::default()).expect("open");
+    assert_eq!(
+        fingerprint_durable(&mut t, n),
+        want,
+        "recovery after mid-compaction ENOSPC lost sealed data"
+    );
+    // Space cleared: compaction now succeeds and collapses the chain.
+    t.compact().expect("compact after space cleared");
+    assert_eq!(t.stats().segments, 1);
+    assert_eq!(fingerprint_durable(&mut t, n), want);
+}
+
+#[test]
+fn fault_fsync_during_wal_rotation() {
+    let dir = test_dir("fault_rotate_fsync");
+    let (vfs, handle) = fault_handle(12);
+    let mut t = DurableTable::create_from_table_with_vfs(
+        handle.clone(),
+        &dir,
+        seed_table(),
+        DurableOptions::default(),
+    )
+    .expect("create");
+    for q in markers(6) {
+        t.execute(&q).expect("write");
+    }
+
+    // The rotation's directory fsync fails: the capture must abort
+    // *before* swapping the writer, leaving commits against the old WAL.
+    vfs.inject(FaultRule {
+        op: VfsOp::FsyncDir,
+        path_substr: None,
+        nth: Some(1),
+        short_bytes: None,
+        err: FaultErr::Eio,
+        times: 1,
+    });
+    let err = t.checkpoint().expect_err("rotation dir-fsync must fail");
+    assert_eq!(raw_os(&err), Some(5), "typed EIO, got {err}");
+    assert!(!t.is_degraded());
+
+    // Writes keep acknowledging into the old (still durable) WAL.
+    for q in markers(8).split_off(6) {
+        t.execute(&q).expect("write after failed rotation");
+    }
+    drop(t);
+
+    // Crash: the rotated WAL's dirent was never durable, so it vanishes —
+    // and every acknowledged write must still be there.
+    vfs.simulate_crash().expect("crash");
+    let mut oracle = seed_table();
+    for q in markers(8) {
+        oracle.execute(&q).expect("oracle");
+    }
+    let mut t =
+        DurableTable::open_with_vfs(handle.clone(), &dir, DurableOptions::default()).expect("open");
+    assert_eq!(
+        fingerprint_durable(&mut t, 8),
+        fingerprint_oracle(&mut oracle, 8),
+        "acked writes lost across a failed WAL rotation + crash"
+    );
+    // And the next checkpoint (fault exhausted) completes normally.
+    t.checkpoint().expect("checkpoint after fault cleared");
+}
+
+#[test]
+fn fault_short_write_current_swing() {
+    let dir = test_dir("fault_current_short");
+    let (vfs, handle) = fault_handle(13);
+    let n = 6usize;
+    let mut t = DurableTable::create_from_table_with_vfs(
+        handle.clone(),
+        &dir,
+        seed_table(),
+        DurableOptions::default(),
+    )
+    .expect("create");
+    for q in markers(n) {
+        t.execute(&q).expect("write");
+    }
+
+    // Every write to CURRENT(.tmp) tears after one byte: the swing can
+    // never commit, so the checkpoint must fail after its retries without
+    // ever publishing a half-written pointer.
+    vfs.inject(FaultRule {
+        op: VfsOp::Write,
+        path_substr: Some("CURRENT".into()),
+        nth: None,
+        short_bytes: Some(1),
+        err: FaultErr::Eio,
+        times: u64::MAX,
+    });
+    let err = t.checkpoint().expect_err("CURRENT swing must fail");
+    assert_eq!(raw_os(&err), Some(5), "typed EIO, got {err}");
+    let cp = t.checkpoint_stats();
+    assert_eq!(cp.consecutive_failures, 1);
+    assert_eq!(
+        cp.recent_failures
+            .last()
+            .expect("failure recorded")
+            .attempts,
+        3,
+        "default policy retries the job"
+    );
+    assert_eq!(t.stats().generation, 1, "generation must not advance");
+    drop(t);
+
+    vfs.clear_faults();
+    vfs.simulate_crash().expect("crash");
+    let mut oracle = seed_table();
+    for q in markers(n) {
+        oracle.execute(&q).expect("oracle");
+    }
+    let mut t =
+        DurableTable::open_with_vfs(handle.clone(), &dir, DurableOptions::default()).expect("open");
+    assert_eq!(t.stats().generation, 1, "CURRENT never swung");
+    assert_eq!(
+        fingerprint_durable(&mut t, n),
+        fingerprint_oracle(&mut oracle, n),
+        "torn CURRENT swing lost sealed data"
+    );
+}
+
+#[test]
+fn fault_eio_on_manifest_read() {
+    let dir = test_dir("fault_manifest_read");
+    let (vfs, handle) = fault_handle(14);
+    let n = 4usize;
+    let mut t = DurableTable::create_from_table_with_vfs(
+        handle.clone(),
+        &dir,
+        seed_table(),
+        DurableOptions::default(),
+    )
+    .expect("create");
+    for q in markers(n) {
+        t.execute(&q).expect("write");
+    }
+    t.checkpoint().expect("checkpoint");
+    drop(t);
+
+    // A bad sector under the manifest: open must fail typed, not panic.
+    vfs.inject(FaultRule::on_path(VfsOp::Read, "manifest-", FaultErr::Eio));
+    let err = DurableTable::open_with_vfs(handle.clone(), &dir, DurableOptions::default())
+        .expect_err("manifest read must fail");
+    assert_eq!(raw_os(&err), Some(5), "typed EIO, got {err}");
+
+    // The sector recovers: the same directory opens to the oracle state.
+    vfs.clear_faults();
+    let mut oracle = seed_table();
+    for q in markers(n) {
+        oracle.execute(&q).expect("oracle");
+    }
+    let mut t =
+        DurableTable::open_with_vfs(handle.clone(), &dir, DurableOptions::default()).expect("open");
+    assert_eq!(
+        fingerprint_durable(&mut t, n),
+        fingerprint_oracle(&mut oracle, n)
+    );
+}

@@ -40,6 +40,16 @@ pub enum StorageError {
         /// Human-readable description of the first violation found.
         reason: String,
     },
+    /// A chunk's persisted record was found damaged (by a scrub pass)
+    /// while the chunk itself was never hydrated: its data exists nowhere
+    /// in memory to heal from, so hydration is refused with this typed
+    /// error instead of failing the record's CRC mid-query.
+    Quarantined {
+        /// Index of the quarantined chunk.
+        chunk: u64,
+        /// Why its record was quarantined (the scrub finding).
+        reason: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -63,6 +73,13 @@ impl fmt::Display for StorageError {
             }
             StorageError::Corrupt { reason } => {
                 write!(f, "corrupt persisted state: {reason}")
+            }
+            StorageError::Quarantined { chunk, reason } => {
+                write!(
+                    f,
+                    "chunk {chunk} is quarantined (damaged on disk, no \
+                     in-memory copy): {reason}"
+                )
             }
         }
     }
