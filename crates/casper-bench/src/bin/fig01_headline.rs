@@ -18,7 +18,9 @@ use std::time::Instant;
 fn q6_like(table: &mut Table, domain: u64, at: u64) -> u64 {
     let span = domain / 50; // ~2% selectivity, Q6's shipdate year
     let lo = at.min(domain - span);
-    let out = table.multi_column_sum(lo, lo + span, &[1, 2], 3, 0, 40_000);
+    let out = table
+        .multi_column_sum(lo, lo + span, &[1, 2], 3, 0, 40_000)
+        .expect("in-memory benchmark table cannot surface corrupt chunks");
     out.result.scalar()
 }
 

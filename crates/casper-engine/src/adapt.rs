@@ -102,7 +102,10 @@ impl AdaptiveController {
         let fms = capture_per_chunk(table, &sample);
         let mut current_cost = 0.0f64;
         let mut best_cost = 0.0f64;
-        for (store, fm) in table.column().chunks().iter().zip(&fms) {
+        for (slot, fm) in table.column().chunks().iter().zip(&fms) {
+            // Capture above already required hydration; bail out rather
+            // than decode here if a slot is somehow still pending.
+            let store = slot.store_opt()?;
             let terms = BlockTerms::from_fm(fm, &self.config.optimize.constants);
             let current_seg = current_segmentation(store, fm.n_blocks());
             current_cost += cost_of_segmentation(&current_seg, &terms);

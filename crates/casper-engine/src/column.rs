@@ -6,6 +6,22 @@
 //! fence per chunk routes operations); the `NoOrder` baseline has no
 //! ordering invariant, so its reads and deletes must broadcast to every
 //! chunk — which is precisely why it loses on point-query workloads.
+//!
+//! # Shared-read concurrency
+//!
+//! Chunks are held as [`Arc<ChunkSlot>`]: a sealed chunk is an immutable
+//! shared value that any number of reader threads can scan without
+//! coordination. Writers keep `&mut` access through [`ChunkedColumn`] —
+//! when a chunk's `Arc` is shared with a published snapshot the writer
+//! clones it first (copy-on-write) and mutates the fresh copy, then
+//! republishes. Readers obtain an [`Arc<ColumnSnapshot>`] from the
+//! column's [`SnapshotCell`] (one pin per query) and run Q1/Q2/Q3/
+//! `q3_sum_where` against it lock-free; reclamation is plain `Arc`
+//! refcounting — the last pin of a superseded snapshot frees it. See
+//! `docs/concurrency.md` for the full protocol.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use crate::exec::{parallel_for_each_mut, parallel_map};
 use crate::modes::{EngineConfig, LayoutMode};
@@ -16,43 +32,10 @@ use casper_storage::{
     StorageError, UpdatePolicy,
 };
 use casper_workload::HapQuery;
-
-/// A chunk whose bytes still live in a persisted snapshot segment: only
-/// the live row count is known eagerly; the loader decodes (and
-/// checksum-verifies) the real store on first touch. Built by
-/// `casper-persist`'s mmap restore so `DurableTable::open` is
-/// metadata-only work — a chunk pays its decode the first time a query
-/// routes to it.
-pub struct LazyChunk {
-    live: usize,
-    loader: Option<Box<dyn FnOnce() -> Result<ChunkStore, StorageError> + Send + Sync>>,
-}
-
-impl LazyChunk {
-    /// Wrap a deferred chunk loader; `live` is the store's live row count
-    /// (served by [`ChunkStore::len`] before hydration).
-    pub fn new(
-        live: usize,
-        loader: Box<dyn FnOnce() -> Result<ChunkStore, StorageError> + Send + Sync>,
-    ) -> Self {
-        Self {
-            live,
-            loader: Some(loader),
-        }
-    }
-}
-
-impl std::fmt::Debug for LazyChunk {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LazyChunk")
-            .field("live", &self.live)
-            .field("hydrated", &self.loader.is_none())
-            .finish()
-    }
-}
+use parking_lot::Mutex;
 
 /// Storage behind one chunk, depending on the layout mode.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum ChunkStore {
     /// Range-partitioned chunk (NoOrder/Equi/EquiGV/Casper).
     Partitioned(PartitionedChunk<u64>),
@@ -60,41 +43,15 @@ pub enum ChunkStore {
     Sorted(SortedColumn<u64>),
     /// Sorted chunk with a delta buffer (StateOfArt).
     Delta(SortedDelta<u64>),
-    /// Not yet decoded from its persisted segment (mmap restore). Every
-    /// data access path requires hydration first — [`Table::execute`]
-    /// hydrates the chunks a query routes to before dispatching, so only
-    /// direct `ChunkedColumn` access on a lazily-restored column can ever
-    /// reach one of these (and panics with a clear message if it does).
-    ///
-    /// [`Table::execute`]: crate::table::Table::execute
-    Unloaded(LazyChunk),
-}
-
-impl Clone for ChunkStore {
-    fn clone(&self) -> Self {
-        match self {
-            ChunkStore::Partitioned(c) => ChunkStore::Partitioned(c.clone()),
-            ChunkStore::Sorted(c) => ChunkStore::Sorted(c.clone()),
-            ChunkStore::Delta(c) => ChunkStore::Delta(c.clone()),
-            // Dirty chunks are hydrated by definition (writes hydrate), and
-            // clean chunks are never captured for serialization — their
-            // persisted bytes are reused instead.
-            ChunkStore::Unloaded(_) => panic!(
-                "cannot clone an unhydrated chunk: hydrate it first \
-                 (ChunkedColumn::hydrate_all)"
-            ),
-        }
-    }
 }
 
 impl ChunkStore {
-    /// Live row count (known without hydration for unloaded chunks).
+    /// Live row count.
     pub fn len(&self) -> usize {
         match self {
             ChunkStore::Partitioned(c) => c.live_len(),
             ChunkStore::Sorted(c) => c.len(),
             ChunkStore::Delta(c) => c.len_estimate(),
-            ChunkStore::Unloaded(l) => l.live,
         }
     }
 
@@ -102,32 +59,243 @@ impl ChunkStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
 
-    /// Whether this chunk still awaits hydration from its segment.
-    pub fn is_unloaded(&self) -> bool {
-        matches!(self, ChunkStore::Unloaded(_))
+/// Deferred chunk loader: decodes (and checksum-verifies) the store from
+/// its persisted segment on first touch.
+pub type ChunkLoader = Box<dyn FnOnce() -> Result<ChunkStore, StorageError> + Send + Sync>;
+
+/// One chunk position of a column: either an already-decoded [`ChunkStore`]
+/// or a pending loader from a persisted snapshot segment (mmap restore),
+/// which hydrates in place on first access.
+///
+/// Hydration works through `&self` — a `OnceLock` fill — so every holder of
+/// the same `Arc<ChunkSlot>` (the writer column *and* any published
+/// [`ColumnSnapshot`]) observes the decoded store the moment it lands, with
+/// no republish needed. Only the live row count is known eagerly; `len`
+/// serves it without forcing the decode.
+pub struct ChunkSlot {
+    store: OnceLock<ChunkStore>,
+    lazy: Mutex<Option<ChunkLoader>>,
+    live: usize,
+}
+
+impl ChunkSlot {
+    /// Wrap an already-decoded store.
+    pub fn new(store: ChunkStore) -> Self {
+        let live = store.len();
+        let cell = OnceLock::new();
+        let _ = cell.set(store);
+        Self {
+            store: cell,
+            lazy: Mutex::new(None),
+            live,
+        }
+    }
+
+    /// Wrap a deferred loader; `live` is the store's live row count
+    /// (served by [`ChunkSlot::len`] before hydration).
+    pub fn new_lazy(live: usize, loader: ChunkLoader) -> Self {
+        Self {
+            store: OnceLock::new(),
+            lazy: Mutex::new(Some(loader)),
+            live,
+        }
+    }
+
+    /// The decoded store, hydrating from the persisted segment on first
+    /// call. Checksum/decoding damage surfaces as [`StorageError::Corrupt`];
+    /// once a load fails the slot stays failed (the loader is consumed) and
+    /// every later access reports the re-entry.
+    pub fn get(&self) -> Result<&ChunkStore, StorageError> {
+        if let Some(s) = self.store.get() {
+            return Ok(s);
+        }
+        let mut lazy = self.lazy.lock();
+        if let Some(s) = self.store.get() {
+            return Ok(s);
+        }
+        let loader = lazy.take().ok_or_else(|| StorageError::Corrupt {
+            reason: "hydration re-entered after a failed load".to_string(),
+        })?;
+        let store = loader()?;
+        if store.len() != self.live {
+            return Err(StorageError::Corrupt {
+                reason: format!(
+                    "segment decodes to {} live rows but the manifest says {}",
+                    store.len(),
+                    self.live
+                ),
+            });
+        }
+        Ok(self.store.get_or_init(move || store))
+    }
+
+    /// The decoded store if this slot is already hydrated.
+    pub fn store_opt(&self) -> Option<&ChunkStore> {
+        self.store.get()
+    }
+
+    /// Whether the store has been decoded from its segment.
+    pub fn is_hydrated(&self) -> bool {
+        self.store.get().is_some()
+    }
+
+    /// Live row count (known without hydration).
+    pub fn len(&self) -> usize {
+        self.store.get().map_or(self.live, ChunkStore::len)
+    }
+
+    /// Whether the chunk holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Mutable store access, hydrating first. Requires unique ownership of
+    /// the slot (the column copy-on-writes shared slots before calling).
+    fn store_mut(&mut self) -> Result<&mut ChunkStore, StorageError> {
+        self.get()?;
+        self.store.get_mut().ok_or_else(|| StorageError::Corrupt {
+            reason: "hydrated slot lost its store".to_string(),
+        })
     }
 }
 
-/// The panic every data path raises on an unhydrated chunk — reaching one
-/// means a caller bypassed [`Table::execute`]'s hydration step.
-///
-/// [`Table::execute`]: crate::table::Table::execute
-macro_rules! unhydrated {
-    () => {
-        panic!(
-            "unhydrated chunk reached a data path: queries on a \
-             lazily-restored column must flow through Table::execute, or \
-             hydrate explicitly via ChunkedColumn::hydrate_all"
-        )
-    };
+impl std::fmt::Debug for ChunkSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkSlot")
+            .field("live", &self.len())
+            .field("hydrated", &self.is_hydrated())
+            .finish()
+    }
+}
+
+/// An immutable, shareable view of one column at a publish point: the chunk
+/// `Arc`s plus the routing fences frozen at publish time. Readers scan it
+/// lock-free on any number of threads; a writer that has published a newer
+/// snapshot never mutates these chunks (copy-on-write), so the data a pin
+/// observes is stable for the pin's lifetime.
+#[derive(Debug, Clone)]
+pub struct ColumnSnapshot {
+    chunks: Vec<Arc<ChunkSlot>>,
+    fences: Option<Vec<u64>>,
+    config: EngineConfig,
+    payload_width: usize,
+}
+
+impl ColumnSnapshot {
+    fn view(&self) -> View<'_> {
+        View {
+            chunks: &self.chunks,
+            fences: self.fences.as_deref(),
+            config: &self.config,
+        }
+    }
+
+    /// Total live rows at the publish point.
+    pub fn len(&self) -> usize {
+        self.chunks.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the snapshot holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Payload column count.
+    pub fn payload_width(&self) -> usize {
+        self.payload_width
+    }
+
+    /// Q1 against the snapshot (see [`ChunkedColumn::q1_point`]).
+    pub fn q1_point(
+        &self,
+        v: u64,
+        cols: &[usize],
+    ) -> Result<(Vec<Vec<u32>>, OpCost), StorageError> {
+        self.view().q1_point(v, cols)
+    }
+
+    /// Q2 against the snapshot (see [`ChunkedColumn::q2_count`]).
+    pub fn q2_count(&self, lo: u64, hi: u64) -> Result<(u64, OpCost), StorageError> {
+        self.view().q2_count(lo, hi)
+    }
+
+    /// Q3 against the snapshot (see [`ChunkedColumn::q3_sum`]).
+    pub fn q3_sum(&self, lo: u64, hi: u64, cols: &[usize]) -> Result<(u64, OpCost), StorageError> {
+        self.view().q3_sum(lo, hi, cols)
+    }
+
+    /// Multi-column predicated sum against the snapshot (see
+    /// [`ChunkedColumn::q3_sum_where`]).
+    pub fn q3_sum_where(
+        &self,
+        lo: u64,
+        hi: u64,
+        sum_cols: &[usize],
+        pred_col: usize,
+        pred_lo: u32,
+        pred_hi: u32,
+    ) -> Result<(u64, OpCost), StorageError> {
+        self.view()
+            .q3_sum_where(lo, hi, sum_cols, pred_col, pred_lo, pred_hi)
+    }
+}
+
+/// The publication point readers subscribe to: holds the current
+/// [`ColumnSnapshot`] behind a mutex that is only ever held for a pointer
+/// clone (pin) or a pointer store (publish) — an arc-swap built from std
+/// parts, chosen over an epoch scheme because `Arc` refcounts already give
+/// deferred reclamation without a third-party crate (see
+/// `docs/concurrency.md`).
+pub struct SnapshotCell {
+    current: Mutex<Arc<ColumnSnapshot>>,
+    version: AtomicU64,
+}
+
+impl SnapshotCell {
+    fn new(snapshot: ColumnSnapshot) -> Self {
+        Self {
+            current: Mutex::new(Arc::new(snapshot)),
+            version: AtomicU64::new(0),
+        }
+    }
+
+    /// Pin the current snapshot: one mutex-protected pointer clone, after
+    /// which the reader runs entirely lock-free against immutable chunks.
+    pub fn pin(&self) -> Arc<ColumnSnapshot> {
+        self.current.lock().clone()
+    }
+
+    /// Monotone publish counter (one tick per published write batch).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    fn publish(&self, snapshot: ColumnSnapshot) {
+        *self.current.lock() = Arc::new(snapshot);
+        self.version.fetch_add(1, Ordering::Release);
+    }
+}
+
+impl std::fmt::Debug for SnapshotCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotCell")
+            .field("version", &self.version())
+            .finish()
+    }
 }
 
 /// A key column split into range chunks, with slot-aligned payload columns
 /// inside each chunk.
 #[derive(Debug)]
 pub struct ChunkedColumn {
-    chunks: Vec<ChunkStore>,
+    chunks: Vec<Arc<ChunkSlot>>,
     /// Inclusive upper key fence per chunk (ordered modes); `None` for
     /// `NoOrder`, which broadcasts.
     fences: Option<Vec<u64>>,
@@ -140,9 +308,10 @@ pub struct ChunkedColumn {
     /// (incremental checkpointing). Hydration does **not** bump — decoding
     /// a persisted chunk changes nothing logically.
     versions: Vec<u64>,
-    /// Chunks still awaiting hydration (fast-path guard so fully-hydrated
-    /// columns pay one integer compare per query).
-    unloaded: usize,
+    /// Engaged lazily by the first [`ChunkedColumn::snapshot_cell`] call;
+    /// until then every chunk `Arc` is unique and writes mutate in place
+    /// with zero copy-on-write cost (the serial-execution fast path).
+    snapshots: OnceLock<Arc<SnapshotCell>>,
 }
 
 impl ChunkedColumn {
@@ -177,7 +346,11 @@ impl ChunkedColumn {
                 .map(|c| c[start..end].to_vec())
                 .collect();
             fences.push(chunk_keys.last().copied().expect("non-empty chunk"));
-            chunks.push(build_chunk(chunk_keys, chunk_payloads, &config));
+            chunks.push(Arc::new(ChunkSlot::new(build_chunk(
+                chunk_keys,
+                chunk_payloads,
+                &config,
+            ))));
             start = end;
         }
         let versions = vec![0; chunks.len()];
@@ -187,11 +360,11 @@ impl ChunkedColumn {
             config,
             payload_width,
             versions,
-            unloaded: 0,
+            snapshots: OnceLock::new(),
         }
     }
 
-    /// Reassemble a column from restored chunk stores (snapshot recovery).
+    /// Reassemble a column from restored chunk slots (snapshot recovery).
     /// The chunks arrive exactly as they were persisted — already
     /// partitioned, compressed and ghost-buffered — so no re-sort,
     /// re-partition or re-encode happens here.
@@ -200,7 +373,7 @@ impl ChunkedColumn {
     /// Panics when `chunks` is empty or `fences` disagrees with the chunk
     /// count (persist callers validate first and surface typed errors).
     pub fn from_restored(
-        chunks: Vec<ChunkStore>,
+        chunks: Vec<ChunkSlot>,
         fences: Option<Vec<u64>>,
         config: EngineConfig,
         payload_width: usize,
@@ -210,14 +383,44 @@ impl ChunkedColumn {
             assert_eq!(f.len(), chunks.len(), "one fence per chunk");
         }
         let versions = vec![0; chunks.len()];
-        let unloaded = chunks.iter().filter(|c| c.is_unloaded()).count();
         Self {
-            chunks,
+            chunks: chunks.into_iter().map(Arc::new).collect(),
             fences,
             config,
             payload_width,
             versions,
-            unloaded,
+            snapshots: OnceLock::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot publication
+    // ------------------------------------------------------------------
+
+    /// The column's publication cell, engaging snapshot mode on first call
+    /// (from then on every write republishes). Readers clone the returned
+    /// `Arc` and [`SnapshotCell::pin`] per query.
+    pub fn snapshot_cell(&self) -> Arc<SnapshotCell> {
+        self.snapshots
+            .get_or_init(|| Arc::new(SnapshotCell::new(self.make_snapshot())))
+            .clone()
+    }
+
+    fn make_snapshot(&self) -> ColumnSnapshot {
+        ColumnSnapshot {
+            chunks: self.chunks.clone(),
+            fences: self.fences.clone(),
+            config: self.config,
+            payload_width: self.payload_width,
+        }
+    }
+
+    /// Publish the current state to readers. A no-op until
+    /// [`ChunkedColumn::snapshot_cell`] has engaged snapshot mode; after
+    /// that it is one `Vec` of `Arc` clones plus a pointer store.
+    pub(crate) fn publish(&self) {
+        if let Some(cell) = self.snapshots.get() {
+            cell.publish(self.make_snapshot());
         }
     }
 
@@ -241,35 +444,18 @@ impl ChunkedColumn {
 
     /// Number of chunks still awaiting hydration from persisted segments.
     pub fn unloaded_count(&self) -> usize {
-        self.unloaded
+        self.chunks.iter().filter(|c| !c.is_hydrated()).count()
     }
 
-    /// Decode chunk `i` from its segment if it is still [`ChunkStore::Unloaded`].
+    /// Decode chunk `i` from its segment if it has not hydrated yet.
     /// Checksum/decoding damage surfaces as [`StorageError::Corrupt`];
     /// hydration does not mark the chunk dirty.
-    pub fn hydrate_chunk(&mut self, i: usize) -> Result<(), StorageError> {
-        if let ChunkStore::Unloaded(lazy) = &mut self.chunks[i] {
-            let loader = lazy.loader.take().ok_or_else(|| StorageError::Corrupt {
-                reason: format!("chunk {i}: hydration re-entered after a failed load"),
-            })?;
-            let store = loader()?;
-            if store.len() != lazy.live {
-                return Err(StorageError::Corrupt {
-                    reason: format!(
-                        "chunk {i}: segment decodes to {} live rows but the manifest says {}",
-                        store.len(),
-                        lazy.live
-                    ),
-                });
-            }
-            self.chunks[i] = store;
-            self.unloaded -= 1;
-        }
-        Ok(())
+    pub fn hydrate_chunk(&self, i: usize) -> Result<(), StorageError> {
+        self.chunks[i].get().map(|_| ())
     }
 
     /// Hydrate every remaining unloaded chunk.
-    pub fn hydrate_all(&mut self) -> Result<(), StorageError> {
+    pub fn hydrate_all(&self) -> Result<(), StorageError> {
         for i in 0..self.chunks.len() {
             self.hydrate_chunk(i)?;
         }
@@ -281,15 +467,15 @@ impl ChunkedColumn {
     /// chunk when the column broadcasts (`NoOrder`). Called by
     /// [`crate::table::Table::execute`] before dispatch, which is what
     /// makes restore-time laziness invisible to query code.
-    pub fn hydrate_for_query(&mut self, q: &HapQuery) -> Result<(), StorageError> {
-        if self.unloaded == 0 {
+    pub fn hydrate_for_query(&self, q: &HapQuery) -> Result<(), StorageError> {
+        if self.chunks.iter().all(|c| c.is_hydrated()) {
             return Ok(());
         }
         use casper_core::Op;
         match q.key_op() {
             Op::Point(v) | Op::Insert(v) | Op::Delete(v) => self.hydrate_key(v),
             Op::Range(lo, hi) => {
-                for c in self.chunk_range_for(lo, hi) {
+                for c in self.view().chunk_range_for(lo, hi) {
                     self.hydrate_chunk(c)?;
                 }
                 Ok(())
@@ -302,25 +488,10 @@ impl ChunkedColumn {
     }
 
     /// Hydrate the chunk owning `v` (all chunks for broadcast columns).
-    fn hydrate_key(&mut self, v: u64) -> Result<(), StorageError> {
+    fn hydrate_key(&self, v: u64) -> Result<(), StorageError> {
         match self.route(v) {
             Some(c) => self.hydrate_chunk(c),
             None => self.hydrate_all(),
-        }
-    }
-
-    /// Indices of the chunks overlapping `[lo, hi)` (mirrors the target
-    /// selection of `scan_chunks`).
-    fn chunk_range_for(&self, lo: u64, hi: u64) -> std::ops::Range<usize> {
-        match (&self.fences, self.route(lo)) {
-            (Some(fences), Some(first)) => {
-                let mut end = first + 1;
-                while end < self.chunks.len() && fences[end - 1] < hi {
-                    end += 1;
-                }
-                first..end
-            }
-            _ => 0..self.chunks.len(),
         }
     }
 
@@ -332,7 +503,7 @@ impl ChunkedColumn {
 
     /// Total live rows.
     pub fn len(&self) -> usize {
-        self.chunks.iter().map(ChunkStore::len).sum()
+        self.chunks.iter().map(|s| s.len()).sum()
     }
 
     /// Whether the column is empty.
@@ -355,20 +526,55 @@ impl ChunkedColumn {
         self.payload_width
     }
 
-    /// Immutable chunk access (optimizer, tests).
-    pub fn chunks(&self) -> &[ChunkStore] {
+    /// Immutable chunk access (optimizer, persistence, tests). Slots
+    /// dereference to their store via [`ChunkSlot::get`] (hydrating) or
+    /// [`ChunkSlot::store_opt`].
+    pub fn chunks(&self) -> &[Arc<ChunkSlot>] {
         &self.chunks
     }
 
-    /// Mutable chunk access (optimizer rebuild). Conservatively marks
-    /// every chunk dirty: the optimizer rewrites stores through the
-    /// returned slice, and the borrow gives no way to observe which ones
-    /// it touched.
-    pub(crate) fn chunks_mut(&mut self) -> &mut [ChunkStore] {
+    /// Make chunk `i` uniquely owned and hydrated: when its `Arc` is shared
+    /// with a published snapshot, clone the store into a fresh slot
+    /// (copy-on-write) so the snapshot's copy stays frozen.
+    fn ensure_unique(&mut self, i: usize) -> Result<(), StorageError> {
+        self.chunks[i].get()?;
+        if Arc::get_mut(&mut self.chunks[i]).is_none() {
+            let cloned = self.chunks[i].get()?.clone();
+            self.chunks[i] = Arc::new(ChunkSlot::new(cloned));
+        }
+        Ok(())
+    }
+
+    /// Mutable access to chunk `i`'s store, hydrating and copy-on-writing
+    /// as needed. Does **not** bump the version — callers [`Self::touch`]
+    /// on logical modification.
+    fn chunk_mut(&mut self, i: usize) -> Result<&mut ChunkStore, StorageError> {
+        self.ensure_unique(i)?;
+        let slot = Arc::get_mut(&mut self.chunks[i]).ok_or_else(|| StorageError::Corrupt {
+            reason: "chunk slot still shared after copy-on-write".to_string(),
+        })?;
+        slot.store_mut()
+    }
+
+    /// Mutable access to every chunk store (optimizer rebuild).
+    /// Conservatively marks every chunk dirty: the optimizer rewrites
+    /// stores through the returned borrows, which give no way to observe
+    /// which ones it touched.
+    pub(crate) fn chunks_mut(&mut self) -> Result<Vec<&mut ChunkStore>, StorageError> {
+        for i in 0..self.chunks.len() {
+            self.ensure_unique(i)?;
+        }
         for v in &mut self.versions {
             *v += 1;
         }
-        &mut self.chunks
+        let mut out = Vec::with_capacity(self.chunks.len());
+        for slot in &mut self.chunks {
+            let slot = Arc::get_mut(slot).ok_or_else(|| StorageError::Corrupt {
+                reason: "chunk slot still shared after copy-on-write".to_string(),
+            })?;
+            out.push(slot.store_mut()?);
+        }
+        Ok(out)
     }
 
     /// Best-effort ghost prefetch for `key`'s owning chunk (§6.1 decoupled
@@ -382,21 +588,25 @@ impl ChunkedColumn {
             // if it is a hydrated partitioned store — planting ghosts for
             // an out-of-range key in some other chunk would dirty (and
             // re-checkpoint) a chunk that logically did not change.
-            Some(routed) => matches!(self.chunks.get(routed), Some(ChunkStore::Partitioned(_)))
-                .then_some(routed),
+            Some(routed) => matches!(
+                self.chunks.get(routed).and_then(|s| s.store_opt()),
+                Some(ChunkStore::Partitioned(_))
+            )
+            .then_some(routed),
             // NoOrder broadcasts: fall back to the first partitioned
             // chunk, matching the historical best-effort behavior.
             None => self
                 .chunks
                 .iter()
-                .position(|c| matches!(c, ChunkStore::Partitioned(_))),
+                .position(|c| matches!(c.store_opt(), Some(ChunkStore::Partitioned(_)))),
         };
         if let Some(i) = target {
-            if let ChunkStore::Partitioned(chunk) = &mut self.chunks[i] {
+            if let Ok(ChunkStore::Partitioned(chunk)) = self.chunk_mut(i) {
                 // Prefetch may move slots and decompress the target
                 // partition, so the chunk is physically dirty.
                 chunk.prefetch_ghosts(key, count);
                 self.touch(i);
+                self.publish();
             }
         }
     }
@@ -416,74 +626,34 @@ impl ChunkedColumn {
         }
     }
 
+    fn view(&self) -> View<'_> {
+        View {
+            chunks: &self.chunks,
+            fences: self.fences.as_deref(),
+            config: &self.config,
+        }
+    }
+
     /// Q1: gather `cols` payload attributes of every row with key `v`.
     /// Ordered modes probe exactly one chunk; `NoOrder` must broadcast to
     /// every chunk, which runs chunk-parallel like the range scans.
-    pub fn q1_point(&self, v: u64, cols: &[usize]) -> (Vec<Vec<u32>>, OpCost) {
-        let targets: Vec<&ChunkStore> = match self.route(v) {
-            Some(c) => vec![&self.chunks[c]],
-            None => self.chunks.iter().collect(),
-        };
-        let results = parallel_map(&targets, self.config.threads, |_, store| match store {
-            ChunkStore::Partitioned(p) => {
-                let r = p.point_query(v);
-                let rows: Vec<Vec<u32>> = r
-                    .positions
-                    .into_iter()
-                    .map(|pos| p.payloads().gather_row(pos, cols))
-                    .collect();
-                (rows, r.cost)
-            }
-            ChunkStore::Sorted(s) => {
-                let (range, c2) = s.point_query(v);
-                let rows: Vec<Vec<u32>> = range.map(|pos| s.gather_row(pos, cols)).collect();
-                (rows, c2)
-            }
-            ChunkStore::Delta(d) => d.point_rows(v, cols),
-            ChunkStore::Unloaded(_) => unhydrated!(),
-        });
-        let mut cost = OpCost::default();
-        let mut rows = Vec::new();
-        for (mut r, c) in results {
-            rows.append(&mut r);
-            cost.absorb(c);
-        }
-        (rows, cost)
+    pub fn q1_point(
+        &self,
+        v: u64,
+        cols: &[usize],
+    ) -> Result<(Vec<Vec<u32>>, OpCost), StorageError> {
+        self.view().q1_point(v, cols)
     }
 
     /// Q2: count rows with key in `[lo, hi)`. Chunk-parallel when the
     /// range spans several chunks.
-    pub fn q2_count(&self, lo: u64, hi: u64) -> (u64, OpCost) {
-        let results = self.scan_chunks(lo, hi, |store| match store {
-            ChunkStore::Partitioned(p) => p.range_count(lo, hi),
-            ChunkStore::Sorted(s) => s.range_count(lo, hi),
-            ChunkStore::Delta(d) => d.range_count(lo, hi),
-            ChunkStore::Unloaded(_) => unhydrated!(),
-        });
-        let mut total = 0u64;
-        let mut cost = OpCost::default();
-        for (n, c) in results {
-            total += n;
-            cost.absorb(c);
-        }
-        (total, cost)
+    pub fn q2_count(&self, lo: u64, hi: u64) -> Result<(u64, OpCost), StorageError> {
+        self.view().q2_count(lo, hi)
     }
 
     /// Q3: sum the given payload columns over rows with key in `[lo, hi)`.
-    pub fn q3_sum(&self, lo: u64, hi: u64, cols: &[usize]) -> (u64, OpCost) {
-        let results = self.scan_chunks(lo, hi, |store| match store {
-            ChunkStore::Partitioned(p) => p.range_sum_payload(lo, hi, cols),
-            ChunkStore::Sorted(s) => s.range_sum_payload(lo, hi, cols),
-            ChunkStore::Delta(d) => d.range_sum_payload(lo, hi, cols),
-            ChunkStore::Unloaded(_) => unhydrated!(),
-        });
-        let mut total = 0u64;
-        let mut cost = OpCost::default();
-        for (n, c) in results {
-            total += n;
-            cost.absorb(c);
-        }
-        (total, cost)
+    pub fn q3_sum(&self, lo: u64, hi: u64, cols: &[usize]) -> Result<(u64, OpCost), StorageError> {
+        self.view().q3_sum(lo, hi, cols)
     }
 
     /// Multi-column range query (§6.4, the TPC-H Q6 shape): sum `sum_cols`
@@ -501,124 +671,43 @@ impl ChunkedColumn {
         pred_col: usize,
         pred_lo: u32,
         pred_hi: u32,
-    ) -> (u64, OpCost) {
-        let results = self.scan_chunks(lo, hi, |store| match store {
-            ChunkStore::Partitioned(p) => {
-                let mut pc = casper_storage::ops::PositionsConsumer::default();
-                let r = p.range_query(lo, hi, &mut pc);
-                let mut cost = r.cost;
-                let payloads = p.payloads();
-                let mut sum = 0u64;
-                let mut qualifying = 0usize;
-                let positions = pc
-                    .positions
-                    .iter()
-                    .copied()
-                    .chain(pc.runs.iter().flat_map(|r| r.clone()));
-                for pos in positions {
-                    let v = payloads.get(pred_col, pos);
-                    if pred_lo <= v && v < pred_hi {
-                        qualifying += 1;
-                        for &c in sum_cols {
-                            sum += u64::from(payloads.get(c, pos));
-                        }
-                    }
-                }
-                // One sequential pass over the predicate column plus the
-                // summed columns for the qualifying rows.
-                let vpb = (self.config.block_bytes / 4).max(1);
-                cost.seq_reads += ((1 + sum_cols.len()) * qualifying.div_ceil(vpb)) as u64;
-                (sum, cost)
-            }
-            ChunkStore::Sorted(s) => {
-                let (range, mut cost) = s.range_query(lo, hi);
-                let mut sum = 0u64;
-                for pos in range {
-                    let v = s.payload(pred_col, pos);
-                    if pred_lo <= v && v < pred_hi {
-                        for &c in sum_cols {
-                            sum += u64::from(s.payload(c, pos));
-                        }
-                    }
-                }
-                cost.seq_reads += cost.seq_reads * (1 + sum_cols.len() as u64);
-                (sum, cost)
-            }
-            ChunkStore::Delta(d) => {
-                // Evaluate the main column, then replay the delta buffer —
-                // the read-path overhead delta stores impose (§1).
-                let s = d.main();
-                let (range, cost) = s.range_query(lo, hi);
-                let mut sum = 0i128;
-                for pos in range {
-                    let v = s.payload(pred_col, pos);
-                    if pred_lo <= v && v < pred_hi {
-                        for &c in sum_cols {
-                            sum += i128::from(s.payload(c, pos));
-                        }
-                    }
-                }
-                sum += d.replay_sum_where(lo, hi, sum_cols, pred_col, pred_lo, pred_hi);
-                (sum.max(0) as u64, cost)
-            }
-            ChunkStore::Unloaded(_) => unhydrated!(),
-        });
-        let mut total = 0u64;
-        let mut cost = OpCost::default();
-        for (n, c) in results {
-            total += n;
-            cost.absorb(c);
-        }
-        (total, cost)
-    }
-
-    /// Run `f` over every chunk overlapping `[lo, hi)`, in parallel when
-    /// profitable.
-    fn scan_chunks<R: Send>(
-        &self,
-        lo: u64,
-        hi: u64,
-        f: impl Fn(&ChunkStore) -> R + Sync,
-    ) -> Vec<R> {
-        let targets: Vec<&ChunkStore> = match (&self.fences, self.route(lo)) {
-            (Some(_), Some(first)) => {
-                let fences = self.fences.as_ref().expect("ordered");
-                let mut v = Vec::new();
-                for c in first..self.chunks.len() {
-                    // A chunk may overlap if its predecessor's fence is
-                    // below `hi`.
-                    if c > first && fences[c - 1] >= hi {
-                        break;
-                    }
-                    v.push(&self.chunks[c]);
-                }
-                v
-            }
-            _ => self.chunks.iter().collect(),
-        };
-        parallel_map(&targets, self.config.threads, |_, store| f(store))
+    ) -> Result<(u64, OpCost), StorageError> {
+        self.view()
+            .q3_sum_where(lo, hi, sum_cols, pred_col, pred_lo, pred_hi)
     }
 
     /// Q4: insert a row.
     pub fn q4_insert(&mut self, key: u64, payload: &[u32]) -> Result<OpCost, StorageError> {
+        let cost = self.q4_insert_inner(key, payload)?;
+        self.publish();
+        Ok(cost)
+    }
+
+    fn q4_insert_inner(&mut self, key: u64, payload: &[u32]) -> Result<OpCost, StorageError> {
         let chunk = self.route(key).unwrap_or_else(|| {
             // NoOrder: append to the last chunk with capacity.
             self.chunks
                 .iter()
-                .rposition(|c| match c {
-                    ChunkStore::Partitioned(p) => p.tail_free() > 0 || p.ghost_total() > 0,
+                .rposition(|c| match c.store_opt() {
+                    Some(ChunkStore::Partitioned(p)) => p.tail_free() > 0 || p.ghost_total() > 0,
                     _ => true,
                 })
                 .unwrap_or(self.chunks.len() - 1)
         });
-        let cost = store_insert(&mut self.chunks[chunk], key, payload)?;
+        let cost = store_insert(self.chunk_mut(chunk)?, key, payload)?;
         self.touch(chunk);
         self.maybe_raise_fence(chunk, key);
         Ok(cost)
     }
 
     /// Q5: delete every row with key `v`.
-    pub fn q5_delete(&mut self, v: u64) -> (u64, OpCost) {
+    pub fn q5_delete(&mut self, v: u64) -> Result<(u64, OpCost), StorageError> {
+        let out = self.q5_delete_inner(v)?;
+        self.publish();
+        Ok(out)
+    }
+
+    fn q5_delete_inner(&mut self, v: u64) -> Result<(u64, OpCost), StorageError> {
         let targets: Vec<usize> = match self.route(v) {
             Some(c) => vec![c],
             None => (0..self.chunks.len()).collect(),
@@ -626,20 +715,27 @@ impl ChunkedColumn {
         let mut affected = 0u64;
         let mut cost = OpCost::default();
         for c in targets {
-            let (n, oc) = store_delete(&mut self.chunks[c], v);
+            let (n, oc) = store_delete(self.chunk_mut(c)?, v);
             if n > 0 {
                 self.touch(c);
             }
             affected += n;
             cost.absorb(oc);
         }
-        (affected, cost)
+        Ok((affected, cost))
     }
 
     /// Q6: update the first row with key `old` to key `new`, carrying its
-    /// payload. Falls back to delete + insert when the keys live in
-    /// different chunks.
+    /// payload. Cross-chunk updates take exactly one row out of the source
+    /// chunk and re-insert it under the new key, matching the single-chunk
+    /// path's first-match semantics even under duplicate keys.
     pub fn q6_update(&mut self, old: u64, new: u64) -> Result<(u64, OpCost), StorageError> {
+        let out = self.q6_update_inner(old, new)?;
+        self.publish();
+        Ok(out)
+    }
+
+    fn q6_update_inner(&mut self, old: u64, new: u64) -> Result<(u64, OpCost), StorageError> {
         let (from, to) = match (self.route(old), self.route(new)) {
             (Some(a), Some(b)) => (a, b),
             _ => {
@@ -647,7 +743,7 @@ impl ChunkedColumn {
                 // whichever chunk holds the key.
                 let mut cost = OpCost::default();
                 for c in 0..self.chunks.len() {
-                    if let ChunkStore::Partitioned(p) = &mut self.chunks[c] {
+                    if let ChunkStore::Partitioned(p) = self.chunk_mut(c)? {
                         let r = p.update(old, new)?;
                         cost.absorb(r.cost);
                         if r.affected > 0 {
@@ -660,22 +756,22 @@ impl ChunkedColumn {
             }
         };
         if from == to {
-            let (n, cost) = store_update(&mut self.chunks[from], old, new)?;
+            let (n, cost) = store_update(self.chunk_mut(from)?, old, new)?;
             if n > 0 {
                 self.touch(from);
             }
             self.maybe_raise_fence(from, new);
             return Ok((n, cost));
         }
-        // Cross-chunk: read the payload, delete, re-insert.
-        let all_cols: Vec<usize> = (0..self.payload_width).collect();
-        let (rows, mut cost) = self.q1_point(old, &all_cols);
-        let Some(row) = rows.into_iter().next() else {
+        // Cross-chunk: move exactly one row — take the first match out of
+        // the source chunk (duplicates stay put) and re-insert it under the
+        // new key.
+        let (row, mut cost) = store_take_one(self.chunk_mut(from)?, old);
+        let Some(row) = row else {
             return Ok((0, cost));
         };
-        let (_, c1) = self.q5_delete(old);
-        cost.absorb(c1);
-        let c2 = self.q4_insert(new, &row)?;
+        self.touch(from);
+        let c2 = self.q4_insert_inner(new, &row)?;
         cost.absorb(c2);
         Ok((1, cost))
     }
@@ -691,6 +787,10 @@ impl ChunkedColumn {
     /// resumes. `NoOrder` columns (no routing fences) and single-chunk
     /// columns fall back to serial application.
     ///
+    /// The batch publishes to readers exactly once, after the last
+    /// operation lands — a pinned snapshot observes either none or all of a
+    /// batch, never an intermediate state.
+    ///
     /// Returns one `(rows_affected, cost)` per input operation, identical
     /// to serial execution. On error (chunk at capacity after growth) the
     /// failing chunk stops at the failing op but *other chunks complete
@@ -698,6 +798,16 @@ impl ChunkedColumn {
     /// atomic, matching the paper's storage-engine semantics where each
     /// query is its own operation.
     pub fn apply_write_batch(
+        &mut self,
+        ops: &[WriteOp<'_>],
+    ) -> Result<Vec<(u64, OpCost)>, StorageError> {
+        let out = self.apply_write_batch_inner(ops);
+        // Publish even on error: completed chunk groups have landed.
+        self.publish();
+        out
+    }
+
+    fn apply_write_batch_inner(
         &mut self,
         ops: &[WriteOp<'_>],
     ) -> Result<Vec<(u64, OpCost)>, StorageError> {
@@ -721,7 +831,7 @@ impl ChunkedColumn {
                     if from != to {
                         // Barrier: the move touches two chunks.
                         self.flush_write_groups(&mut pending, &mut pending_count, &mut results)?;
-                        results[i] = self.q6_update(old, new)?;
+                        results[i] = self.q6_update_inner(old, new)?;
                         continue;
                     }
                     from
@@ -734,12 +844,13 @@ impl ChunkedColumn {
         Ok(results)
     }
 
-    /// Apply one write operation through the serial Q4/Q5/Q6 paths.
+    /// Apply one write operation through the serial Q4/Q5/Q6 paths
+    /// (publication is the batch's responsibility).
     fn apply_write_serial(&mut self, op: WriteOp<'_>) -> Result<(u64, OpCost), StorageError> {
         match op {
-            WriteOp::Insert { key, payload } => self.q4_insert(key, payload).map(|c| (1, c)),
-            WriteOp::Delete { key } => Ok(self.q5_delete(key)),
-            WriteOp::Update { old, new } => self.q6_update(old, new),
+            WriteOp::Insert { key, payload } => self.q4_insert_inner(key, payload).map(|c| (1, c)),
+            WriteOp::Delete { key } => self.q5_delete_inner(key),
+            WriteOp::Update { old, new } => self.q6_update_inner(old, new),
         }
     }
 
@@ -755,6 +866,13 @@ impl ChunkedColumn {
             return Ok(());
         }
         *pending_count = 0;
+        // Hydrate + copy-on-write every routed chunk up front so the
+        // parallel phase below holds plain `&mut ChunkStore`s.
+        for ci in 0..self.chunks.len() {
+            if !pending[ci].is_empty() {
+                self.ensure_unique(ci)?;
+            }
+        }
         struct ChunkJob<'s, 'o> {
             chunk: usize,
             store: &'s mut ChunkStore,
@@ -766,13 +884,16 @@ impl ChunkedColumn {
             err: Option<StorageError>,
         }
         let mut jobs: Vec<ChunkJob<'_, '_>> = Vec::new();
-        for (ci, store) in self.chunks.iter_mut().enumerate() {
+        for (ci, slot) in self.chunks.iter_mut().enumerate() {
             let ops = std::mem::take(&mut pending[ci]);
             if !ops.is_empty() {
+                let slot = Arc::get_mut(slot).ok_or_else(|| StorageError::Corrupt {
+                    reason: "chunk slot still shared after copy-on-write".to_string(),
+                })?;
                 let cap = ops.len();
                 jobs.push(ChunkJob {
                     chunk: ci,
-                    store,
+                    store: slot.store_mut()?,
                     ops,
                     out: Vec::with_capacity(cap),
                     max_key: None,
@@ -838,6 +959,214 @@ impl ChunkedColumn {
     }
 }
 
+/// The shared read-path logic: both the live [`ChunkedColumn`] (`&self`)
+/// and pinned [`ColumnSnapshot`]s scan through this view, so the two paths
+/// cannot drift. Every method hydrates the slots it routes to (serially,
+/// before the parallel scan) and surfaces decode damage as a typed error.
+struct View<'a> {
+    chunks: &'a [Arc<ChunkSlot>],
+    fences: Option<&'a [u64]>,
+    config: &'a EngineConfig,
+}
+
+impl View<'_> {
+    fn route(&self, key: u64) -> Option<usize> {
+        self.fences
+            .map(|f| f.partition_point(|&b| b < key).min(f.len() - 1))
+    }
+
+    /// Indices of the chunks overlapping `[lo, hi)` (mirrors the target
+    /// selection of `scan_chunks`).
+    fn chunk_range_for(&self, lo: u64, hi: u64) -> std::ops::Range<usize> {
+        match (self.fences, self.route(lo)) {
+            (Some(fences), Some(first)) => {
+                let mut end = first + 1;
+                while end < self.chunks.len() && fences[end - 1] < hi {
+                    end += 1;
+                }
+                first..end
+            }
+            _ => 0..self.chunks.len(),
+        }
+    }
+
+    fn q1_point(&self, v: u64, cols: &[usize]) -> Result<(Vec<Vec<u32>>, OpCost), StorageError> {
+        let targets: Vec<&ChunkStore> = match self.route(v) {
+            Some(c) => vec![self.chunks[c].get()?],
+            None => {
+                let mut t = Vec::with_capacity(self.chunks.len());
+                for s in self.chunks {
+                    t.push(s.get()?);
+                }
+                t
+            }
+        };
+        let results = parallel_map(&targets, self.config.threads, |_, store| match store {
+            ChunkStore::Partitioned(p) => {
+                let r = p.point_query(v);
+                let rows: Vec<Vec<u32>> = r
+                    .positions
+                    .into_iter()
+                    .map(|pos| p.payloads().gather_row(pos, cols))
+                    .collect();
+                (rows, r.cost)
+            }
+            ChunkStore::Sorted(s) => {
+                let (range, c2) = s.point_query(v);
+                let rows: Vec<Vec<u32>> = range.map(|pos| s.gather_row(pos, cols)).collect();
+                (rows, c2)
+            }
+            ChunkStore::Delta(d) => d.point_rows(v, cols),
+        });
+        let mut cost = OpCost::default();
+        let mut rows = Vec::new();
+        for (mut r, c) in results {
+            rows.append(&mut r);
+            cost.absorb(c);
+        }
+        Ok((rows, cost))
+    }
+
+    fn q2_count(&self, lo: u64, hi: u64) -> Result<(u64, OpCost), StorageError> {
+        let results = self.scan_chunks(lo, hi, |store| match store {
+            ChunkStore::Partitioned(p) => p.range_count(lo, hi),
+            ChunkStore::Sorted(s) => s.range_count(lo, hi),
+            ChunkStore::Delta(d) => d.range_count(lo, hi),
+        })?;
+        let mut total = 0u64;
+        let mut cost = OpCost::default();
+        for (n, c) in results {
+            total += n;
+            cost.absorb(c);
+        }
+        Ok((total, cost))
+    }
+
+    fn q3_sum(&self, lo: u64, hi: u64, cols: &[usize]) -> Result<(u64, OpCost), StorageError> {
+        let results = self.scan_chunks(lo, hi, |store| match store {
+            ChunkStore::Partitioned(p) => p.range_sum_payload(lo, hi, cols),
+            ChunkStore::Sorted(s) => s.range_sum_payload(lo, hi, cols),
+            ChunkStore::Delta(d) => d.range_sum_payload(lo, hi, cols),
+        })?;
+        let mut total = 0u64;
+        let mut cost = OpCost::default();
+        for (n, c) in results {
+            total += n;
+            cost.absorb(c);
+        }
+        Ok((total, cost))
+    }
+
+    fn q3_sum_where(
+        &self,
+        lo: u64,
+        hi: u64,
+        sum_cols: &[usize],
+        pred_col: usize,
+        pred_lo: u32,
+        pred_hi: u32,
+    ) -> Result<(u64, OpCost), StorageError> {
+        let results = self.scan_chunks(lo, hi, |store| match store {
+            ChunkStore::Partitioned(p) => {
+                let mut pc = casper_storage::ops::PositionsConsumer::default();
+                let r = p.range_query(lo, hi, &mut pc);
+                let mut cost = r.cost;
+                let payloads = p.payloads();
+                let mut sum = 0u64;
+                let mut qualifying = 0usize;
+                let positions = pc
+                    .positions
+                    .iter()
+                    .copied()
+                    .chain(pc.runs.iter().flat_map(|r| r.clone()));
+                for pos in positions {
+                    let v = payloads.get(pred_col, pos);
+                    if pred_lo <= v && v < pred_hi {
+                        qualifying += 1;
+                        for &c in sum_cols {
+                            sum += u64::from(payloads.get(c, pos));
+                        }
+                    }
+                }
+                // One sequential pass over the predicate column plus the
+                // summed columns for the qualifying rows.
+                let vpb = (self.config.block_bytes / 4).max(1);
+                cost.seq_reads += ((1 + sum_cols.len()) * qualifying.div_ceil(vpb)) as u64;
+                (sum, cost)
+            }
+            ChunkStore::Sorted(s) => {
+                let (range, mut cost) = s.range_query(lo, hi);
+                let mut sum = 0u64;
+                for pos in range {
+                    let v = s.payload(pred_col, pos);
+                    if pred_lo <= v && v < pred_hi {
+                        for &c in sum_cols {
+                            sum += u64::from(s.payload(c, pos));
+                        }
+                    }
+                }
+                cost.seq_reads += cost.seq_reads * (1 + sum_cols.len() as u64);
+                (sum, cost)
+            }
+            ChunkStore::Delta(d) => {
+                // Evaluate the main column, then replay the delta buffer —
+                // the read-path overhead delta stores impose (§1).
+                let s = d.main();
+                let (range, cost) = s.range_query(lo, hi);
+                let mut sum = 0i128;
+                for pos in range {
+                    let v = s.payload(pred_col, pos);
+                    if pred_lo <= v && v < pred_hi {
+                        for &c in sum_cols {
+                            sum += i128::from(s.payload(c, pos));
+                        }
+                    }
+                }
+                sum += d.replay_sum_where(lo, hi, sum_cols, pred_col, pred_lo, pred_hi);
+                (sum.max(0) as u64, cost)
+            }
+        })?;
+        let mut total = 0u64;
+        let mut cost = OpCost::default();
+        for (n, c) in results {
+            total += n;
+            cost.absorb(c);
+        }
+        Ok((total, cost))
+    }
+
+    /// Run `f` over every chunk overlapping `[lo, hi)`, in parallel when
+    /// profitable. Routed slots hydrate serially before the parallel scan.
+    fn scan_chunks<R: Send>(
+        &self,
+        lo: u64,
+        hi: u64,
+        f: impl Fn(&ChunkStore) -> R + Sync,
+    ) -> Result<Vec<R>, StorageError> {
+        let mut targets: Vec<&ChunkStore> = Vec::new();
+        match (self.fences, self.route(lo)) {
+            (Some(fences), Some(first)) => {
+                for c in first..self.chunks.len() {
+                    // A chunk may overlap if its predecessor's fence is
+                    // below `hi`.
+                    if c > first && fences[c - 1] >= hi {
+                        break;
+                    }
+                    targets.push(self.chunks[c].get()?);
+                }
+            }
+            _ => {
+                for s in self.chunks {
+                    targets.push(s.get()?);
+                }
+            }
+        }
+        Ok(parallel_map(&targets, self.config.threads, |_, store| {
+            f(store)
+        }))
+    }
+}
+
 /// One buffered write operation for [`ChunkedColumn::apply_write_batch`]
 /// (the Q4/Q5/Q6 stream element). Payloads are borrowed from the query
 /// stream, so buffering a write run allocates nothing per operation.
@@ -879,7 +1208,6 @@ fn store_insert(store: &mut ChunkStore, key: u64, payload: &[u32]) -> Result<OpC
         },
         ChunkStore::Sorted(s) => Ok(s.insert(key, payload)),
         ChunkStore::Delta(d) => Ok(d.insert(key, payload)),
-        ChunkStore::Unloaded(_) => unhydrated!(),
     }
 }
 
@@ -903,7 +1231,6 @@ fn store_delete(store: &mut ChunkStore, v: u64) -> (u64, OpCost) {
                 (0, c0)
             }
         }
-        ChunkStore::Unloaded(_) => unhydrated!(),
     }
 }
 
@@ -927,7 +1254,20 @@ fn store_update(store: &mut ChunkStore, old: u64, new: u64) -> Result<(u64, OpCo
                 Ok((0, c0))
             }
         }
-        ChunkStore::Unloaded(_) => unhydrated!(),
+    }
+}
+
+/// Take exactly one row with key `v` out of a chunk store, returning its
+/// full payload row — the source half of a cross-chunk update. Every store
+/// removes only its first match, so duplicates survive the move.
+fn store_take_one(store: &mut ChunkStore, v: u64) -> (Option<Vec<u32>>, OpCost) {
+    match store {
+        ChunkStore::Partitioned(p) => {
+            let (row, r) = p.take_one(v);
+            (row, r.cost)
+        }
+        ChunkStore::Sorted(s) => s.take_one(v),
+        ChunkStore::Delta(d) => d.take_one(v),
     }
 }
 
@@ -993,7 +1333,7 @@ fn build_chunk(keys: Vec<u64>, payloads: Vec<Vec<u32>>, config: &EngineConfig) -
 }
 
 /// Rebuild a partitioned chunk with a new layout decision (used by the
-/// optimizer).
+/// optimizer). Requires a hydrated store.
 pub(crate) fn rebuild_partitioned(
     store: &ChunkStore,
     seg: &Segmentation,
@@ -1009,7 +1349,6 @@ pub(crate) fn rebuild_partitioned(
             d.force_merge();
             d.main().to_parts()
         }
-        ChunkStore::Unloaded(_) => unhydrated!(),
     };
     let chunk_config = ChunkConfig {
         policy: UpdatePolicy::Ghost,
@@ -1030,7 +1369,8 @@ pub(crate) fn rebuild_partitioned(
 }
 
 /// Expose a chunk's block fences for Frequency-Model capture: the first key
-/// of each logical block of its sorted live data.
+/// of each logical block of its sorted live data. Requires a hydrated
+/// store.
 pub(crate) fn chunk_block_fences(store: &ChunkStore, block_bytes: usize) -> Vec<u64> {
     let layout = BlockLayout::new::<u64>(block_bytes);
     let vpb = layout.values_per_block();
@@ -1038,7 +1378,6 @@ pub(crate) fn chunk_block_fences(store: &ChunkStore, block_bytes: usize) -> Vec<
         ChunkStore::Partitioned(p) => p.extract_live_sorted().0,
         ChunkStore::Sorted(s) => s.values().to_vec(),
         ChunkStore::Delta(d) => d.main().values().to_vec(),
-        ChunkStore::Unloaded(_) => unhydrated!(),
     };
     keys.chunks(vpb).map(|c| c[0]).collect()
 }
@@ -1049,6 +1388,18 @@ mod tests {
 
     fn load(mode: LayoutMode, rows: u64) -> ChunkedColumn {
         let keys: Vec<u64> = (0..rows).map(|i| i * 2).collect();
+        let payload: Vec<u32> = keys.iter().map(|&k| (k % 1000) as u32).collect();
+        let mut config = EngineConfig::small(mode);
+        config.chunk_values = 1024;
+        ChunkedColumn::load(keys, vec![payload], config)
+    }
+
+    /// Like `load`, but key 10 appears three times (the duplicate-key
+    /// regression fixture).
+    fn load_with_duplicates(mode: LayoutMode, rows: u64) -> ChunkedColumn {
+        let mut keys: Vec<u64> = (0..rows).map(|i| i * 2).collect();
+        keys.push(10);
+        keys.push(10);
         let payload: Vec<u32> = keys.iter().map(|&k| (k % 1000) as u32).collect();
         let mut config = EngineConfig::small(mode);
         config.chunk_values = 1024;
@@ -1068,10 +1419,10 @@ mod tests {
     fn q1_finds_rows_in_every_mode() {
         for mode in LayoutMode::all() {
             let col = load(mode, 4000);
-            let (rows, _) = col.q1_point(2468, &[0]);
+            let (rows, _) = col.q1_point(2468, &[0]).unwrap();
             assert_eq!(rows.len(), 1, "{mode:?}");
             assert_eq!(rows[0], vec![(2468 % 1000) as u32], "{mode:?}");
-            let (rows, _) = col.q1_point(2469, &[0]);
+            let (rows, _) = col.q1_point(2469, &[0]).unwrap();
             assert!(rows.is_empty(), "{mode:?}");
         }
     }
@@ -1080,9 +1431,9 @@ mod tests {
     fn q2_counts_match_in_every_mode() {
         for mode in LayoutMode::all() {
             let col = load(mode, 4000);
-            let (n, _) = col.q2_count(100, 300);
+            let (n, _) = col.q2_count(100, 300).unwrap();
             assert_eq!(n, 100, "{mode:?}"); // even keys in [100, 300)
-            let (n, _) = col.q2_count(0, 8000);
+            let (n, _) = col.q2_count(0, 8000).unwrap();
             assert_eq!(n, 4000, "{mode:?}");
         }
     }
@@ -1091,7 +1442,7 @@ mod tests {
     fn q3_sums_payload_in_every_mode() {
         for mode in LayoutMode::all() {
             let col = load(mode, 4000);
-            let (sum, _) = col.q3_sum(0, 20, &[0]);
+            let (sum, _) = col.q3_sum(0, 20, &[0]).unwrap();
             // Keys 0..18 even: payloads k % 1000 = k.
             let want: u64 = (0..10).map(|i| i * 2).sum();
             assert_eq!(sum, want, "{mode:?}");
@@ -1103,14 +1454,14 @@ mod tests {
         for mode in LayoutMode::all() {
             let mut col = load(mode, 4000);
             col.q4_insert(101, &[7]).unwrap();
-            let (rows, _) = col.q1_point(101, &[0]);
+            let (rows, _) = col.q1_point(101, &[0]).unwrap();
             assert_eq!(rows, vec![vec![7]], "{mode:?} insert");
-            let (n, _) = col.q5_delete(101);
+            let (n, _) = col.q5_delete(101).unwrap();
             assert_eq!(n, 1, "{mode:?} delete");
-            assert!(col.q1_point(101, &[0]).0.is_empty(), "{mode:?}");
+            assert!(col.q1_point(101, &[0]).unwrap().0.is_empty(), "{mode:?}");
             let (n, _) = col.q6_update(200, 201).unwrap();
             assert_eq!(n, 1, "{mode:?} update");
-            let (rows, _) = col.q1_point(201, &[0]);
+            let (rows, _) = col.q1_point(201, &[0]).unwrap();
             assert_eq!(rows.len(), 1, "{mode:?} updated row");
             assert_eq!(rows[0], vec![200], "{mode:?} payload follows update");
             assert_eq!(col.len(), 4000, "{mode:?} len conserved");
@@ -1124,10 +1475,59 @@ mod tests {
             // Key 10 lives in chunk 0; 7001 belongs to the last chunk.
             let (n, _) = col.q6_update(10, 7001).unwrap();
             assert_eq!(n, 1, "{mode:?}");
-            assert!(col.q1_point(10, &[0]).0.is_empty(), "{mode:?}");
-            let (rows, _) = col.q1_point(7001, &[0]);
+            assert!(col.q1_point(10, &[0]).unwrap().0.is_empty(), "{mode:?}");
+            let (rows, _) = col.q1_point(7001, &[0]).unwrap();
             assert_eq!(rows.len(), 1, "{mode:?}");
             assert_eq!(rows[0], vec![10], "{mode:?} payload moved");
+        }
+    }
+
+    /// Regression: a cross-chunk Q6 used to fall back to `q5_delete(old)`
+    /// (which removes *every* row with the key) before re-inserting one
+    /// row, silently destroying duplicates. It must move exactly one row,
+    /// matching the single-chunk path.
+    #[test]
+    fn cross_chunk_update_preserves_duplicate_keys() {
+        for mode in LayoutMode::all() {
+            let mut col = load_with_duplicates(mode, 4000);
+            assert_eq!(col.q1_point(10, &[0]).unwrap().0.len(), 3, "{mode:?}");
+            let before = col.len();
+            // Key 10 lives in chunk 0; 7001 belongs to the last chunk.
+            let (n, _) = col.q6_update(10, 7001).unwrap();
+            assert_eq!(n, 1, "{mode:?} affected");
+            let (survivors, _) = col.q1_point(10, &[0]).unwrap();
+            assert_eq!(survivors.len(), 2, "{mode:?} duplicates must survive");
+            let (moved, _) = col.q1_point(7001, &[0]).unwrap();
+            assert_eq!(moved.len(), 1, "{mode:?} exactly one row moved");
+            assert_eq!(moved[0], vec![10], "{mode:?} payload moved");
+            assert_eq!(col.len(), before, "{mode:?} row count conserved");
+        }
+    }
+
+    /// The same regression through the batched path: a cross-chunk update
+    /// inside `apply_write_batch` is a barrier that calls the Q6 fallback.
+    #[test]
+    fn batched_cross_chunk_update_preserves_duplicate_keys() {
+        for mode in LayoutMode::all() {
+            let mut col = load_with_duplicates(mode, 4000);
+            let before = col.len();
+            // Key 5 is absent from the fixture (even keys only), so the
+            // insert/delete pair is count-neutral.
+            let payload = [33u32];
+            let ops = [
+                WriteOp::Insert {
+                    key: 5,
+                    payload: &payload,
+                },
+                WriteOp::Update { old: 10, new: 7001 },
+                WriteOp::Delete { key: 5 },
+            ];
+            let results = col.apply_write_batch(&ops).unwrap();
+            assert_eq!(results[1].0, 1, "{mode:?} update affected");
+            let (survivors, _) = col.q1_point(10, &[0]).unwrap();
+            assert_eq!(survivors.len(), 2, "{mode:?} duplicates must survive");
+            assert_eq!(col.q1_point(7001, &[0]).unwrap().0.len(), 1, "{mode:?}");
+            assert_eq!(col.len(), before, "{mode:?} row count conserved");
         }
     }
 
@@ -1136,7 +1536,7 @@ mod tests {
         for mode in LayoutMode::all() {
             let mut col = load(mode, 4000);
             col.q4_insert(1_000_001, &[9]).unwrap();
-            let (rows, _) = col.q1_point(1_000_001, &[0]);
+            let (rows, _) = col.q1_point(1_000_001, &[0]).unwrap();
             assert_eq!(rows.len(), 1, "{mode:?}");
         }
     }
@@ -1144,7 +1544,76 @@ mod tests {
     #[test]
     fn q2_spanning_all_chunks_uses_parallel_path() {
         let col = load(LayoutMode::Casper, 8000);
-        let (n, _) = col.q2_count(0, u64::MAX);
+        let (n, _) = col.q2_count(0, u64::MAX).unwrap();
         assert_eq!(n, 8000);
+    }
+
+    #[test]
+    fn snapshot_pins_are_isolated_from_later_writes() {
+        for mode in LayoutMode::all() {
+            let mut col = load(mode, 4000);
+            let cell = col.snapshot_cell();
+            let v0 = cell.version();
+            let before = cell.pin();
+            col.q4_insert(101, &[7]).unwrap();
+            // The old pin still counts the pre-write state...
+            assert_eq!(before.q2_count(0, u64::MAX).unwrap().0, 4000, "{mode:?}");
+            // ...while a fresh pin observes the published write.
+            assert!(cell.version() > v0, "{mode:?} publish ticked");
+            let after = cell.pin();
+            assert_eq!(after.q2_count(0, u64::MAX).unwrap().0, 4001, "{mode:?}");
+            assert_eq!(after.q1_point(101, &[0]).unwrap().0, vec![vec![7]]);
+        }
+    }
+
+    #[test]
+    fn batch_publishes_once_at_the_end() {
+        let mut col = load(LayoutMode::Casper, 4000);
+        let cell = col.snapshot_cell();
+        let v0 = cell.version();
+        let payload = [1u32];
+        let ops: Vec<WriteOp<'_>> = (0..10)
+            .map(|i| WriteOp::Insert {
+                key: 100 + i,
+                payload: &payload,
+            })
+            .collect();
+        col.apply_write_batch(&ops).unwrap();
+        assert_eq!(cell.version(), v0 + 1, "one publish per batch");
+        assert_eq!(cell.pin().q2_count(0, u64::MAX).unwrap().0, 4010);
+    }
+
+    #[test]
+    fn failed_lazy_hydration_surfaces_typed_error() {
+        let slot = ChunkSlot::new_lazy(
+            7,
+            Box::new(|| {
+                Err(StorageError::Corrupt {
+                    reason: "injected decode failure".to_string(),
+                })
+            }),
+        );
+        assert_eq!(slot.len(), 7, "live count served without hydration");
+        assert!(matches!(
+            slot.get(),
+            Err(StorageError::Corrupt { ref reason }) if reason.contains("injected")
+        ));
+        // The loader is consumed: later touches report the re-entry
+        // instead of panicking.
+        assert!(matches!(
+            slot.get(),
+            Err(StorageError::Corrupt { ref reason }) if reason.contains("re-entered")
+        ));
+    }
+
+    #[test]
+    fn lazy_hydration_validates_live_count() {
+        let col = load(LayoutMode::Casper, 100);
+        let store = col.chunks()[0].get().unwrap().clone();
+        let slot = ChunkSlot::new_lazy(55, Box::new(move || Ok(store)));
+        assert!(matches!(
+            slot.get(),
+            Err(StorageError::Corrupt { ref reason }) if reason.contains("manifest says 55")
+        ));
     }
 }

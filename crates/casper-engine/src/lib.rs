@@ -34,8 +34,8 @@ pub mod table;
 pub mod txn;
 
 pub use adapt::{AdaptConfig, AdaptiveController};
-pub use column::{ChunkedColumn, LazyChunk, WriteOp};
+pub use column::{ChunkSlot, ChunkedColumn, ColumnSnapshot, SnapshotCell, WriteOp};
 pub use metrics::{LatencyRecorder, Summary};
 pub use modes::{EngineConfig, LayoutMode};
-pub use table::{QueryOutput, QueryResult, Table};
+pub use table::{QueryOutput, QueryResult, Table, TableReader};
 pub use txn::{Transaction, TxnError, TxnManager};

@@ -16,6 +16,7 @@ use casper_core::fm::FmBuilder;
 use casper_core::solver::{LayoutOptimizer, SolverConstraints};
 use casper_core::{CostConstants, FrequencyModel, Op};
 use casper_workload::HapQuery;
+use parking_lot::Mutex;
 use std::time::Instant;
 
 /// Optimization options.
@@ -104,7 +105,18 @@ impl OptimizeReport {
 /// into a delete plus an insert.
 pub fn capture_per_chunk(table: &Table, sample: &[HapQuery]) -> Vec<FrequencyModel> {
     let block_bytes = table.column().config().block_bytes;
-    let stores = table.column().chunks();
+    // Capture walks every chunk's sorted keys, so the column must be fully
+    // hydrated (optimize_table's backstop hydration guarantees this on the
+    // optimizer path).
+    let stores: Vec<&ChunkStore> = table
+        .column()
+        .chunks()
+        .iter()
+        .map(|s| {
+            s.store_opt()
+                .expect("frequency capture requires hydrated chunks")
+        })
+        .collect();
     // Per-chunk fences and key coverage.
     let mut builders: Vec<FmBuilder<u64>> = stores
         .iter()
@@ -181,16 +193,16 @@ pub fn optimize_table(
         let mut cols: Vec<Vec<u32>> = (0..table.column().payload_width())
             .map(|_| Vec::with_capacity(table.len()))
             .collect();
-        for store in table.column().chunks() {
-            let (k, p) = match store {
-                ChunkStore::Partitioned(c) => c.extract_live_sorted(),
-                ChunkStore::Sorted(s) => s.to_parts(),
-                ChunkStore::Delta(d) => {
+        for slot in table.column().chunks() {
+            let (k, p) = match slot.store_opt() {
+                Some(ChunkStore::Partitioned(c)) => c.extract_live_sorted(),
+                Some(ChunkStore::Sorted(s)) => s.to_parts(),
+                Some(ChunkStore::Delta(d)) => {
                     let mut d = d.clone();
                     d.force_merge();
                     d.main().to_parts()
                 }
-                ChunkStore::Unloaded(_) => {
+                None => {
                     unreachable!("optimize_table hydrates the column before converting it")
                 }
             };
@@ -217,12 +229,7 @@ pub fn optimize_table(
 
     // Solve every chunk in parallel (§6.3's embarrassingly parallel
     // decomposition), then apply the layouts.
-    let sizes: Vec<usize> = table
-        .column()
-        .chunks()
-        .iter()
-        .map(ChunkStore::len)
-        .collect();
+    let sizes: Vec<usize> = table.column().chunks().iter().map(|s| s.len()).collect();
     let decisions = parallel_map(&fms, opts.threads, |i, fm| {
         let budget = (sizes[i] as f64 * opts.ghost_budget_frac).ceil() as usize;
         let optimizer = LayoutOptimizer {
@@ -252,26 +259,33 @@ pub fn optimize_table(
     // same worker budget as the solve. Each rebuilt chunk then receives the
     // §6.2 storage-mode pass: partitions the Frequency Model shows as cold
     // and read-heavy are encoded for the compressed-scan kernels.
-    let compression = std::sync::Mutex::new(Vec::new());
-    parallel_for_each_mut(table.column_mut().chunks_mut(), opts.threads, |i, store| {
+    let compression = Mutex::new(Vec::new());
+    let mut stores = table
+        .column_mut()
+        .chunks_mut()
+        .expect("optimize hydrated the column, so chunk access cannot fail");
+    parallel_for_each_mut(&mut stores, opts.threads, |i, store| {
         let (decision, _) = &decisions[i];
-        *store = rebuild_partitioned(store, &decision.seg, &decision.ghosts, &config);
+        **store = rebuild_partitioned(store, &decision.seg, &decision.ghosts, &config);
         if opts.compress_cold {
-            if let ChunkStore::Partitioned(chunk) = store {
+            if let ChunkStore::Partitioned(chunk) = &mut **store {
                 let r = apply_compression_policy(
                     chunk,
                     &fms[i],
                     &decision.seg,
                     opts.compress_write_threshold,
                 );
-                compression.lock().expect("poisoned").push((i, r));
+                compression.lock().push((i, r));
             }
         }
     });
-    for (i, r) in compression.into_inner().expect("poisoned") {
+    drop(stores);
+    for (i, r) in compression.into_inner() {
         report.chunks[i].compressed_partitions = r.compressed_partitions;
         report.chunks[i].encoded_bytes = r.encoded_bytes;
     }
+    // Re-layout replaced chunk stores wholesale: hand readers the new ones.
+    table.column_mut().publish();
     report
 }
 
@@ -372,7 +386,7 @@ mod tests {
         assert_eq!(table.len(), len);
         assert_eq!(table.column().config().mode, LayoutMode::Casper);
         // Point queries still correct after conversion.
-        let (rows, _) = table.column().q1_point(100, &[0]);
+        let (rows, _) = table.column().q1_point(100, &[0]).unwrap();
         assert_eq!(rows.len(), 1);
     }
 
@@ -389,21 +403,21 @@ mod tests {
         let encoded: usize = report.chunks.iter().map(|c| c.encoded_bytes).sum();
         assert!(encoded > 0);
         // Reads over the mixed-mode table are bit-exact.
-        let (rows, _) = table.column().q1_point(100, &[0]);
+        let (rows, _) = table.column().q1_point(100, &[0]).unwrap();
         assert_eq!(rows.len(), 1);
-        let (n, _) = table.column().q2_count(0, u64::MAX);
+        let (n, _) = table.column().q2_count(0, u64::MAX).unwrap();
         assert_eq!(n as usize, table.len());
         // Writes transparently decode-on-write.
         let mut col_writes = 0usize;
-        for store in table.column().chunks() {
-            if let ChunkStore::Partitioned(p) = store {
+        for slot in table.column().chunks() {
+            if let Some(ChunkStore::Partitioned(p)) = slot.store_opt() {
                 col_writes += p.compressed_partition_count();
             }
         }
         assert!(col_writes > 0);
         let payload = vec![7u32; table.column().payload_width()];
         table.column_mut().q4_insert(101, &payload).unwrap();
-        let (rows, _) = table.column().q1_point(101, &[0]);
+        let (rows, _) = table.column().q1_point(101, &[0]).unwrap();
         assert_eq!(rows.len(), 1);
     }
 
@@ -418,8 +432,8 @@ mod tests {
         };
         let report = optimize_table(&mut table, &sample, &opts);
         assert!(report.chunks.iter().all(|c| c.compressed_partitions == 0));
-        for store in table.column().chunks() {
-            if let ChunkStore::Partitioned(p) = store {
+        for slot in table.column().chunks() {
+            if let Some(ChunkStore::Partitioned(p)) = slot.store_opt() {
                 assert_eq!(p.compressed_partition_count(), 0);
             }
         }

@@ -6,7 +6,9 @@
 //! re-layouts (§6.4: "Casper can be easily integrated into existing
 //! systems" — this is the generic storage-engine API surface).
 
-use crate::column::ChunkedColumn;
+use std::sync::Arc;
+
+use crate::column::{ChunkedColumn, ColumnSnapshot, SnapshotCell};
 use crate::modes::EngineConfig;
 use casper_storage::{OpCost, StorageError};
 use casper_workload::{HapQuery, HapSchema, WorkloadGenerator};
@@ -118,8 +120,20 @@ impl Table {
     /// Decode every chunk still awaiting hydration from a persisted
     /// segment (no-op on ordinary tables). See
     /// [`ChunkedColumn::hydrate_all`].
-    pub fn hydrate_all(&mut self) -> Result<(), StorageError> {
+    pub fn hydrate_all(&self) -> Result<(), StorageError> {
         self.column.hydrate_all()
+    }
+
+    /// A shared read handle over this table: readers on other threads pin
+    /// the column's published snapshot once per query and scan it
+    /// lock-free, while this table keeps executing writes. The handle
+    /// stays valid for the table's lifetime; each pin observes the most
+    /// recently published write batch in full (never a torn batch).
+    pub fn reader(&self) -> TableReader {
+        TableReader {
+            cell: self.column.snapshot_cell(),
+            schema: self.schema,
+        }
     }
 
     /// Execute one HAP query. On a lazily-restored table (mmap recovery)
@@ -131,14 +145,14 @@ impl Table {
         Ok(match q {
             HapQuery::Q1 { v, k } => {
                 let cols: Vec<usize> = (0..(*k).min(self.schema.payload_cols)).collect();
-                let (rows, cost) = self.column.q1_point(*v, &cols);
+                let (rows, cost) = self.column.q1_point(*v, &cols)?;
                 QueryOutput {
                     result: QueryResult::Rows(rows),
                     cost,
                 }
             }
             HapQuery::Q2 { vs, ve } => {
-                let (n, cost) = self.column.q2_count(*vs, *ve);
+                let (n, cost) = self.column.q2_count(*vs, *ve)?;
                 QueryOutput {
                     result: QueryResult::Count(n),
                     cost,
@@ -146,7 +160,7 @@ impl Table {
             }
             HapQuery::Q3 { vs, ve, k } => {
                 let cols: Vec<usize> = (0..(*k).min(self.schema.payload_cols)).collect();
-                let (sum, cost) = self.column.q3_sum(*vs, *ve, &cols);
+                let (sum, cost) = self.column.q3_sum(*vs, *ve, &cols)?;
                 QueryOutput {
                     result: QueryResult::Sum(sum),
                     cost,
@@ -160,7 +174,7 @@ impl Table {
                 }
             }
             HapQuery::Q5 { v } => {
-                let (n, cost) = self.column.q5_delete(*v);
+                let (n, cost) = self.column.q5_delete(*v)?;
                 QueryOutput {
                     result: QueryResult::Affected(n),
                     cost,
@@ -178,7 +192,8 @@ impl Table {
 
     /// Multi-column range query (§6.4, the TPC-H Q6 shape): sum `sum_cols`
     /// over rows with key in `[lo, hi)` whose `pred_col` payload lies in
-    /// `[pred_lo, pred_hi)`.
+    /// `[pred_lo, pred_hi)`. Corrupt persisted chunks surface as
+    /// [`StorageError::Corrupt`], same as [`Table::execute`].
     pub fn multi_column_sum(
         &mut self,
         lo: u64,
@@ -187,19 +202,18 @@ impl Table {
         pred_col: usize,
         pred_lo: u32,
         pred_hi: u32,
-    ) -> QueryOutput {
+    ) -> Result<QueryOutput, StorageError> {
         // Same contract as `execute`: hydrate the chunks the key range
         // routes to, so lazily-restored tables serve this path too.
         self.column
-            .hydrate_for_query(&HapQuery::Q2 { vs: lo, ve: hi })
-            .expect("corrupt persisted chunk surfaced during multi_column_sum");
+            .hydrate_for_query(&HapQuery::Q2 { vs: lo, ve: hi })?;
         let (sum, cost) = self
             .column
-            .q3_sum_where(lo, hi, sum_cols, pred_col, pred_lo, pred_hi);
-        QueryOutput {
+            .q3_sum_where(lo, hi, sum_cols, pred_col, pred_lo, pred_hi)?;
+        Ok(QueryOutput {
             result: QueryResult::Sum(sum),
             cost,
-        }
+        })
     }
 
     /// Execute a batch, returning per-query outputs.
@@ -273,6 +287,87 @@ impl Table {
             });
         }
         Ok(())
+    }
+}
+
+/// A concurrent read handle over a [`Table`]: `Send`-able to any number of
+/// reader threads, each of which pins the column's published snapshot once
+/// per query and scans it lock-free while the owning table keeps writing.
+///
+/// Only read queries (Q1/Q2/Q3) execute here — write queries return
+/// [`StorageError::InvalidSpec`], since a snapshot is immutable by
+/// construction.
+#[derive(Debug, Clone)]
+pub struct TableReader {
+    cell: Arc<SnapshotCell>,
+    schema: HapSchema,
+}
+
+impl TableReader {
+    /// Pin the currently published snapshot (one lightweight pointer
+    /// clone); the returned snapshot is stable for its lifetime.
+    pub fn pin(&self) -> Arc<ColumnSnapshot> {
+        self.cell.pin()
+    }
+
+    /// Monotone publish counter (one tick per published write batch).
+    pub fn version(&self) -> u64 {
+        self.cell.version()
+    }
+
+    /// Execute one read query against the current snapshot.
+    pub fn execute(&self, q: &HapQuery) -> Result<QueryOutput, StorageError> {
+        let snap = self.pin();
+        Ok(match q {
+            HapQuery::Q1 { v, k } => {
+                let cols: Vec<usize> = (0..(*k).min(self.schema.payload_cols)).collect();
+                let (rows, cost) = snap.q1_point(*v, &cols)?;
+                QueryOutput {
+                    result: QueryResult::Rows(rows),
+                    cost,
+                }
+            }
+            HapQuery::Q2 { vs, ve } => {
+                let (n, cost) = snap.q2_count(*vs, *ve)?;
+                QueryOutput {
+                    result: QueryResult::Count(n),
+                    cost,
+                }
+            }
+            HapQuery::Q3 { vs, ve, k } => {
+                let cols: Vec<usize> = (0..(*k).min(self.schema.payload_cols)).collect();
+                let (sum, cost) = snap.q3_sum(*vs, *ve, &cols)?;
+                QueryOutput {
+                    result: QueryResult::Sum(sum),
+                    cost,
+                }
+            }
+            HapQuery::Q4 { .. } | HapQuery::Q5 { .. } | HapQuery::Q6 { .. } => {
+                return Err(StorageError::InvalidSpec {
+                    reason: "write query on a read-only snapshot handle".to_string(),
+                })
+            }
+        })
+    }
+
+    /// Multi-column predicated sum against the current snapshot (see
+    /// [`Table::multi_column_sum`]).
+    pub fn multi_column_sum(
+        &self,
+        lo: u64,
+        hi: u64,
+        sum_cols: &[usize],
+        pred_col: usize,
+        pred_lo: u32,
+        pred_hi: u32,
+    ) -> Result<QueryOutput, StorageError> {
+        let (sum, cost) = self
+            .pin()
+            .q3_sum_where(lo, hi, sum_cols, pred_col, pred_lo, pred_hi)?;
+        Ok(QueryOutput {
+            result: QueryResult::Sum(sum),
+            cost,
+        })
     }
 }
 
@@ -382,7 +477,9 @@ mod tests {
             })
             .unwrap();
             t.execute(&HapQuery::Q5 { v: 301 }).unwrap();
-            let out = t.multi_column_sum(300, 900, &[0, 1], 2, 100, 60000);
+            let out = t
+                .multi_column_sum(300, 900, &[0, 1], 2, 100, 60000)
+                .unwrap();
             assert_eq!(out.result, QueryResult::Sum(want), "{mode:?}");
         }
     }
@@ -459,6 +556,53 @@ mod tests {
             assert_eq!(x.result, y.result, "query {i}");
         }
         assert_eq!(serial.len(), batched.len());
+    }
+
+    /// Regression: `multi_column_sum` used to `.expect()` on hydration
+    /// failure, panicking the process on a corrupt persisted chunk. It now
+    /// propagates the typed error like `execute`.
+    #[test]
+    fn multi_column_sum_surfaces_corrupt_chunk_as_error() {
+        use crate::column::{ChunkSlot, ChunkedColumn};
+        let schema = HapSchema::narrow();
+        let slot = ChunkSlot::new_lazy(
+            100,
+            Box::new(|| {
+                Err(StorageError::Corrupt {
+                    reason: "checksum mismatch (injected)".to_string(),
+                })
+            }),
+        );
+        let column = ChunkedColumn::from_restored(
+            vec![slot],
+            None,
+            EngineConfig::small(LayoutMode::NoOrder),
+            schema.payload_cols,
+        );
+        let mut t = Table::from_restored(schema, column);
+        let out = t.multi_column_sum(0, 1000, &[0, 1], 2, 0, u32::MAX);
+        assert!(matches!(
+            out,
+            Err(StorageError::Corrupt { ref reason }) if reason.contains("injected")
+        ));
+    }
+
+    #[test]
+    fn reader_handle_serves_reads_and_rejects_writes() {
+        let mut t = table(LayoutMode::Casper);
+        let reader = t.reader();
+        let out = reader.execute(&HapQuery::Q2 { vs: 0, ve: 1000 }).unwrap();
+        assert_eq!(out.result, QueryResult::Count(500));
+        let key = 4001;
+        let payload = HapSchema::narrow().payload_row(key);
+        t.execute(&HapQuery::Q4 { key, payload }).unwrap();
+        // The write published: a fresh pin sees it.
+        let out = reader.execute(&HapQuery::Q1 { v: key, k: 1 }).unwrap();
+        assert_eq!(out.result.scalar(), 1);
+        assert!(matches!(
+            reader.execute(&HapQuery::Q5 { v: key }),
+            Err(StorageError::InvalidSpec { .. })
+        ));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! that prefetch persists even when the transaction aborts.
 
 use crate::table::Table;
+use casper_storage::StorageError;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -219,8 +220,14 @@ impl TxnManager {
 
     /// Snapshot-consistent point count: current state, minus versions
     /// committed after the snapshot, plus the transaction's own writes.
-    pub fn point_count(&self, txn: &Transaction, table: &Table, key: u64) -> u64 {
-        let (rows, _) = table.column().q1_point(key, &[]);
+    /// Corrupt persisted chunks surface as [`StorageError::Corrupt`].
+    pub fn point_count(
+        &self,
+        txn: &Transaction,
+        table: &Table,
+        key: u64,
+    ) -> Result<u64, StorageError> {
+        let (rows, _) = table.column().q1_point(key, &[])?;
         let mut n = rows.len() as i64;
         let inner = self.inner.lock();
         for rec in inner.log.iter().rev() {
@@ -243,12 +250,18 @@ impl TxnManager {
             }
         }
         drop(inner);
-        (n + txn.own_effect_point(key)).max(0) as u64
+        Ok((n + txn.own_effect_point(key)).max(0) as u64)
     }
 
     /// Snapshot-consistent range count over `[lo, hi)`.
-    pub fn range_count(&self, txn: &Transaction, table: &Table, lo: u64, hi: u64) -> u64 {
-        let (n, _) = table.column().q2_count(lo, hi);
+    pub fn range_count(
+        &self,
+        txn: &Transaction,
+        table: &Table,
+        lo: u64,
+        hi: u64,
+    ) -> Result<u64, StorageError> {
+        let (n, _) = table.column().q2_count(lo, hi)?;
         let mut n = n as i64;
         let in_range = |k: u64| lo <= k && k < hi;
         let inner = self.inner.lock();
@@ -271,7 +284,7 @@ impl TxnManager {
             }
         }
         drop(inner);
-        (n + txn.own_effect_range(lo, hi)).max(0) as u64
+        Ok((n + txn.own_effect_range(lo, hi)).max(0) as u64)
     }
 
     /// Commit: first-committer-wins validation, then apply the buffered
@@ -299,10 +312,11 @@ impl TxnManager {
                     .q4_insert(*k, payload)
                     .map(|_| ())
                     .map_err(|e| TxnError::Storage(e.to_string())),
-                TxnWrite::Delete(k) => {
-                    table.column_mut().q5_delete(*k);
-                    Ok(())
-                }
+                TxnWrite::Delete(k) => table
+                    .column_mut()
+                    .q5_delete(*k)
+                    .map(|_| ())
+                    .map_err(|e| TxnError::Storage(e.to_string())),
                 TxnWrite::Update(a, b) => table
                     .column_mut()
                     .q6_update(*a, *b)
@@ -360,7 +374,7 @@ mod tests {
         mgr.buffer_insert(&mut txn, &mut t, 4001, vec![0; 15]);
         mgr.commit(txn, &mut t).unwrap();
         let fresh = mgr.begin();
-        assert_eq!(mgr.point_count(&fresh, &t, 4001), 1);
+        assert_eq!(mgr.point_count(&fresh, &t, 4001).unwrap(), 1);
     }
 
     #[test]
@@ -374,11 +388,11 @@ mod tests {
         // The reader's snapshot predates the commit. Loaded keys are the
         // even values 0..3998, so [3900, 4100) holds 50 of them and must
         // not include the concurrently inserted 4001.
-        assert_eq!(mgr.point_count(&reader, &t, 4001), 0);
-        assert_eq!(mgr.range_count(&reader, &t, 3900, 4100), 50);
+        assert_eq!(mgr.point_count(&reader, &t, 4001).unwrap(), 0);
+        assert_eq!(mgr.range_count(&reader, &t, 3900, 4100).unwrap(), 50);
         // A fresh snapshot sees it.
         let fresh = mgr.begin();
-        assert_eq!(mgr.point_count(&fresh, &t, 4001), 1);
+        assert_eq!(mgr.point_count(&fresh, &t, 4001).unwrap(), 1);
     }
 
     #[test]
@@ -390,9 +404,21 @@ mod tests {
         w.delete(100);
         w.update(200, 201);
         mgr.commit(w, &mut t).unwrap();
-        assert_eq!(mgr.point_count(&reader, &t, 100), 1, "delete rewound");
-        assert_eq!(mgr.point_count(&reader, &t, 200), 1, "update-from rewound");
-        assert_eq!(mgr.point_count(&reader, &t, 201), 0, "update-to rewound");
+        assert_eq!(
+            mgr.point_count(&reader, &t, 100).unwrap(),
+            1,
+            "delete rewound"
+        );
+        assert_eq!(
+            mgr.point_count(&reader, &t, 200).unwrap(),
+            1,
+            "update-from rewound"
+        );
+        assert_eq!(
+            mgr.point_count(&reader, &t, 201).unwrap(),
+            0,
+            "update-to rewound"
+        );
     }
 
     #[test]
@@ -402,16 +428,16 @@ mod tests {
         let mut txn = mgr.begin();
         mgr.buffer_insert(&mut txn, &mut t, 5001, vec![0; 15]);
         txn.delete(100);
-        assert_eq!(mgr.point_count(&txn, &t, 5001), 1);
-        assert_eq!(mgr.point_count(&txn, &t, 100), 0);
+        assert_eq!(mgr.point_count(&txn, &t, 5001).unwrap(), 1);
+        assert_eq!(mgr.point_count(&txn, &t, 100).unwrap(), 0);
         mgr.abort(txn);
         let fresh = mgr.begin();
         assert_eq!(
-            mgr.point_count(&fresh, &t, 5001),
+            mgr.point_count(&fresh, &t, 5001).unwrap(),
             0,
             "abort discards writes"
         );
-        assert_eq!(mgr.point_count(&fresh, &t, 100), 1);
+        assert_eq!(mgr.point_count(&fresh, &t, 100).unwrap(), 1);
     }
 
     #[test]
@@ -427,8 +453,8 @@ mod tests {
         assert_eq!(err, TxnError::Conflict { key: 300 });
         // The loser's write must not be applied.
         let fresh = mgr.begin();
-        assert_eq!(mgr.point_count(&fresh, &t, 301), 1);
-        assert_eq!(mgr.point_count(&fresh, &t, 303), 0);
+        assert_eq!(mgr.point_count(&fresh, &t, 301).unwrap(), 1);
+        assert_eq!(mgr.point_count(&fresh, &t, 303).unwrap(), 0);
     }
 
     #[test]
@@ -442,8 +468,8 @@ mod tests {
         mgr.commit(t1, &mut t).unwrap();
         mgr.commit(t2, &mut t).unwrap();
         let fresh = mgr.begin();
-        assert_eq!(mgr.point_count(&fresh, &t, 301), 1);
-        assert_eq!(mgr.point_count(&fresh, &t, 501), 1);
+        assert_eq!(mgr.point_count(&fresh, &t, 301).unwrap(), 1);
+        assert_eq!(mgr.point_count(&fresh, &t, 501).unwrap(), 1);
     }
 
     #[test]
@@ -451,8 +477,8 @@ mod tests {
         let mut t = table();
         let mgr = TxnManager::new();
         let ghosts_for = |t: &Table, key: u64| -> usize {
-            for store in t.column().chunks() {
-                if let ChunkStore::Partitioned(c) = store {
+            for slot in t.column().chunks() {
+                if let Some(ChunkStore::Partitioned(c)) = slot.store_opt() {
                     let r = c.point_query(key);
                     return c.partitions()[r.partition].ghosts;
                 }

@@ -72,7 +72,6 @@ use crate::wal::{replay, scan, Wal, WalOp};
 use crate::PersistError;
 use casper_core::FrequencyModel;
 use casper_engine::adapt::{AdaptDecision, AdaptiveController};
-use casper_engine::column::ChunkStore;
 use casper_engine::optimize::{capture_per_chunk, optimize_table, OptimizeOptions, OptimizeReport};
 use casper_engine::{QueryOutput, Table, Transaction, TxnError, TxnManager};
 use casper_storage::StorageError;
@@ -387,7 +386,7 @@ impl DurableTable {
     pub fn create_from_table_with_vfs(
         vfs: VfsHandle,
         dir: &Path,
-        mut table: Table,
+        table: Table,
         opts: DurableOptions,
     ) -> Result<Self, PersistError> {
         fs::create_dir_all(dir)?;
@@ -827,7 +826,10 @@ impl DurableTable {
             if f.generation != self.generation || f.chunk >= self.clean_versions.len() {
                 continue;
             }
-            let hydrated = !matches!(chunks.get(f.chunk), Some(ChunkStore::Unloaded(_)));
+            let hydrated = match chunks.get(f.chunk) {
+                Some(slot) => slot.is_hydrated(),
+                None => true,
+            };
             if hydrated {
                 self.clean_versions[f.chunk] = u64::MAX;
                 if let Some(inflight) = &mut self.inflight {
@@ -864,6 +866,23 @@ impl DurableTable {
             }
         }
         Ok(out)
+    }
+
+    /// Multi-column predicated sum (the TPC-H Q6 shape); read-only, so it
+    /// works on degraded tables too. Corrupt persisted chunks surface as a
+    /// typed error, same as [`DurableTable::execute`].
+    pub fn multi_column_sum(
+        &mut self,
+        lo: u64,
+        hi: u64,
+        sum_cols: &[usize],
+        pred_col: usize,
+        pred_lo: u32,
+        pred_hi: u32,
+    ) -> Result<QueryOutput, PersistError> {
+        self.table
+            .multi_column_sum(lo, hi, sum_cols, pred_col, pred_lo, pred_hi)
+            .map_err(PersistError::from)
     }
 
     /// Execute a batch under one group commit: all writes seal (and fsync)

@@ -37,7 +37,7 @@ use crate::snapshot::{decode_config, decode_store, encode_config, encode_store};
 use crate::vfs::{Vfs, VfsHandle};
 use crate::PersistError;
 use casper_core::FrequencyModel;
-use casper_engine::column::{ChunkStore, LazyChunk};
+use casper_engine::column::{ChunkSlot, ChunkStore};
 use casper_engine::{ChunkedColumn, EngineConfig, Table};
 use casper_storage::StorageError;
 use casper_workload::HapSchema;
@@ -282,8 +282,11 @@ pub(crate) fn numbered_file(name: &str, prefix: &str, suffix: &str) -> Option<u6
 /// One chunk record heading into a new segment.
 #[derive(Debug)]
 pub(crate) enum RecordSource {
-    /// Serialize this (hydrated, dirty) store.
-    Encode(ChunkStore),
+    /// Serialize this (hydrated, dirty) chunk. The slot is shared with the
+    /// live column via `Arc` — capture is a refcount bump, and the engine
+    /// copy-on-writes before its next mutation of the chunk, so the store
+    /// serialized here is frozen at capture time.
+    Encode(Arc<ChunkSlot>),
     /// Byte-copy an existing record (compaction of a clean chunk — the
     /// bytes are CRC-verified in flight but never decoded).
     Copy(ChunkEntry),
@@ -355,18 +358,17 @@ pub(crate) fn run_checkpoint(job: &CheckpointJob) -> Result<Manifest, PersistErr
         let mut offset = SEGMENT_HEADER_LEN;
         for (idx, source) in &job.fresh {
             let (bytes, live) = match source {
-                RecordSource::Encode(store) => {
-                    if matches!(store, ChunkStore::Unloaded(_)) {
-                        // A quarantined (scrub-damaged, never hydrated)
-                        // chunk must not reach capture; if one does, fail
-                        // with a typed error instead of panicking inside
-                        // the encoder.
+                RecordSource::Encode(slot) => {
+                    // A quarantined (scrub-damaged, never hydrated) chunk
+                    // must not reach capture; if one does, fail with a
+                    // typed error instead of panicking inside the encoder.
+                    let Some(store) = slot.store_opt() else {
                         return Err(corrupt(format!(
                             "chunk {idx} reached the checkpoint writer unhydrated \
                              (quarantined or damaged record)"
                         ))
                         .into());
-                    }
+                    };
                     let mut w = ByteWriter::new();
                     encode_store(&mut w, store);
                     (w.into_bytes(), store.len() as u64)
@@ -495,11 +497,11 @@ pub(crate) fn restore_table(
         let entry = entry.clone();
         let loader = move || decode_record(&map, &entry, &config, payload_width);
         if eager {
-            chunks.push(loader()?);
+            chunks.push(ChunkSlot::new(loader()?));
         } else {
             let live = usize::try_from(manifest.entries[i].live)
                 .map_err(|_| corrupt("live count overflows usize"))?;
-            chunks.push(ChunkStore::Unloaded(LazyChunk::new(live, Box::new(loader))));
+            chunks.push(ChunkSlot::new_lazy(live, Box::new(loader)));
         }
     }
     let column = ChunkedColumn::from_restored(

@@ -25,7 +25,7 @@
 use crate::codec::{ByteReader, ByteWriter};
 use crate::crc::crc32;
 use casper_core::FrequencyModel;
-use casper_engine::column::ChunkStore;
+use casper_engine::column::{ChunkSlot, ChunkStore};
 use casper_engine::{ChunkedColumn, EngineConfig, LayoutMode, Table};
 use casper_storage::compress::dictionary::PackedCodes;
 use casper_storage::compress::for_delta::PackedOffsets;
@@ -88,7 +88,12 @@ pub fn encode_snapshot(
         None => body.u8(0),
     }
     body.u64(column.chunks().len() as u64);
-    for store in column.chunks() {
+    for slot in column.chunks() {
+        // Dirty chunks are hydrated by definition, and callers hydrate
+        // before a full snapshot — an unhydrated slot here is a logic bug.
+        let store = slot
+            .store_opt()
+            .expect("cannot serialize an unhydrated chunk");
         encode_store(&mut body, store);
     }
     body.u64(fms.len() as u64);
@@ -160,10 +165,6 @@ pub(crate) fn encode_store(w: &mut ByteWriter, store: &ChunkStore) {
             }
             w.u64(d.capacity() as u64);
         }
-        // Never reached: dirty chunks are hydrated by definition, and the
-        // incremental checkpointer reuses (or byte-copies) the persisted
-        // record of a clean chunk instead of re-encoding it.
-        ChunkStore::Unloaded(_) => panic!("cannot serialize an unhydrated chunk"),
     }
 }
 
@@ -309,7 +310,11 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<RestoredSnapshot, StorageError> {
     let n_chunks = r.len_u64()?;
     let mut chunks = Vec::with_capacity(n_chunks.min(1 << 20));
     for _ in 0..n_chunks {
-        chunks.push(decode_store(&mut r, &config, payload_width)?);
+        chunks.push(ChunkSlot::new(decode_store(
+            &mut r,
+            &config,
+            payload_width,
+        )?));
     }
     if chunks.is_empty() {
         return Err(corrupt("snapshot holds zero chunks"));
@@ -574,7 +579,7 @@ mod tests {
             assert_eq!(restored.generation, 3);
             assert_eq!(restored.durable_lsn, 17);
             assert_eq!(restored.table.len(), t.len(), "{mode:?}");
-            let (n, _) = restored.table.column().q2_count(0, u64::MAX);
+            let (n, _) = restored.table.column().q2_count(0, u64::MAX).unwrap();
             assert_eq!(n as usize, t.len(), "{mode:?}");
         }
     }

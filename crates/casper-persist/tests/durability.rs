@@ -67,8 +67,8 @@ fn assert_same_layout(a: &Table, b: &Table) {
         .zip(b.column().chunks())
         .enumerate()
     {
-        match (ca, cb) {
-            (ChunkStore::Partitioned(pa), ChunkStore::Partitioned(pb)) => {
+        match (ca.store_opt(), cb.store_opt()) {
+            (Some(ChunkStore::Partitioned(pa)), Some(ChunkStore::Partitioned(pb))) => {
                 assert_eq!(pa.partitions(), pb.partitions(), "chunk {i} partitions");
                 assert_eq!(pa.zones(), pb.zones(), "chunk {i} zones");
                 assert_eq!(

@@ -285,6 +285,20 @@ impl<K: ColumnValue> SortedDelta<K> {
         cost
     }
 
+    /// Remove one live row equal to `v` and return its full payload row.
+    /// The row returned is the one a buffered tombstone would hide (the
+    /// last row [`SortedDelta::point_rows`] lists), so the take and the
+    /// tombstone agree on which duplicate disappears.
+    pub fn take_one(&mut self, v: K) -> (Option<Vec<u32>>, OpCost) {
+        let cols: Vec<usize> = (0..self.payload_width).collect();
+        let (rows, mut cost) = self.point_rows(v, &cols);
+        let Some(row) = rows.last().cloned() else {
+            return (None, cost);
+        };
+        cost.absorb(self.delete(v));
+        (Some(row), cost)
+    }
+
     fn maybe_merge(&mut self) -> OpCost {
         if self.delta_keys.len() < self.capacity {
             return OpCost::default();

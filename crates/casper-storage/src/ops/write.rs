@@ -322,6 +322,66 @@ impl<K: ColumnValue> PartitionedChunk<K> {
             partitions_touched: (m.abs_diff(t) + 1) as u64,
         })
     }
+
+    /// Remove the first live row equal to `v` and return its full payload
+    /// row — the single-row half of a cross-chunk update. Mirrors
+    /// [`PartitionedChunk::update`]'s source-side removal (first match only,
+    /// swap-filled out of the live region) rather than
+    /// [`PartitionedChunk::delete`]'s drain-all semantics, so a move between
+    /// chunks affects exactly one row even under duplicate keys.
+    pub fn take_one(&mut self, v: K) -> (Option<Vec<u32>>, WriteResult) {
+        let mut cost = OpCost::default();
+        let m = self.locate(v, &mut cost);
+        self.charge_partition_scan(m, &mut cost);
+        let part = self.parts[m];
+        let mut found: Option<usize> = None;
+        if part.len > 0 && part.covers(v) {
+            let live = &self.data[part.start..part.live_end()];
+            found = live
+                .iter()
+                .position(|&x| x == v)
+                .map(|off| part.start + off);
+        }
+        let Some(pos) = found else {
+            return (
+                None,
+                WriteResult {
+                    affected: 0,
+                    cost,
+                    partitions_touched: 1,
+                },
+            );
+        };
+        let row: Vec<u32> = (0..self.payloads.width())
+            .map(|c| self.payloads.get(c, pos))
+            .collect();
+        self.decompress_partition(m);
+        let last = self.parts[m].live_end() - 1;
+        if pos != last {
+            self.move_slot(last, pos, &mut cost);
+        } else {
+            cost.random_writes += 1;
+        }
+        self.parts[m].len -= 1;
+        self.parts[m].ghosts += 1;
+        self.live -= 1;
+        if self.zones[m].on_boundary(v) {
+            self.recompute_zone(m);
+        }
+        let mut partitions_touched = 1u64;
+        if self.config.policy == UpdatePolicy::Dense {
+            self.push_slot_to_tail(m, &mut cost);
+            partitions_touched += (self.parts.len() - 1 - m) as u64;
+        }
+        (
+            Some(row),
+            WriteResult {
+                affected: 1,
+                cost,
+                partitions_touched,
+            },
+        )
+    }
 }
 
 #[cfg(test)]

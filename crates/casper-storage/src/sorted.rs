@@ -203,6 +203,26 @@ impl<K: ColumnValue> SortedColumn<K> {
         (1, cost)
     }
 
+    /// Remove the first value equal to `v` and return its full payload row
+    /// — the single-row counterpart of [`SortedColumn::delete`] (which
+    /// drains every match), used when a row migrates to another chunk.
+    pub fn take_one(&mut self, v: K) -> (Option<Vec<u32>>, OpCost) {
+        let (r, mut cost) = self.point_query(v);
+        if r.is_empty() {
+            return (None, cost);
+        }
+        let pos = r.start;
+        let row: Vec<u32> = self.payload_cols.iter().map(|c| c[pos]).collect();
+        let moved = self.data.len() - pos;
+        self.data.remove(pos);
+        for c in &mut self.payload_cols {
+            c.remove(pos);
+        }
+        cost.random_writes += 1;
+        cost.seq_writes += moved.div_ceil(self.values_per_block) as u64;
+        (Some(row), cost)
+    }
+
     /// Bulk-merge sorted `(key, payload-row)` pairs and remove keys in
     /// `deletes` — the delta-merge primitive used by [`crate::SortedDelta`].
     pub fn merge(&mut self, mut inserts: Vec<(K, Vec<u32>)>, deletes: &[K]) -> OpCost {

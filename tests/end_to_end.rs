@@ -142,7 +142,7 @@ fn sla_constrained_optimization_bounds_partitions() {
         assert!(c.partitions <= 3, "chunk {} exceeded the SLA cap", c.chunk);
     }
     // The table still answers correctly.
-    let (rows, _) = table.column().q1_point(2048, &[0]);
+    let (rows, _) = table.column().q1_point(2048, &[0]).unwrap();
     assert_eq!(rows.len(), 1);
 }
 
@@ -152,7 +152,9 @@ fn multi_column_q6_analog_consistent_across_modes() {
     let mut reference: Option<u64> = None;
     for mode in LayoutMode::all() {
         let mut table = Table::load_from_generator(mix.generator(), small_config(mode));
-        let out = table.multi_column_sum(1000, 5000, &[0, 1], 2, 0, 50_000);
+        let out = table
+            .multi_column_sum(1000, 5000, &[0, 1], 2, 0, 50_000)
+            .unwrap();
         let sum = out.result.scalar();
         match reference {
             None => reference = Some(sum),

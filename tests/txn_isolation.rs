@@ -18,7 +18,7 @@ fn long_running_analytics_see_a_stable_snapshot() {
     let mut t = table();
     let mgr = TxnManager::new();
     let analyst = mgr.begin();
-    let before = mgr.range_count(&analyst, &t, 0, u64::MAX);
+    let before = mgr.range_count(&analyst, &t, 0, u64::MAX).unwrap();
     // A burst of short transactions commits mid-analysis.
     for i in 0..50u64 {
         let mut w = mgr.begin();
@@ -27,14 +27,14 @@ fn long_running_analytics_see_a_stable_snapshot() {
         mgr.commit(w, &mut t).expect("short txn");
     }
     // The analyst's counts are unchanged at its snapshot...
-    assert_eq!(mgr.range_count(&analyst, &t, 0, u64::MAX), before);
-    assert_eq!(mgr.point_count(&analyst, &t, 0), 1);
-    assert_eq!(mgr.point_count(&analyst, &t, 100_001), 0);
+    assert_eq!(mgr.range_count(&analyst, &t, 0, u64::MAX).unwrap(), before);
+    assert_eq!(mgr.point_count(&analyst, &t, 0).unwrap(), 1);
+    assert_eq!(mgr.point_count(&analyst, &t, 100_001).unwrap(), 0);
     // ...while a fresh snapshot sees all fifty commits.
     let fresh = mgr.begin();
-    assert_eq!(mgr.range_count(&fresh, &t, 0, u64::MAX), before);
-    assert_eq!(mgr.point_count(&fresh, &t, 0), 0);
-    assert_eq!(mgr.point_count(&fresh, &t, 100_001), 1);
+    assert_eq!(mgr.range_count(&fresh, &t, 0, u64::MAX).unwrap(), before);
+    assert_eq!(mgr.point_count(&fresh, &t, 0).unwrap(), 0);
+    assert_eq!(mgr.point_count(&fresh, &t, 100_001).unwrap(), 1);
 }
 
 #[test]
@@ -51,9 +51,9 @@ fn write_conflicts_keep_exactly_one_winner() {
         Err(TxnError::Conflict { key: 500 })
     ));
     let fresh = mgr.begin();
-    assert_eq!(mgr.point_count(&fresh, &t, 501), 1);
-    assert_eq!(mgr.point_count(&fresh, &t, 503), 0);
-    assert_eq!(mgr.point_count(&fresh, &t, 500), 0);
+    assert_eq!(mgr.point_count(&fresh, &t, 501).unwrap(), 1);
+    assert_eq!(mgr.point_count(&fresh, &t, 503).unwrap(), 0);
+    assert_eq!(mgr.point_count(&fresh, &t, 500).unwrap(), 0);
 }
 
 #[test]
@@ -71,8 +71,8 @@ fn serial_commit_chain_is_linearizable() {
         key = next;
     }
     let fresh = mgr.begin();
-    assert_eq!(mgr.point_count(&fresh, &t, 600), 0);
-    assert_eq!(mgr.point_count(&fresh, &t, key), 1);
+    assert_eq!(mgr.point_count(&fresh, &t, 600).unwrap(), 0);
+    assert_eq!(mgr.point_count(&fresh, &t, key).unwrap(), 1);
     assert_eq!(mgr.log_len(), 10);
 }
 
@@ -89,7 +89,7 @@ fn aborted_work_leaves_only_ghost_prefetches() {
     // Logical state unchanged.
     assert_eq!(t.len(), len_before);
     let fresh = mgr.begin();
-    assert_eq!(mgr.point_count(&fresh, &t, 777), 0);
-    assert_eq!(mgr.point_count(&fresh, &t, 100), 1);
-    assert_eq!(mgr.point_count(&fresh, &t, 200), 1);
+    assert_eq!(mgr.point_count(&fresh, &t, 777).unwrap(), 0);
+    assert_eq!(mgr.point_count(&fresh, &t, 100).unwrap(), 1);
+    assert_eq!(mgr.point_count(&fresh, &t, 200).unwrap(), 1);
 }
