@@ -1,0 +1,283 @@
+//! Telemetry overhead gate: enabled-vs-disabled cost of `casper-obs` on
+//! the two hot paths the instrumentation touches most, recorded in
+//! `BENCH_obs.json`.
+//!
+//! Two workloads, A/B-measured in interleaved rounds (so clock drift and
+//! frequency scaling hit both arms equally), gated on the median of the
+//! per-round paired overheads:
+//!
+//! 1. **Scan** — full-table Q2 range count + Q3 range sum over a 1M-row
+//!    table (the `scan_ops` shape). Exercises the per-query timer, the
+//!    routed/pruned chunk counters, and the drift-observed accounting.
+//! 2. **Concurrent reads** — 4 `TableReader` threads running a fixed
+//!    number of point/range queries each over pinned snapshots
+//!    (the `concurrent_load` shape). Exercises the sharded counters under
+//!    contention.
+//!
+//! The gate: telemetry **enabled** may cost at most 2% over **disabled**
+//! on both workloads (the disabled arm still runs the instrumented
+//! binary — one relaxed atomic load per site). Smoke mode shrinks sizes
+//! and loosens the gate to 50%: a CI container's noisy neighbours make a
+//! 2% timing assertion meaningless at smoke scale, but an accidental
+//! always-on lock or allocation in the disabled path still trips it.
+//!
+//! ```text
+//! cargo run --release --bin obs_overhead             # full gate (≤2%)
+//! cargo run --release --bin obs_overhead -- --smoke  # CI-sized (≤50%)
+//! ```
+
+use casper_bench::trajectory::{self, Metric};
+use casper_bench::{Args, TableReport};
+use casper_engine::{EngineConfig, LayoutMode, Table, TableReader};
+use casper_workload::{HapQuery, HapSchema};
+use std::time::Instant;
+
+fn build_table(rows: u64) -> Table {
+    let schema = HapSchema::narrow();
+    let keys: Vec<u64> = (0..rows).map(|i| i * 2).collect();
+    let payload_cols: Vec<Vec<u32>> = (0..schema.payload_cols)
+        .map(|c| {
+            keys.iter()
+                .map(|&k| (k as u32).wrapping_mul(c as u32 + 1))
+                .collect()
+        })
+        .collect();
+    let mut config = EngineConfig::for_mode(LayoutMode::Casper);
+    config.chunk_values = (rows as usize / 32).clamp(1024, 1 << 20);
+    Table::load(schema, keys, payload_cols, config)
+}
+
+/// One timed pass of the scan workload; returns total nanoseconds.
+fn scan_pass(table: &mut Table, domain: u64, iters: usize) -> f64 {
+    let q2 = HapQuery::Q2 { vs: 0, ve: domain };
+    let q3 = HapQuery::Q3 {
+        vs: domain / 4,
+        ve: domain / 4 + domain / 2,
+        k: 2,
+    };
+    let t = Instant::now();
+    for _ in 0..iters {
+        let a = table.execute(&q2).expect("scan q2");
+        let b = table.execute(&q3).expect("scan q3");
+        std::hint::black_box(a.result.scalar() ^ b.result.scalar());
+    }
+    t.elapsed().as_nanos() as f64
+}
+
+/// One timed pass of the concurrent-read workload: `readers` threads each
+/// run `iters` queries against pinned snapshots; returns total nanoseconds
+/// (wall clock across all threads).
+fn concurrent_pass(handle: &TableReader, domain: u64, readers: usize, iters: usize) -> f64 {
+    let span = (domain / 100).max(2);
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for r in 0..readers {
+            let handle = handle.clone();
+            scope.spawn(move || {
+                // Cheap deterministic sequence; per-thread offset keeps the
+                // reader queries from striding in lockstep.
+                let mut x = 0x9E37_79B9u64.wrapping_mul(r as u64 + 1) | 1;
+                let mut acc = 0u64;
+                for i in 0..iters {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let at = x % domain.saturating_sub(span);
+                    let q = if i % 2 == 0 {
+                        HapQuery::Q1 { v: at & !1, k: 4 }
+                    } else {
+                        HapQuery::Q2 {
+                            vs: at,
+                            ve: at + span,
+                        }
+                    };
+                    let o = handle.execute(&q).expect("snapshot read");
+                    acc ^= o.result.scalar();
+                }
+                std::hint::black_box(acc);
+            });
+        }
+    });
+    t.elapsed().as_nanos() as f64
+}
+
+/// One A/B comparison: per-arm nanoseconds plus the gated overhead figure.
+struct AbResult {
+    /// Fastest disabled-arm pass (reporting only).
+    best_off: f64,
+    /// Fastest enabled-arm pass (reporting only).
+    best_on: f64,
+    /// Median of the per-round paired overheads — the gated statistic.
+    median_pct: f64,
+}
+
+/// Interleaved A/B: each round runs `pass` once per arm back to back and
+/// yields one paired overhead percentage; the gate uses the **median**
+/// across rounds.
+///
+/// Two deliberate choices for a noisy shared machine: the arm order flips
+/// every round (off/on, on/off, …) because boost-clock decay makes
+/// whichever arm runs second in a pair slightly slower, and a fixed order
+/// turns that into systematic bias; and the median of paired rounds —
+/// unlike a ratio of per-arm minima — stays honest when a noisy neighbour
+/// inflates a minority of rounds for seconds at a time.
+fn ab_measure(rounds: usize, mut pass: impl FnMut() -> f64) -> AbResult {
+    // Warm both arms once (hydration, page faults, branch predictors).
+    casper_obs::disable();
+    pass();
+    casper_obs::enable();
+    pass();
+    let (mut best_off, mut best_on) = (f64::INFINITY, f64::INFINITY);
+    let mut pcts = Vec::with_capacity(rounds);
+    for r in 0..rounds.max(1) {
+        let mut arm = |on: bool| -> f64 {
+            if on {
+                casper_obs::enable();
+            } else {
+                casper_obs::disable();
+            }
+            pass()
+        };
+        let (off, on) = if r % 2 == 0 {
+            let off = arm(false);
+            (off, arm(true))
+        } else {
+            let on = arm(true);
+            (arm(false), on)
+        };
+        best_off = best_off.min(off);
+        best_on = best_on.min(on);
+        pcts.push(overhead_pct(off, on));
+    }
+    casper_obs::disable();
+    pcts.sort_by(f64::total_cmp);
+    AbResult {
+        best_off,
+        best_on,
+        median_pct: pcts[pcts.len() / 2],
+    }
+}
+
+fn overhead_pct(off: f64, on: f64) -> f64 {
+    (on - off) / off.max(1.0) * 100.0
+}
+
+/// [`ab_measure`] with one retry if the first attempt lands over the gate:
+/// a sustained noise burst can poison even the median, but a genuine
+/// always-on cost in the disabled path fails both attempts.
+fn ab_measure_gated(rounds: usize, gate_pct: f64, mut pass: impl FnMut() -> f64) -> AbResult {
+    let first = ab_measure(rounds, &mut pass);
+    if first.median_pct <= gate_pct {
+        return first;
+    }
+    eprintln!(
+        "obs_overhead: first attempt {:+.2}% over gate, retrying once",
+        first.median_pct
+    );
+    ab_measure(rounds, &mut pass)
+}
+
+fn main() {
+    let args = Args::parse();
+    args.usage(
+        "obs_overhead",
+        "Telemetry overhead gate: enabled-vs-disabled cost on scan and concurrent reads",
+        &[
+            ("rows=N", "table rows (default 1M)"),
+            ("rounds=N", "interleaved A/B rounds, median-of (default 7)"),
+            ("readers=N", "concurrent reader threads (default 4)"),
+            (
+                "smoke",
+                "CI smoke mode: tiny sizes, 50% sanity gate instead of 2%",
+            ),
+        ],
+    );
+    let smoke = args.flag("smoke");
+    let rows = args.u64_or("rows", if smoke { 50_000 } else { 1_000_000 });
+    let rounds = args.u64_or("rounds", if smoke { 3 } else { 7 }) as usize;
+    let readers = args.u64_or("readers", 4).max(1) as usize;
+    // Pass lengths sized so one timed pass runs tens of milliseconds: short
+    // passes (a few ms) put scheduler jitter at the same magnitude as the
+    // 2% gate and make the comparison meaningless.
+    let scan_iters = if smoke { 4 } else { 100 };
+    let read_iters = if smoke { 2_000 } else { 50_000 };
+    let gate_pct = if smoke { 50.0 } else { 2.0 };
+
+    // Engage once up front so the registry exists; the A/B loop then
+    // toggles only the engagement flag — exactly the path production pays.
+    casper_obs::enable();
+    casper_obs::disable();
+
+    let mut table = build_table(rows);
+    let domain = 2 * rows;
+
+    let scan = ab_measure_gated(rounds, gate_pct, || {
+        scan_pass(&mut table, domain, scan_iters)
+    });
+    let (scan_off, scan_on, scan_pct) = (scan.best_off, scan.best_on, scan.median_pct);
+
+    let handle = table.reader();
+    let conc = ab_measure_gated(rounds, gate_pct, || {
+        concurrent_pass(&handle, domain, readers, read_iters)
+    });
+    let (conc_off, conc_on, conc_pct) = (conc.best_off, conc.best_on, conc.median_pct);
+
+    let scan_queries = (scan_iters * 2) as f64;
+    let conc_queries = (readers * read_iters) as f64;
+    let mut report = TableReport::new(
+        format!("Telemetry overhead — {rows} rows, median of {rounds} interleaved rounds"),
+        &["workload", "disabled ns/q", "enabled ns/q", "overhead"],
+    );
+    report.row(&[
+        "scan".into(),
+        format!("{:.0}", scan_off / scan_queries),
+        format!("{:.0}", scan_on / scan_queries),
+        format!("{scan_pct:+.2}%"),
+    ]);
+    report.row(&[
+        format!("concurrent x{readers}"),
+        format!("{:.0}", conc_off / conc_queries),
+        format!("{:.0}", conc_on / conc_queries),
+        format!("{conc_pct:+.2}%"),
+    ]);
+    report.print();
+
+    trajectory::write_metrics_json(
+        "BENCH_obs.json",
+        "obs_overhead",
+        smoke,
+        &[
+            ("rows", rows),
+            ("rounds", rounds as u64),
+            ("readers", readers as u64),
+        ],
+        &[
+            Metric::new("scan_disabled_ns_per_query", scan_off / scan_queries, "ns"),
+            Metric::new("scan_enabled_ns_per_query", scan_on / scan_queries, "ns"),
+            Metric::new("scan_overhead_pct", scan_pct, "pct"),
+            Metric::new(
+                "concurrent_disabled_ns_per_query",
+                conc_off / conc_queries,
+                "ns",
+            ),
+            Metric::new(
+                "concurrent_enabled_ns_per_query",
+                conc_on / conc_queries,
+                "ns",
+            ),
+            Metric::new("concurrent_overhead_pct", conc_pct, "pct"),
+            Metric::new("gate_pct", gate_pct, "pct"),
+        ],
+    );
+
+    assert!(
+        scan_pct <= gate_pct,
+        "telemetry overhead gate: scan path {scan_pct:+.2}% > {gate_pct}%"
+    );
+    assert!(
+        conc_pct <= gate_pct,
+        "telemetry overhead gate: concurrent read path {conc_pct:+.2}% > {gate_pct}%"
+    );
+    println!(
+        "\nOverhead gate OK: scan {scan_pct:+.2}%, concurrent {conc_pct:+.2}% \
+         (limit {gate_pct}%)"
+    );
+}

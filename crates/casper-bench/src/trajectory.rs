@@ -328,6 +328,32 @@ pub fn compressed_entries(rows: usize, reps: usize) -> Vec<Entry> {
     out
 }
 
+/// Version of the shared `BENCH_*.json` shape: every trajectory file
+/// (`BENCH_scan`, `BENCH_persist`, `BENCH_concurrent`, `BENCH_robust`,
+/// `BENCH_obs`) opens with the same header — `bench`,
+/// `bench_schema_version`, `smoke` — emitted by one helper, so trend
+/// tooling can dispatch on one field instead of sniffing each file's
+/// shape. Bump when the common header or a per-file schema changes
+/// incompatibly.
+pub const BENCH_SCHEMA_VERSION: u32 = 2;
+
+/// Open a trajectory JSON object with the shared header fields.
+fn emit_header(out: &mut String, bench: &str, smoke: bool) {
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"{bench}\",");
+    let _ = writeln!(out, "  \"bench_schema_version\": {BENCH_SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+}
+
+/// Write a finished trajectory document to `<workspace root>/<file>`.
+fn emit_file(file: &str, out: &str) {
+    let path = workspace_rooted(file);
+    match std::fs::write(&path, out) {
+        Ok(()) => eprintln!("[trajectory] wrote {}", path.display()),
+        Err(e) => eprintln!("[trajectory] could not write {}: {e}", path.display()),
+    }
+}
+
 /// Resolve `file` against the workspace root: cargo runs bench binaries
 /// with the *package* directory as cwd, so climb until `Cargo.lock` is
 /// found (falls back to cwd-relative if it never is).
@@ -347,16 +373,13 @@ fn workspace_rooted(file: &str) -> std::path::PathBuf {
 /// Serialize entries to `<workspace root>/<file>`. Handwritten JSON — the
 /// workspace is offline, no serde.
 pub fn write_json(file: &str, bench: &str, smoke: bool, entries: &[Entry]) {
-    let path = workspace_rooted(file);
     let mut out = String::new();
-    let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"bench\": \"{bench}\",");
+    emit_header(&mut out, bench, smoke);
     let _ = writeln!(
         out,
         "  \"simd_level\": \"{}\",",
         casper_storage::simd::level().label()
     );
-    let _ = writeln!(out, "  \"smoke\": {smoke},");
     let _ = writeln!(
         out,
         "  \"scalar_baseline\": \"portable fallback of this binary \
@@ -387,10 +410,7 @@ pub fn write_json(file: &str, bench: &str, smoke: bool, entries: &[Entry]) {
     }
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
-    match std::fs::write(&path, &out) {
-        Ok(()) => eprintln!("[trajectory] wrote {}", path.display()),
-        Err(e) => eprintln!("[trajectory] could not write {}: {e}", path.display()),
-    }
+    emit_file(file, &out);
 }
 
 /// One named scalar metric for the durability trajectory
@@ -426,11 +446,8 @@ pub fn write_metrics_json(
     context: &[(&str, u64)],
     metrics: &[Metric],
 ) {
-    let path = workspace_rooted(file);
     let mut out = String::new();
-    let _ = writeln!(out, "{{");
-    let _ = writeln!(out, "  \"bench\": \"{bench}\",");
-    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    emit_header(&mut out, bench, smoke);
     for (k, v) in context {
         let _ = writeln!(out, "  \"{k}\": {v},");
     }
@@ -445,10 +462,7 @@ pub fn write_metrics_json(
     }
     let _ = writeln!(out, "  ]");
     let _ = writeln!(out, "}}");
-    match std::fs::write(&path, &out) {
-        Ok(()) => eprintln!("[trajectory] wrote {}", path.display()),
-        Err(e) => eprintln!("[trajectory] could not write {}: {e}", path.display()),
-    }
+    emit_file(file, &out);
 }
 
 #[cfg(test)]
@@ -478,6 +492,15 @@ mod tests {
             e.kernel, e.speedup
         );
         assert!(s.contains("\"speedup\": 2.00"));
+    }
+
+    #[test]
+    fn shared_header_carries_schema_version() {
+        let mut out = String::new();
+        emit_header(&mut out, "scan_ops", true);
+        assert!(out.contains("\"bench\": \"scan_ops\""));
+        assert!(out.contains(&format!("\"bench_schema_version\": {BENCH_SCHEMA_VERSION}")));
+        assert!(out.contains("\"smoke\": true"));
     }
 
     #[test]

@@ -26,6 +26,7 @@ use std::sync::{Arc, OnceLock};
 use crate::exec::{parallel_for_each_mut, parallel_map};
 use crate::modes::{EngineConfig, LayoutMode};
 use casper_core::Segmentation;
+use casper_obs::{CounterDef, HistogramDef};
 use casper_storage::ghost::GhostPlan;
 use casper_storage::{
     BlockLayout, ChunkConfig, OpCost, PartitionSpec, PartitionedChunk, SortedColumn, SortedDelta,
@@ -33,6 +34,31 @@ use casper_storage::{
 };
 use casper_workload::HapQuery;
 use parking_lot::Mutex;
+
+// Telemetry sites. Each is one relaxed atomic load while telemetry is
+// disengaged (see `casper_obs`); metric names are the catalog entries in
+// `docs/observability.md`.
+static OBS_HYDRATIONS: CounterDef = CounterDef::new("casper_chunk_hydrations_total");
+static OBS_COW_COPIES: CounterDef = CounterDef::new("casper_write_cow_chunk_copies_total");
+static OBS_PUBLISHES: CounterDef = CounterDef::new("casper_snapshot_publishes_total");
+static OBS_BATCH_OPS: HistogramDef = HistogramDef::new("casper_write_batch_ops");
+static OBS_CHUNKS_ROUTED: CounterDef = CounterDef::new("casper_query_chunks_routed_total");
+static OBS_CHUNKS_PRUNED: CounterDef = CounterDef::new("casper_query_chunks_pruned_total");
+
+/// Record one read's chunk routing — `routed` chunks starting at `first`
+/// were scanned out of `total` — and mark each scanned chunk in the FM
+/// drift table (the observed side of the predicted-vs-observed gauges).
+fn note_routed(first: usize, routed: usize, total: usize) {
+    if let Some(reg) = casper_obs::registry() {
+        OBS_CHUNKS_ROUTED.add(routed as u64);
+        if routed < total {
+            OBS_CHUNKS_PRUNED.add((total - routed) as u64);
+        }
+        for c in first..first + routed {
+            reg.drift().note_observed(c, 1);
+        }
+    }
+}
 
 /// Storage behind one chunk, depending on the layout mode.
 #[derive(Debug, Clone)]
@@ -119,6 +145,7 @@ impl ChunkSlot {
             reason: "hydration re-entered after a failed load".to_string(),
         })?;
         let store = loader()?;
+        OBS_HYDRATIONS.inc();
         if store.len() != self.live {
             return Err(StorageError::Corrupt {
                 reason: format!(
@@ -280,6 +307,7 @@ impl SnapshotCell {
     fn publish(&self, snapshot: ColumnSnapshot) {
         *self.current.lock() = Arc::new(snapshot);
         self.version.fetch_add(1, Ordering::Release);
+        OBS_PUBLISHES.inc();
     }
 }
 
@@ -541,6 +569,7 @@ impl ChunkedColumn {
         if Arc::get_mut(&mut self.chunks[i]).is_none() {
             let cloned = self.chunks[i].get()?.clone();
             self.chunks[i] = Arc::new(ChunkSlot::new(cloned));
+            OBS_COW_COPIES.inc();
         }
         Ok(())
     }
@@ -801,6 +830,7 @@ impl ChunkedColumn {
         &mut self,
         ops: &[WriteOp<'_>],
     ) -> Result<Vec<(u64, OpCost)>, StorageError> {
+        OBS_BATCH_OPS.record(ops.len() as u64);
         let out = self.apply_write_batch_inner(ops);
         // Publish even on error: completed chunk groups have landed.
         self.publish();
@@ -932,6 +962,13 @@ impl ChunkedColumn {
         let mut first_err: Option<StorageError> = None;
         let mut raises: Vec<(usize, u64)> = Vec::new();
         let mut touched: Vec<usize> = Vec::new();
+        // Batched writes access their target chunks too: feed the observed
+        // side of the drift gauges (the FM predicts write frequencies).
+        if let Some(reg) = casper_obs::registry() {
+            for job in &jobs {
+                reg.drift().note_observed(job.chunk, job.ops.len() as u64);
+            }
+        }
         for job in jobs {
             if job.out.iter().any(|&(_, affected, _)| affected > 0) {
                 touched.push(job.chunk);
@@ -992,8 +1029,12 @@ impl View<'_> {
 
     fn q1_point(&self, v: u64, cols: &[usize]) -> Result<(Vec<Vec<u32>>, OpCost), StorageError> {
         let targets: Vec<&ChunkStore> = match self.route(v) {
-            Some(c) => vec![self.chunks[c].get()?],
+            Some(c) => {
+                note_routed(c, 1, self.chunks.len());
+                vec![self.chunks[c].get()?]
+            }
             None => {
+                note_routed(0, self.chunks.len(), self.chunks.len());
                 let mut t = Vec::with_capacity(self.chunks.len());
                 for s in self.chunks {
                     t.push(s.get()?);
@@ -1154,11 +1195,13 @@ impl View<'_> {
                     }
                     targets.push(self.chunks[c].get()?);
                 }
+                note_routed(first, targets.len(), self.chunks.len());
             }
             _ => {
                 for s in self.chunks {
                     targets.push(s.get()?);
                 }
+                note_routed(0, self.chunks.len(), self.chunks.len());
             }
         }
         Ok(parallel_map(&targets, self.config.threads, |_, store| {

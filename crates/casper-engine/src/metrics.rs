@@ -4,6 +4,15 @@
 //! (Fig. 15's error bars), and overall workload throughput (ops/s). The
 //! recorder keeps raw nanosecond samples per class and computes summaries
 //! on demand.
+//!
+//! Percentiles use the same nearest-rank rule as the registry histograms
+//! ([`casper_obs::quantile_rank`]) so a raw-sample summary and a
+//! `casper-obs` snapshot of the same run can never disagree about which
+//! rank a quantile selects. (The previous in-line `ceil(n*p)` was also
+//! vulnerable to `n*p` landing a hair *above* an integer in floating
+//! point, selecting the next rank up.)
+
+use casper_obs::quantile_rank;
 
 /// Number of query classes tracked (Q1..Q6).
 pub const CLASSES: usize = 6;
@@ -56,10 +65,7 @@ impl LatencyRecorder {
         }
         let mut sorted = s.clone();
         sorted.sort_unstable();
-        let pct = |p: f64| {
-            let idx = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len()) - 1;
-            sorted[idx]
-        };
+        let pct = |p: f64| sorted[quantile_rank(sorted.len(), p) - 1];
         Some(Summary {
             count: sorted.len(),
             mean_ns: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
@@ -68,6 +74,18 @@ impl LatencyRecorder {
             p999_ns: pct(0.999),
             max_ns: *sorted.last().expect("non-empty"),
         })
+    }
+
+    /// Nearest-rank percentile of one class for an arbitrary quantile in
+    /// `(0, 1]` (e.g. `0.95`), if any samples exist.
+    pub fn percentile(&self, class: usize, q: f64) -> Option<u64> {
+        let s = &self.samples[class];
+        if s.is_empty() {
+            return None;
+        }
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        Some(sorted[quantile_rank(sorted.len(), q) - 1])
     }
 
     /// Workload throughput in operations per second given the elapsed wall
@@ -142,5 +160,49 @@ mod tests {
         assert_eq!(s.p50_ns, 42);
         assert_eq!(s.p999_ns, 42);
         assert_eq!(s.max_ns, 42);
+    }
+
+    #[test]
+    fn tiny_sample_counts_select_sane_ranks() {
+        // With n < 100, p99/p999 must select the max, never run past the
+        // end, and never fall to rank 0.
+        for n in 1..=10u64 {
+            let mut r = LatencyRecorder::new();
+            for v in 1..=n {
+                r.record(0, v);
+            }
+            let s = r.summary(0).unwrap();
+            assert_eq!(s.p99_ns, n, "p99 of 1..={n}");
+            assert_eq!(s.p999_ns, n, "p999 of 1..={n}");
+        }
+    }
+
+    #[test]
+    fn percentile_matches_summary_quantiles() {
+        let mut r = LatencyRecorder::new();
+        for v in 1..=1000u64 {
+            r.record(4, v);
+        }
+        let s = r.summary(4).unwrap();
+        assert_eq!(r.percentile(4, 0.50), Some(s.p50_ns));
+        assert_eq!(r.percentile(4, 0.99), Some(s.p99_ns));
+        assert_eq!(r.percentile(4, 0.999), Some(s.p999_ns));
+        assert_eq!(r.percentile(4, 1.0), Some(s.max_ns));
+        assert_eq!(r.percentile(3, 0.5), None);
+    }
+
+    #[test]
+    fn quantile_rank_is_float_robust() {
+        // A computed quantile can land a hair above its mathematical value
+        // (0.1 + 0.2 = 0.30000000000000004): with 10 samples a bare
+        // ceil(n*q) selects rank 4, but the nearest rank for q = 0.3 is 3.
+        let q = 0.1 + 0.2;
+        assert_eq!((10f64 * q).ceil() as usize, 4);
+        assert_eq!(casper_obs::quantile_rank(10, q), 3);
+        let mut r = LatencyRecorder::new();
+        for v in 1..=10u64 {
+            r.record(1, v);
+        }
+        assert_eq!(r.percentile(1, q), Some(3));
     }
 }

@@ -217,6 +217,15 @@ pub fn optimize_table(
     }
 
     let fms = capture_per_chunk(table, sample);
+    // Publish the predicted side of the per-chunk drift gauges: the FM's
+    // total recorded mass is the access count the layout was solved for.
+    // `set_predicted` also resets each chunk's observed window, so drift is
+    // always measured against the layout currently in force.
+    if let Some(reg) = casper_obs::registry() {
+        for (i, fm) in fms.iter().enumerate() {
+            reg.drift().set_predicted(i, fm.total_mass());
+        }
+    }
     let config = *table.column().config();
     let fairness = opts.fairness_cap.then_some(config.equi_partitions);
     let constraints = SolverConstraints {

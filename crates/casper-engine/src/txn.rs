@@ -18,11 +18,17 @@
 //! that prefetch persists even when the transaction aborts.
 
 use crate::table::Table;
+use casper_obs::{CounterDef, SpanDef};
 use casper_storage::StorageError;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+static OBS_COMMIT_SPAN: SpanDef = SpanDef::new("txn_commit");
+static OBS_COMMITS: CounterDef = CounterDef::new("casper_txn_commits_total");
+static OBS_CONFLICTS: CounterDef = CounterDef::new("casper_txn_conflicts_total");
+static OBS_ABORTS: CounterDef = CounterDef::new("casper_txn_aborts_total");
 
 /// A buffered write.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -290,6 +296,7 @@ impl TxnManager {
     /// Commit: first-committer-wins validation, then apply the buffered
     /// writes to the table and publish the versions.
     pub fn commit(&self, txn: Transaction, table: &mut Table) -> Result<u64, TxnError> {
+        let _span = OBS_COMMIT_SPAN.start();
         let mut inner = self.inner.lock();
         // Validation: any key written by a transaction that committed after
         // our snapshot aborts us.
@@ -297,6 +304,7 @@ impl TxnManager {
             for key in w.keys().into_iter().flatten() {
                 if let Some(&ts) = inner.last_writer.get(&key) {
                     if ts > txn.begin_ts {
+                        OBS_CONFLICTS.inc();
                         return Err(TxnError::Conflict { key });
                     }
                 }
@@ -332,12 +340,14 @@ impl TxnManager {
                 write: w.clone(),
             });
         }
+        OBS_COMMITS.inc();
         Ok(commit_ts)
     }
 
     /// Abort: drop the buffer. Ghost prefetches performed while buffering
     /// persist by design (§6.1).
     pub fn abort(&self, txn: Transaction) {
+        OBS_ABORTS.inc();
         drop(txn);
     }
 

@@ -1,0 +1,54 @@
+//! The `CASPER_OBS_DUMP` background writer.
+//!
+//! When engagement finds `CASPER_OBS_DUMP=path` in the environment, a
+//! detached daemon thread re-renders the registry to `path` every
+//! `CASPER_OBS_DUMP_MS` milliseconds (default 1000). Paths ending in
+//! `.json` get the JSON rendering; everything else gets Prometheus text.
+//! Writes go through a `.tmp` sibling plus rename so a scraper never reads
+//! a torn file.
+
+use crate::registry::Registry;
+use crate::snapshot::MetricsSnapshot;
+use std::sync::Once;
+use std::time::Duration;
+
+/// Start the writer once, if the environment asks for it. Called from
+/// [`crate::enable`].
+pub(crate) fn maybe_start(reg: &'static Registry) {
+    static STARTED: Once = Once::new();
+    STARTED.call_once(|| {
+        let Ok(path) = std::env::var("CASPER_OBS_DUMP") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let period_ms: u64 = std::env::var("CASPER_OBS_DUMP_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1000);
+        let result = std::thread::Builder::new()
+            .name("casper-obs-dump".into())
+            .spawn(move || loop {
+                std::thread::sleep(Duration::from_millis(period_ms.max(10)));
+                write_once(reg, &path);
+            });
+        if let Err(e) = result {
+            eprintln!("[casper-obs] could not start dump writer: {e}");
+        }
+    });
+}
+
+/// Render and atomically replace `path` (also used directly by tests).
+pub fn write_once(reg: &Registry, path: &str) {
+    let snap = MetricsSnapshot::capture(reg);
+    let body = if path.ends_with(".json") {
+        snap.to_json()
+    } else {
+        snap.to_prometheus_text()
+    };
+    let tmp = format!("{path}.tmp");
+    if std::fs::write(&tmp, body).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}

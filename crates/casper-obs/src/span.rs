@@ -1,0 +1,160 @@
+//! Hierarchical span tracing: RAII scope guards that record their duration
+//! into a per-span histogram and push slow completions into a bounded ring.
+//!
+//! A span site holds a `static` [`SpanDef`]; entering it returns a
+//! [`SpanGuard`]. While telemetry is disengaged the guard is inert (one
+//! relaxed load to find out). When engaged, entry pushes the span name
+//! onto a thread-local stack — giving nesting for free — and drop records
+//! the elapsed nanoseconds into the histogram
+//! `casper_span_duration_ns{span="<name>"}`. Completions at or above the
+//! slow threshold (`CASPER_OBS_SLOW_NS`, default 1 ms) additionally
+//! capture their full `parent/child` path into the registry's slow-span
+//! ring — the only part of the span layer that allocates or locks, and it
+//! only runs for spans that already cost a millisecond.
+
+use crate::registry::Registry;
+use crate::Histogram;
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// One slow-span completion retained in the ring buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowSpan {
+    /// Slash-joined hierarchy at completion, e.g.
+    /// `table_execute/checkpoint_sync`.
+    pub path: String,
+    /// Span duration in nanoseconds.
+    pub nanos: u64,
+}
+
+/// `const`-constructible span site. Place in a `static` and call
+/// [`SpanDef::start`] at scope entry.
+#[derive(Debug)]
+pub struct SpanDef {
+    name: &'static str,
+    hist: OnceLock<&'static Histogram>,
+}
+
+impl SpanDef {
+    /// Define a span by name (lowercase snake-case by convention).
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            hist: OnceLock::new(),
+        }
+    }
+
+    /// Enter the span. Returns an inert guard when telemetry is
+    /// disengaged.
+    #[inline]
+    pub fn start(&'static self) -> SpanGuard {
+        match crate::registry() {
+            None => SpanGuard { active: None },
+            Some(reg) => {
+                STACK.with(|s| s.borrow_mut().push(self.name));
+                SpanGuard {
+                    active: Some(ActiveSpan {
+                        def: self,
+                        reg,
+                        start: Instant::now(),
+                    }),
+                }
+            }
+        }
+    }
+
+    fn histogram(&self, reg: &'static Registry) -> &'static Histogram {
+        self.hist.get_or_init(|| {
+            reg.histogram(&format!(
+                "casper_span_duration_ns{{span=\"{}\"}}",
+                self.name
+            ))
+        })
+    }
+}
+
+struct ActiveSpan {
+    def: &'static SpanDef,
+    reg: &'static Registry,
+    start: Instant,
+}
+
+/// RAII guard returned by [`SpanDef::start`]; records on drop.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let nanos = active.start.elapsed().as_nanos() as u64;
+        // Pop after reading the stack so a slow completion captures its
+        // own name at the tail of the path.
+        let slow = nanos >= active.reg.slow_threshold_ns.load(Ordering::Relaxed);
+        let path = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = slow.then(|| stack.join("/"));
+            stack.pop();
+            path
+        });
+        active.def.histogram(active.reg).record(nanos);
+        if let Some(path) = path {
+            active.reg.push_slow(SlowSpan { path, nanos });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_spans_record_and_slow_ring_captures_path() {
+        static OUTER: SpanDef = SpanDef::new("test_outer");
+        static INNER: SpanDef = SpanDef::new("test_inner");
+        let _g = crate::test_lock();
+        let reg = crate::enable();
+        // Force everything to count as slow so the ring fills.
+        reg.slow_threshold_ns.store(0, Ordering::Relaxed);
+        {
+            let _o = OUTER.start();
+            let _i = INNER.start();
+        }
+        reg.slow_threshold_ns.store(1_000_000, Ordering::Relaxed);
+        let snap = crate::snapshot().expect("engaged");
+        let hist = snap
+            .histogram("casper_span_duration_ns{span=\"test_inner\"}")
+            .expect("inner span histogram");
+        assert!(hist.count() >= 1);
+        let ring = snap.slow_spans;
+        assert!(
+            ring.iter().any(|s| s.path == "test_outer/test_inner"),
+            "ring: {ring:?}"
+        );
+        assert!(ring.iter().any(|s| s.path == "test_outer"));
+    }
+
+    #[test]
+    fn disengaged_spans_are_inert() {
+        static S: SpanDef = SpanDef::new("test_inert");
+        let _g = crate::test_lock();
+        crate::disable();
+        {
+            let _g = S.start();
+        }
+        crate::enable();
+        let snap = crate::snapshot().expect("engaged");
+        assert!(snap
+            .histogram("casper_span_duration_ns{span=\"test_inert\"}")
+            .is_none());
+    }
+}

@@ -1,0 +1,102 @@
+//! Metrics under concurrency: writer threads hammer one counter and one
+//! histogram while a reader snapshots continuously. Every snapshot must be
+//! internally consistent (a histogram's total is the sum of the very
+//! bucket reads its quantiles use — never a separately-read count that
+//! could disagree) and monotone across reads.
+//!
+//! Thread count comes from `CASPER_OBS_TEST_THREADS` (default 4; CI runs
+//! the job at 8).
+
+use casper_obs::{CounterDef, HistogramDef};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static COUNTER: CounterDef = CounterDef::new("stress_events_total");
+static HIST: HistogramDef = HistogramDef::new("stress_latency_ns");
+
+const OPS_PER_THREAD: u64 = 200_000;
+
+fn writer_threads() -> usize {
+    std::env::var("CASPER_OBS_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+#[test]
+fn snapshots_are_untorn_and_monotone_under_contention() {
+    casper_obs::enable();
+    let threads = writer_threads();
+    let done = AtomicBool::new(false);
+
+    let reads = std::thread::scope(|scope| {
+        let writers: Vec<_> = (0..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    for i in 0..OPS_PER_THREAD {
+                        COUNTER.add(1);
+                        // Spread values across buckets so torn bucket
+                        // reads would actually show up in totals.
+                        HIST.record((i % 17) * (t as u64 + 1) * 100);
+                    }
+                })
+            })
+            .collect();
+
+        // Reader: snapshot in a tight loop while the writers run.
+        let reader = scope.spawn(|| {
+            let mut last_counter = 0u64;
+            let mut last_hist_count = 0u64;
+            let mut last_hist_sum = 0u64;
+            let mut reads = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let snap = casper_obs::snapshot().expect("engaged");
+                if let Some(c) = snap.counter("stress_events_total") {
+                    assert!(
+                        c >= last_counter,
+                        "counter went backwards: {last_counter} -> {c}"
+                    );
+                    last_counter = c;
+                }
+                if let Some(h) = snap.histogram("stress_latency_ns") {
+                    let count = h.count();
+                    assert!(
+                        count >= last_hist_count,
+                        "histogram total went backwards: {last_hist_count} -> {count}"
+                    );
+                    assert!(
+                        h.sum >= last_hist_sum,
+                        "histogram sum went backwards: {last_hist_sum} -> {}",
+                        h.sum
+                    );
+                    // Internal consistency: quantiles resolve against the
+                    // same bucket reads the total came from, so any
+                    // non-empty snapshot must produce a p999 ≤ max bound.
+                    if count > 0 {
+                        let p999 = h.quantile(0.999).expect("non-empty");
+                        let max = h.max_bound().expect("non-empty");
+                        assert!(p999 <= max, "p999 {p999} above max bound {max}");
+                    }
+                    last_hist_count = count;
+                    last_hist_sum = h.sum;
+                }
+                reads += 1;
+            }
+            reads
+        });
+
+        for w in writers {
+            w.join().expect("writer");
+        }
+        done.store(true, Ordering::Relaxed);
+        reader.join().expect("reader")
+    });
+
+    assert!(reads > 0, "reader never snapshotted");
+
+    // Final totals: exactly threads × OPS_PER_THREAD events, no loss.
+    let snap = casper_obs::snapshot().expect("engaged");
+    let want = threads as u64 * OPS_PER_THREAD;
+    assert_eq!(snap.counter("stress_events_total"), Some(want));
+    let h = snap.histogram("stress_latency_ns").expect("histogram");
+    assert_eq!(h.count(), want);
+}

@@ -35,9 +35,14 @@
 
 use crate::incremental::{run_checkpoint, CheckpointJob, Manifest};
 use crate::PersistError;
+use casper_obs::HistogramDef;
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// End-to-end duration of one checkpoint job, retries and backoff
+/// included (the number an operator actually waits on).
+static OBS_CP_DURATION: HistogramDef = HistogramDef::new("casper_checkpoint_duration_ns");
 
 /// How a checkpoint job is retried on transient I/O failure.
 #[derive(Debug, Clone, Copy)]
@@ -77,6 +82,15 @@ fn transient(e: &PersistError) -> bool {
 /// Run `job` under `policy`: retry transient failures with doubling,
 /// capped backoff. See the module docs for why whole-job retry is safe.
 pub(crate) fn run_with_retry(job: &CheckpointJob, policy: &RetryPolicy) -> Completion {
+    let started = casper_obs::enabled().then(std::time::Instant::now);
+    let completion = run_with_retry_inner(job, policy);
+    if let Some(t) = started {
+        OBS_CP_DURATION.record(t.elapsed().as_nanos() as u64);
+    }
+    completion
+}
+
+fn run_with_retry_inner(job: &CheckpointJob, policy: &RetryPolicy) -> Completion {
     let attempts_allowed = policy.attempts.max(1);
     let mut backoff = policy.backoff;
     let mut attempts = 0u32;

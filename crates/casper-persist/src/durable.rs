@@ -74,12 +74,47 @@ use casper_core::FrequencyModel;
 use casper_engine::adapt::{AdaptDecision, AdaptiveController};
 use casper_engine::optimize::{capture_per_chunk, optimize_table, OptimizeOptions, OptimizeReport};
 use casper_engine::{QueryOutput, Table, Transaction, TxnError, TxnManager};
+use casper_obs::{CounterDef, GaugeDef};
 use casper_storage::StorageError;
 use casper_workload::HapQuery;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::time::Duration;
+
+// Checkpoint health metrics. The counters and gauges are written from the
+// exact code paths that maintain `CheckpointStats` / `TableMode`, so a
+// metrics dump and the `checkpoint_stats()` / `take_checkpoint_error` API
+// can never disagree about what happened.
+static OBS_CHECKPOINTS_OK: CounterDef = CounterDef::new("casper_checkpoints_total{result=\"ok\"}");
+static OBS_CHECKPOINTS_ERR: CounterDef =
+    CounterDef::new("casper_checkpoints_total{result=\"err\"}");
+static OBS_CP_RETRIES: CounterDef = CounterDef::new("casper_checkpoint_retries_total");
+static OBS_CP_CONSECUTIVE: GaugeDef = GaugeDef::new("casper_checkpoint_consecutive_failures");
+static OBS_CP_DIRTY_RATIO: GaugeDef = GaugeDef::new("casper_checkpoint_dirty_chunk_ratio");
+static OBS_FULL_CHECKPOINTS: CounterDef = CounterDef::new("casper_full_checkpoints_total");
+static OBS_SEGMENT_CHAIN: GaugeDef = GaugeDef::new("casper_segment_chain_length");
+static OBS_QUARANTINED: GaugeDef = GaugeDef::new("casper_quarantined_chunks");
+static OBS_DEGRADED_MODE: GaugeDef = GaugeDef::new("casper_degraded_mode");
+static OBS_DEGRADED_ENTER: CounterDef =
+    CounterDef::new("casper_degraded_transitions_total{edge=\"enter\"}");
+static OBS_DEGRADED_EXIT: CounterDef =
+    CounterDef::new("casper_degraded_transitions_total{edge=\"exit\"}");
+
+/// Print `msg` to stderr, at most once per five seconds process-wide.
+/// Degraded-mode churn (a flapping disk triggers enter/exit per write
+/// attempt) must not flood an operator's console.
+fn warn_rate_limited(msg: &str) {
+    use std::sync::Mutex;
+    use std::time::Instant;
+    static LAST: Mutex<Option<Instant>> = Mutex::new(None);
+    const MIN_GAP: Duration = Duration::from_secs(5);
+    let mut last = LAST.lock().unwrap_or_else(|e| e.into_inner());
+    if last.is_none_or(|t| t.elapsed() >= MIN_GAP) {
+        *last = Some(Instant::now());
+        eprintln!("casper-persist: {msg}");
+    }
+}
 
 /// Tunables of the durability layer.
 #[derive(Debug, Clone, Copy)]
@@ -389,6 +424,7 @@ impl DurableTable {
         table: Table,
         opts: DurableOptions,
     ) -> Result<Self, PersistError> {
+        casper_obs::enable_from_env();
         fs::create_dir_all(dir)?;
         if current_path(dir).exists() {
             return Err(corrupt(format!(
@@ -468,6 +504,7 @@ impl DurableTable {
         dir: &Path,
         opts: DurableOptions,
     ) -> Result<Self, PersistError> {
+        casper_obs::enable_from_env();
         let current_bytes = vfs.read(&current_path(dir))?;
         let current = String::from_utf8_lossy(&current_bytes).into_owned();
         let generation: u64 = current
@@ -700,9 +737,17 @@ impl DurableTable {
         self.mode = TableMode::Active;
         self.cp_stats.consecutive_failures = 0;
         match self.checkpoint_sync(false) {
-            Ok(gen) => Ok(gen),
+            Ok(gen) => {
+                OBS_DEGRADED_EXIT.inc();
+                self.sync_obs_gauges();
+                warn_rate_limited(&format!(
+                    "left degraded mode (reactivate proved storage, generation {gen})"
+                ));
+                Ok(gen)
+            }
             Err(e) => {
                 self.mode = TableMode::Degraded(format!("reactivate failed: {e}"));
+                self.sync_obs_gauges();
                 Err(e)
             }
         }
@@ -710,8 +755,40 @@ impl DurableTable {
 
     fn enter_degraded(&mut self, reason: String) {
         if !self.is_degraded() {
+            OBS_DEGRADED_ENTER.inc();
+            warn_rate_limited(&format!("entering degraded read-only mode: {reason}"));
             self.mode = TableMode::Degraded(reason);
+            self.sync_obs_gauges();
         }
+    }
+
+    /// Mirror the health state the accessors report into the registry
+    /// gauges. Called wherever that state changes, so a metrics dump and
+    /// [`DurableTable::stats`] / [`DurableTable::checkpoint_stats`] always
+    /// tell the same story.
+    fn sync_obs_gauges(&self) {
+        if !casper_obs::enabled() {
+            return;
+        }
+        OBS_CP_CONSECUTIVE.set(self.cp_stats.consecutive_failures as f64);
+        let segments: BTreeSet<u64> = self.entries.iter().map(|e| e.seg).collect();
+        OBS_SEGMENT_CHAIN.set(segments.len() as f64);
+        OBS_QUARANTINED.set(self.quarantined.len() as f64);
+        OBS_DEGRADED_MODE.set(if self.is_degraded() { 1.0 } else { 0.0 });
+    }
+
+    /// Render the process-wide telemetry registry as Prometheus text
+    /// exposition. Empty when telemetry was never engaged (`CASPER_OBS`
+    /// unset and [`casper_obs::enable`] never called).
+    pub fn metrics_text(&self) -> String {
+        self.sync_obs_gauges();
+        casper_obs::snapshot().map_or_else(String::new, |s| s.to_prometheus_text())
+    }
+
+    /// As [`DurableTable::metrics_text`], rendered as a JSON object.
+    pub fn metrics_json(&self) -> String {
+        self.sync_obs_gauges();
+        casper_obs::snapshot().map_or_else(|| "{}".to_string(), |s| s.to_json())
     }
 
     /// Live row count.
@@ -846,6 +923,7 @@ impl DurableTable {
                     .or_insert_with(|| f.reason.clone());
             }
         }
+        self.sync_obs_gauges();
     }
 
     /// Execute one query. Writes are staged into the WAL's open batch
@@ -1165,6 +1243,16 @@ impl DurableTable {
         if !fresh.is_empty() {
             self.next_seg += 1;
         }
+        if casper_obs::enabled() {
+            let dirty = fresh
+                .iter()
+                .filter(|(_, s)| matches!(s, RecordSource::Encode(_)))
+                .count();
+            OBS_CP_DIRTY_RATIO.set(if n == 0 { 0.0 } else { dirty as f64 / n as f64 });
+            if full {
+                OBS_FULL_CHECKPOINTS.inc();
+            }
+        }
         self.inflight = Some(Inflight {
             versions,
             durable_lsn,
@@ -1235,6 +1323,7 @@ impl DurableTable {
     fn apply_completion(&mut self, completion: Completion) -> Result<(), PersistError> {
         let inflight = self.inflight.take().expect("completion without capture");
         self.cp_stats.total_retries += u64::from(completion.attempts.saturating_sub(1));
+        OBS_CP_RETRIES.add(u64::from(completion.attempts.saturating_sub(1)));
         match completion.result {
             Ok(manifest) => {
                 self.cp_stats.consecutive_failures = 0;
@@ -1242,9 +1331,12 @@ impl DurableTable {
                 self.durable_lsn = manifest.durable_lsn;
                 self.entries = manifest.entries;
                 self.clean_versions = inflight.versions;
+                OBS_CHECKPOINTS_OK.inc();
+                self.sync_obs_gauges();
                 Ok(())
             }
             Err(e) => {
+                OBS_CHECKPOINTS_ERR.inc();
                 self.cp_stats.consecutive_failures += 1;
                 self.cp_stats.total_failures += 1;
                 let mut ring: VecDeque<CheckpointFailure> =
@@ -1267,6 +1359,7 @@ impl DurableTable {
                         self.cp_stats.consecutive_failures
                     ));
                 }
+                self.sync_obs_gauges();
                 Err(e)
             }
         }

@@ -31,6 +31,7 @@
 
 use crate::mmap::Mmap;
 use crate::vfs::{Vfs, VfsFile};
+use casper_obs::CounterDef;
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io;
@@ -229,8 +230,10 @@ impl State {
                 None => true,
             };
             if due && rs.fired < rs.rule.times {
+                static OBS_FAULTS: CounterDef = CounterDef::new("casper_fault_injections_total");
                 rs.fired += 1;
                 self.counters.injected += 1;
+                OBS_FAULTS.inc();
                 self.injected_log.push(format!(
                     "{op:?} #{} on {path_str}: injected {:?}",
                     rs.seen, rs.rule.err

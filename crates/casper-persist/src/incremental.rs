@@ -39,6 +39,7 @@ use crate::PersistError;
 use casper_core::FrequencyModel;
 use casper_engine::column::{ChunkSlot, ChunkStore};
 use casper_engine::{ChunkedColumn, EngineConfig, Table};
+use casper_obs::CounterDef;
 use casper_storage::StorageError;
 use casper_workload::HapSchema;
 use std::collections::BTreeMap;
@@ -55,6 +56,13 @@ pub const SEGMENT_MAGIC: [u8; 4] = *b"CSPS";
 pub const MANIFEST_VERSION: u32 = 2;
 /// Byte length of a segment file header (`magic | version | seq`).
 pub const SEGMENT_HEADER_LEN: u64 = 16;
+
+/// Record bytes written into fresh segments (headers excluded); retried
+/// jobs count every attempt — the counter tracks bytes actually written.
+static OBS_SEGMENT_BYTES: CounterDef = CounterDef::new("casper_checkpoint_segment_bytes_total");
+/// Subset of segment bytes that were byte-copied from older segments
+/// (compaction traffic, as opposed to re-encoded dirty chunks).
+static OBS_COMPACTION_BYTES: CounterDef = CounterDef::new("casper_compaction_copy_bytes_total");
 
 fn corrupt(reason: impl Into<String>) -> StorageError {
     StorageError::Corrupt {
@@ -356,6 +364,7 @@ pub(crate) fn run_checkpoint(job: &CheckpointJob) -> Result<Manifest, PersistErr
         // whole accumulated segment inside its own journal transaction,
         // stalling the commit path.
         let mut offset = SEGMENT_HEADER_LEN;
+        let mut copied_bytes = 0u64;
         for (idx, source) in &job.fresh {
             let (bytes, live) = match source {
                 RecordSource::Encode(slot) => {
@@ -373,7 +382,11 @@ pub(crate) fn run_checkpoint(job: &CheckpointJob) -> Result<Manifest, PersistErr
                     encode_store(&mut w, store);
                     (w.into_bytes(), store.len() as u64)
                 }
-                RecordSource::Copy(entry) => (read_record(&job.vfs, &job.dir, entry)?, entry.live),
+                RecordSource::Copy(entry) => {
+                    let bytes = read_record(&job.vfs, &job.dir, entry)?;
+                    copied_bytes += bytes.len() as u64;
+                    (bytes, entry.live)
+                }
             };
             file.write_all(&bytes)?;
             crate::mmap::initiate_writeback(file.std_file(), offset, bytes.len() as u64);
@@ -388,6 +401,8 @@ pub(crate) fn run_checkpoint(job: &CheckpointJob) -> Result<Manifest, PersistErr
             offset += bytes.len() as u64;
         }
         file.sync_all()?;
+        OBS_SEGMENT_BYTES.add(offset - SEGMENT_HEADER_LEN);
+        OBS_COMPACTION_BYTES.add(copied_bytes);
     }
 
     let entries: Vec<ChunkEntry> = entries

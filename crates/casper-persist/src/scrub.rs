@@ -18,11 +18,19 @@
 use crate::incremental::{manifest_path, read_record, ChunkEntry, Manifest};
 use crate::vfs::{Vfs, VfsHandle};
 use crate::PersistError;
+use casper_obs::CounterDef;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+// Scrub progress counters. They live in `scrub_pass` itself so both the
+// background thread and manual `DurableTable::scrub_now` calls feed them.
+static OBS_SCRUB_PASSES: CounterDef = CounterDef::new("casper_scrub_passes_total");
+static OBS_SCRUB_RECORDS: CounterDef = CounterDef::new("casper_scrub_records_checked_total");
+static OBS_SCRUB_CORRUPT: CounterDef = CounterDef::new("casper_scrub_corrupt_records_total");
+static OBS_SCRUB_FAILED: CounterDef = CounterDef::new("casper_scrub_failed_passes_total");
 
 /// One damaged record discovered by a scrub pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -132,6 +140,9 @@ pub fn scrub_pass(
             std::thread::sleep(pause_per_record);
         }
     }
+    OBS_SCRUB_PASSES.inc();
+    OBS_SCRUB_RECORDS.add(report.records_checked);
+    OBS_SCRUB_CORRUPT.add(report.findings.len() as u64);
     Ok(report)
 }
 
@@ -183,6 +194,7 @@ impl ScrubShared {
     }
 
     fn note_failed_pass(&self) {
+        OBS_SCRUB_FAILED.inc();
         self.stats.lock().expect("scrub stats lock").failed_passes += 1;
     }
 }

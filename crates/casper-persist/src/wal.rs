@@ -30,10 +30,18 @@ use crate::crc::crc32;
 use crate::vfs::{Vfs, VfsFile, VfsHandle};
 use crate::PersistError;
 use casper_engine::Table;
+use casper_obs::{CounterDef, HistogramDef};
 use casper_storage::OpCost;
 use casper_workload::HapQuery;
 use std::io::SeekFrom;
 use std::path::{Path, PathBuf};
+
+// Group-commit telemetry: every seal is one fsync, so occupancy (records
+// per sealed batch) and fsync latency together describe the amortization.
+static OBS_FSYNC_NS: HistogramDef = HistogramDef::new("casper_wal_fsync_ns");
+static OBS_FSYNCS: CounterDef = CounterDef::new("casper_wal_fsyncs_total");
+static OBS_FSYNC_FAILURES: CounterDef = CounterDef::new("casper_wal_fsync_failures_total");
+static OBS_BATCH_RECORDS: HistogramDef = HistogramDef::new("casper_wal_group_commit_records");
 
 /// One logged write operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -390,6 +398,7 @@ impl Wal {
             )));
         }
         let commit_lsn = self.next_lsn;
+        OBS_BATCH_RECORDS.record(self.staged_records);
         let body = encode_commit_body(commit_lsn, self.staged_records);
         let mut commit_frame = Vec::new();
         encode_frame(&mut commit_frame, &body);
@@ -399,7 +408,14 @@ impl Wal {
         self.file.seek(SeekFrom::Start(self.bytes_on_disk))?;
         self.file.write_all(&self.staged)?;
         self.file.write_all(&commit_frame)?;
-        if let Err(e) = self.file.sync_data() {
+        let fsync_start = casper_obs::enabled().then(std::time::Instant::now);
+        let synced = self.file.sync_data();
+        if let Some(t) = fsync_start {
+            OBS_FSYNC_NS.record(t.elapsed().as_nanos() as u64);
+        }
+        OBS_FSYNCS.inc();
+        if let Err(e) = synced {
+            OBS_FSYNC_FAILURES.inc();
             // fsyncgate: after a failed fsync the kernel may have dropped
             // the dirty pages while marking them clean, so a *retried*
             // fsync on this fd can succeed without making the data

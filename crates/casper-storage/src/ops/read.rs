@@ -24,6 +24,19 @@ use crate::chunk::PartitionedChunk;
 use crate::kernels::{self, Fragment};
 use crate::ops::OpCost;
 use crate::value::ColumnValue;
+use casper_obs::CounterDef;
+
+// Fragment-hit and zone-map telemetry: which physical path served each
+// partition touch, and how many partitions metadata pruned away entirely.
+// Range scans touch hundreds of partitions per chunk, so the scan driver
+// accumulates locally and flushes each counter once per chunk — a
+// per-partition `inc()` costs microseconds on a full-table scan and blows
+// the obs_overhead gate. Point queries touch one partition and inc directly.
+static OBS_PLAIN_SCANS: CounterDef =
+    CounterDef::new("casper_scan_partitions_total{path=\"plain\"}");
+static OBS_COMPRESSED_SCANS: CounterDef =
+    CounterDef::new("casper_scan_partitions_total{path=\"compressed\"}");
+static OBS_ZONE_PRUNED: CounterDef = CounterDef::new("casper_zone_partitions_pruned_total");
 
 /// Result of a point query.
 #[derive(Debug, Clone, Default)]
@@ -181,6 +194,7 @@ impl<K: ColumnValue> PartitionedChunk<K> {
                 .as_ref()
                 .is_some_and(|frag| frag.select_eq_positions(v, part.start, &mut positions));
             if compressed {
+                OBS_COMPRESSED_SCANS.inc();
                 self.charge_compressed_scan(p, &mut cost);
             } else {
                 kernels::select_eq_into(
@@ -189,8 +203,12 @@ impl<K: ColumnValue> PartitionedChunk<K> {
                     part.start,
                     &mut positions,
                 );
+                OBS_PLAIN_SCANS.inc();
                 self.charge_partition_scan(p, &mut cost);
             }
+        } else {
+            // Out-of-zone probe: answered from the zone map alone.
+            OBS_ZONE_PRUNED.inc();
         }
         PointQueryResult {
             positions,
@@ -337,14 +355,19 @@ impl<K: ColumnValue> PartitionedChunk<K> {
     ) {
         let (first, last) = self.range_partition_span(lo, hi, cost);
         let mut first_touch = true;
+        // Telemetry accumulates in locals and flushes once per chunk scan:
+        // a shared-counter add per partition is measurable on a full scan.
+        let (mut plain, mut encoded, mut pruned) = (0u64, 0u64, 0u64);
         for p in first..=last {
             let part = &self.parts[p];
             let zone = self.zones[p];
             if part.len == 0 || !zone.intersects(lo, hi) {
+                pruned += 1;
                 continue; // zone-map pruning: no block of `p` is read
             }
             if zone.inside(lo, hi) {
                 visit(RangePart::Blind(part));
+                plain += 1;
                 let blocks = self.live_blocks(p) as u64;
                 if first_touch {
                     cost.random_reads += 1;
@@ -359,11 +382,26 @@ impl<K: ColumnValue> PartitionedChunk<K> {
                     live: &self.data[part.start..part.live_end()],
                     frag: self.frags[p].as_ref(),
                 }) {
-                    ScanPath::Plain => self.charge_partition_scan(p, cost),
-                    ScanPath::Encoded => self.charge_compressed_scan(p, cost),
+                    ScanPath::Plain => {
+                        plain += 1;
+                        self.charge_partition_scan(p, cost);
+                    }
+                    ScanPath::Encoded => {
+                        encoded += 1;
+                        self.charge_compressed_scan(p, cost);
+                    }
                 }
             }
             first_touch = false;
+        }
+        if plain > 0 {
+            OBS_PLAIN_SCANS.add(plain);
+        }
+        if encoded > 0 {
+            OBS_COMPRESSED_SCANS.add(encoded);
+        }
+        if pruned > 0 {
+            OBS_ZONE_PRUNED.add(pruned);
         }
     }
 

@@ -117,9 +117,15 @@ fn parse_level(s: &str) -> Option<SimdLevel> {
 }
 
 /// The process-wide dispatch level, detected once on first use.
+///
+/// Every call also refreshes the `casper_simd_dispatch_level` gauge
+/// (0 = scalar, 1 = AVX2, 2 = AVX-512) so telemetry engaged *after* the
+/// first dispatch still learns the level.
 pub fn level() -> SimdLevel {
+    static OBS_LEVEL: casper_obs::GaugeDef =
+        casper_obs::GaugeDef::new("casper_simd_dispatch_level");
     static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
-    *LEVEL.get_or_init(|| {
+    let level = *LEVEL.get_or_init(|| {
         let force = std::env::var("CASPER_FORCE_SCALAR")
             .map(|v| !v.is_empty() && v != "0")
             .unwrap_or(false);
@@ -135,7 +141,9 @@ pub fn level() -> SimdLevel {
             }
         }
         select_level(request.as_deref(), force, detect_host())
-    })
+    });
+    OBS_LEVEL.set(level as u8 as f64);
+    level
 }
 
 /// A fixed-width unsigned lane element the SIMD kernels scan.
