@@ -20,10 +20,11 @@
 //! refcounting — the last pin of a superseded snapshot frees it. See
 //! `docs/concurrency.md` for the full protocol.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use crate::exec::{parallel_for_each_mut, parallel_map};
+use crate::governor::QueryCtx;
 use crate::modes::{EngineConfig, LayoutMode};
 use casper_core::Segmentation;
 use casper_obs::{CounterDef, HistogramDef};
@@ -85,7 +86,22 @@ impl ChunkStore {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Heap bytes this decoded store keeps resident (slots, fragments,
+    /// indexes, payloads) — the governor's budget unit.
+    pub fn resident_bytes(&self) -> usize {
+        match self {
+            ChunkStore::Partitioned(c) => c.resident_bytes(),
+            ChunkStore::Sorted(c) => c.resident_bytes(),
+            ChunkStore::Delta(c) => c.resident_bytes(),
+        }
+    }
 }
+
+/// Global coarse access clock for LRU victim selection: each hydrated-store
+/// access stamps its slot with the next tick. Monotone and cross-column —
+/// comparing stamps orders accesses table-wide.
+static ACCESS_CLOCK: AtomicU64 = AtomicU64::new(1);
 
 /// Deferred chunk loader: decodes (and checksum-verifies) the store from
 /// its persisted segment on first touch.
@@ -104,6 +120,10 @@ pub struct ChunkSlot {
     store: OnceLock<ChunkStore>,
     lazy: Mutex<Option<ChunkLoader>>,
     live: usize,
+    /// Last [`ACCESS_CLOCK`] tick that touched this slot's store — the
+    /// governor's LRU signal. Relaxed: an approximate ordering is all
+    /// victim selection needs.
+    stamp: AtomicU64,
 }
 
 impl ChunkSlot {
@@ -116,6 +136,7 @@ impl ChunkSlot {
             store: cell,
             lazy: Mutex::new(None),
             live,
+            stamp: AtomicU64::new(ACCESS_CLOCK.fetch_add(1, Ordering::Relaxed)),
         }
     }
 
@@ -126,6 +147,7 @@ impl ChunkSlot {
             store: OnceLock::new(),
             lazy: Mutex::new(Some(loader)),
             live,
+            stamp: AtomicU64::new(0),
         }
     }
 
@@ -135,6 +157,10 @@ impl ChunkSlot {
     /// every later access reports the re-entry.
     pub fn get(&self) -> Result<&ChunkStore, StorageError> {
         if let Some(s) = self.store.get() {
+            self.stamp.store(
+                ACCESS_CLOCK.fetch_add(1, Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
             return Ok(s);
         }
         let mut lazy = self.lazy.lock();
@@ -155,12 +181,28 @@ impl ChunkSlot {
                 ),
             });
         }
+        self.stamp.store(
+            ACCESS_CLOCK.fetch_add(1, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
         Ok(self.store.get_or_init(move || store))
     }
 
     /// The decoded store if this slot is already hydrated.
     pub fn store_opt(&self) -> Option<&ChunkStore> {
         self.store.get()
+    }
+
+    /// The [`ACCESS_CLOCK`] tick of the last store access (0 = never
+    /// touched since restore/eviction). Lower = colder.
+    pub fn last_access(&self) -> u64 {
+        self.stamp.load(Ordering::Relaxed)
+    }
+
+    /// Resident heap bytes of the decoded store; 0 while unhydrated (a
+    /// pending loader keeps no decoded data alive).
+    pub fn resident_bytes(&self) -> usize {
+        self.store.get().map_or(0, ChunkStore::resident_bytes)
     }
 
     /// Whether the store has been decoded from its segment.
@@ -216,6 +258,14 @@ impl ColumnSnapshot {
             chunks: &self.chunks,
             fences: self.fences.as_deref(),
             config: &self.config,
+            ctx: None,
+        }
+    }
+
+    fn view_ctx<'a>(&'a self, ctx: &'a QueryCtx) -> View<'a> {
+        View {
+            ctx: Some(ctx),
+            ..self.view()
         }
     }
 
@@ -270,6 +320,53 @@ impl ColumnSnapshot {
         pred_hi: u32,
     ) -> Result<(u64, OpCost), StorageError> {
         self.view()
+            .q3_sum_where(lo, hi, sum_cols, pred_col, pred_lo, pred_hi)
+    }
+
+    /// Q1 with a deadline/cancel context checked at chunk boundaries.
+    pub fn q1_point_ctx(
+        &self,
+        v: u64,
+        cols: &[usize],
+        ctx: &QueryCtx,
+    ) -> Result<(Vec<Vec<u32>>, OpCost), StorageError> {
+        self.view_ctx(ctx).q1_point(v, cols)
+    }
+
+    /// Q2 with a deadline/cancel context checked at chunk boundaries.
+    pub fn q2_count_ctx(
+        &self,
+        lo: u64,
+        hi: u64,
+        ctx: &QueryCtx,
+    ) -> Result<(u64, OpCost), StorageError> {
+        self.view_ctx(ctx).q2_count(lo, hi)
+    }
+
+    /// Q3 with a deadline/cancel context checked at chunk boundaries.
+    pub fn q3_sum_ctx(
+        &self,
+        lo: u64,
+        hi: u64,
+        cols: &[usize],
+        ctx: &QueryCtx,
+    ) -> Result<(u64, OpCost), StorageError> {
+        self.view_ctx(ctx).q3_sum(lo, hi, cols)
+    }
+
+    /// Predicated sum with a deadline/cancel context checked at chunk
+    /// boundaries.
+    pub fn q3_sum_where_ctx(
+        &self,
+        lo: u64,
+        hi: u64,
+        sum_cols: &[usize],
+        pred_col: usize,
+        pred_lo: u32,
+        pred_hi: u32,
+        ctx: &QueryCtx,
+    ) -> Result<(u64, OpCost), StorageError> {
+        self.view_ctx(ctx)
             .q3_sum_where(lo, hi, sum_cols, pred_col, pred_lo, pred_hi)
     }
 }
@@ -475,6 +572,60 @@ impl ChunkedColumn {
         self.chunks.iter().filter(|c| !c.is_hydrated()).count()
     }
 
+    /// Resident heap bytes across all hydrated chunk stores (the
+    /// governor's budget measure). A cheap walk: unhydrated slots report
+    /// zero without decoding anything.
+    pub fn resident_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.resident_bytes()).sum()
+    }
+
+    /// Demote hydrated chunk `i` back to an unloaded lazy slot re-pointed
+    /// at its persisted record (`loader` decodes it on next touch).
+    /// Returns `false` (consuming nothing) when the slot is not hydrated.
+    ///
+    /// The old `Arc<ChunkSlot>` is only *unlinked*, not freed: published
+    /// snapshots and in-flight pins keep it alive until their refcounts
+    /// drop — which is exactly what keeps concurrent readers correct while
+    /// the governor evicts underneath them. The chunk's version is **not**
+    /// bumped (its logical content is unchanged; eviction must not dirty
+    /// it for the incremental checkpointer). Callers are responsible for
+    /// eligibility (clean + persisted + not quarantined) and must
+    /// [`ChunkedColumn::republish`] once per eviction pass so new pins
+    /// stop holding the hydrated copies.
+    pub fn evict_chunk(&mut self, i: usize, loader: ChunkLoader) -> bool {
+        if !self.chunks[i].is_hydrated() {
+            return false;
+        }
+        let live = self.chunks[i].len();
+        self.chunks[i] = Arc::new(ChunkSlot::new_lazy(live, loader));
+        true
+    }
+
+    /// Replace chunk `i`'s slot with a fresh lazy slot of `live` rows
+    /// backed by `loader`, regardless of the old slot's hydration state.
+    /// This is the panic-containment primitive: after a query panics in a
+    /// clean, persisted chunk, the suspect in-memory state (or a poisoned
+    /// lazy slot) is discarded and the chunk re-points at its last durable
+    /// record. Same version / publish contract as
+    /// [`ChunkedColumn::evict_chunk`].
+    pub fn repoint_chunk(&mut self, i: usize, live: usize, loader: ChunkLoader) {
+        self.chunks[i] = Arc::new(ChunkSlot::new_lazy(live, loader));
+    }
+
+    /// Publish the current chunk set to readers (used after an eviction
+    /// pass; writes publish on their own). No-op until snapshot mode is
+    /// engaged.
+    pub fn republish(&self) {
+        self.publish();
+    }
+
+    /// Route a key to its owning chunk (`None` = broadcast column).
+    /// Exposed for panic attribution: a governed query that panics on a
+    /// point-shaped operation reports the chunk it routed to.
+    pub fn route_for(&self, key: u64) -> Option<usize> {
+        self.route(key)
+    }
+
     /// Decode chunk `i` from its segment if it has not hydrated yet.
     /// Checksum/decoding damage surfaces as [`StorageError::Corrupt`];
     /// hydration does not mark the chunk dirty.
@@ -660,6 +811,14 @@ impl ChunkedColumn {
             chunks: &self.chunks,
             fences: self.fences.as_deref(),
             config: &self.config,
+            ctx: None,
+        }
+    }
+
+    fn view_ctx<'a>(&'a self, ctx: &'a QueryCtx) -> View<'a> {
+        View {
+            ctx: Some(ctx),
+            ..self.view()
         }
     }
 
@@ -702,6 +861,53 @@ impl ChunkedColumn {
         pred_hi: u32,
     ) -> Result<(u64, OpCost), StorageError> {
         self.view()
+            .q3_sum_where(lo, hi, sum_cols, pred_col, pred_lo, pred_hi)
+    }
+
+    /// Q1 with a deadline/cancel context checked at chunk boundaries.
+    pub fn q1_point_ctx(
+        &self,
+        v: u64,
+        cols: &[usize],
+        ctx: &QueryCtx,
+    ) -> Result<(Vec<Vec<u32>>, OpCost), StorageError> {
+        self.view_ctx(ctx).q1_point(v, cols)
+    }
+
+    /// Q2 with a deadline/cancel context checked at chunk boundaries.
+    pub fn q2_count_ctx(
+        &self,
+        lo: u64,
+        hi: u64,
+        ctx: &QueryCtx,
+    ) -> Result<(u64, OpCost), StorageError> {
+        self.view_ctx(ctx).q2_count(lo, hi)
+    }
+
+    /// Q3 with a deadline/cancel context checked at chunk boundaries.
+    pub fn q3_sum_ctx(
+        &self,
+        lo: u64,
+        hi: u64,
+        cols: &[usize],
+        ctx: &QueryCtx,
+    ) -> Result<(u64, OpCost), StorageError> {
+        self.view_ctx(ctx).q3_sum(lo, hi, cols)
+    }
+
+    /// Predicated sum with a deadline/cancel context checked at chunk
+    /// boundaries.
+    pub fn q3_sum_where_ctx(
+        &self,
+        lo: u64,
+        hi: u64,
+        sum_cols: &[usize],
+        pred_col: usize,
+        pred_lo: u32,
+        pred_hi: u32,
+        ctx: &QueryCtx,
+    ) -> Result<(u64, OpCost), StorageError> {
+        self.view_ctx(ctx)
             .q3_sum_where(lo, hi, sum_cols, pred_col, pred_lo, pred_hi)
     }
 
@@ -850,14 +1056,21 @@ impl ChunkedColumn {
         }
         let mut pending: Vec<Vec<(usize, WriteOp<'_>)>> = vec![Vec::new(); self.chunks.len()];
         let mut pending_count = 0usize;
+        // Routing failure on an ordered column is an internal-invariant
+        // breach (the fence vector covers the whole key domain); surface
+        // it typed rather than panicking — a panic inside a governed batch
+        // would quarantine a chunk that holds perfectly good data.
+        let routed = |col: &Self, key: u64| {
+            col.route(key).ok_or(StorageError::Corrupt {
+                reason: format!("ordered column failed to route key {key}"),
+            })
+        };
         for (i, &op) in ops.iter().enumerate() {
             let chunk = match op {
-                WriteOp::Insert { key, .. } | WriteOp::Delete { key } => {
-                    self.route(key).expect("ordered column routes every key")
-                }
+                WriteOp::Insert { key, .. } | WriteOp::Delete { key } => routed(self, key)?,
                 WriteOp::Update { old, new } => {
-                    let from = self.route(old).expect("ordered");
-                    let to = self.route(new).expect("ordered");
+                    let from = routed(self, old)?;
+                    let to = routed(self, new)?;
                     if from != to {
                         // Barrier: the move touches two chunks.
                         self.flush_write_groups(&mut pending, &mut pending_count, &mut results)?;
@@ -1004,12 +1217,24 @@ struct View<'a> {
     chunks: &'a [Arc<ChunkSlot>],
     fences: Option<&'a [u64]>,
     config: &'a EngineConfig,
+    /// Deadline/cancel context, checked once per chunk boundary (`None`
+    /// on the ungoverned paths — a single branch of overhead).
+    ctx: Option<&'a QueryCtx>,
 }
 
 impl View<'_> {
     fn route(&self, key: u64) -> Option<usize> {
         self.fences
             .map(|f| f.partition_point(|&b| b < key).min(f.len() - 1))
+    }
+
+    /// Chunk-boundary interrupt check (no-op without a context).
+    #[inline]
+    fn check_interrupt(&self) -> Result<(), StorageError> {
+        match self.ctx {
+            Some(ctx) => ctx.check(),
+            None => Ok(()),
+        }
     }
 
     /// Indices of the chunks overlapping `[lo, hi)` (mirrors the target
@@ -1030,6 +1255,7 @@ impl View<'_> {
     fn q1_point(&self, v: u64, cols: &[usize]) -> Result<(Vec<Vec<u32>>, OpCost), StorageError> {
         let targets: Vec<&ChunkStore> = match self.route(v) {
             Some(c) => {
+                self.check_interrupt()?;
                 note_routed(c, 1, self.chunks.len());
                 vec![self.chunks[c].get()?]
             }
@@ -1037,6 +1263,7 @@ impl View<'_> {
                 note_routed(0, self.chunks.len(), self.chunks.len());
                 let mut t = Vec::with_capacity(self.chunks.len());
                 for s in self.chunks {
+                    self.check_interrupt()?;
                     t.push(s.get()?);
                 }
                 t
@@ -1178,6 +1405,10 @@ impl View<'_> {
 
     /// Run `f` over every chunk overlapping `[lo, hi)`, in parallel when
     /// profitable. Routed slots hydrate serially before the parallel scan.
+    /// Deadline/cancel contexts are honored at both kinds of chunk
+    /// boundary: once per slot in the serial hydration loop, and once per
+    /// chunk inside the parallel phase (a sticky flag makes every worker
+    /// stand down as soon as one observes the interrupt).
     fn scan_chunks<R: Send>(
         &self,
         lo: u64,
@@ -1193,20 +1424,39 @@ impl View<'_> {
                     if c > first && fences[c - 1] >= hi {
                         break;
                     }
+                    self.check_interrupt()?;
                     targets.push(self.chunks[c].get()?);
                 }
                 note_routed(first, targets.len(), self.chunks.len());
             }
             _ => {
                 for s in self.chunks {
+                    self.check_interrupt()?;
                     targets.push(s.get()?);
                 }
                 note_routed(0, self.chunks.len(), self.chunks.len());
             }
         }
-        Ok(parallel_map(&targets, self.config.threads, |_, store| {
-            f(store)
-        }))
+        let Some(ctx) = self.ctx else {
+            return Ok(parallel_map(&targets, self.config.threads, |_, store| {
+                f(store)
+            }));
+        };
+        let interrupted = AtomicBool::new(false);
+        let results = parallel_map(&targets, self.config.threads, |_, store| {
+            if interrupted.load(Ordering::Relaxed) || ctx.check().is_err() {
+                interrupted.store(true, Ordering::Relaxed);
+                return None;
+            }
+            Some(f(store))
+        });
+        if interrupted.load(Ordering::Relaxed) {
+            // Re-derive the typed interrupt (expiry and cancellation are
+            // both sticky, so the re-check reproduces the worker's error).
+            ctx.check()?;
+            return Err(StorageError::Cancelled);
+        }
+        Ok(results.into_iter().flatten().collect())
     }
 }
 

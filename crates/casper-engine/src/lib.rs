@@ -27,6 +27,7 @@ pub mod calibrate;
 pub mod column;
 pub mod compression;
 pub mod exec;
+pub mod governor;
 pub mod metrics;
 pub mod modes;
 pub mod optimize;
@@ -35,6 +36,7 @@ pub mod txn;
 
 pub use adapt::{AdaptConfig, AdaptiveController};
 pub use column::{ChunkSlot, ChunkedColumn, ColumnSnapshot, SnapshotCell, WriteOp};
+pub use governor::{CancelToken, Governor, GovernorConfig, GovernorStats, QueryCtx, QueryError};
 pub use metrics::{LatencyRecorder, Summary};
 pub use modes::{EngineConfig, LayoutMode};
 pub use table::{QueryOutput, QueryResult, Table, TableReader};

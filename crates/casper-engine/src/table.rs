@@ -10,6 +10,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::column::{ChunkedColumn, ColumnSnapshot, SnapshotCell};
+use crate::governor::{panic_detail, Governor, QueryCtx, QueryError};
 use crate::modes::EngineConfig;
 use casper_obs::{CounterDef, HistogramDef, SpanDef};
 use casper_storage::{OpCost, StorageError};
@@ -229,6 +230,7 @@ impl Table {
         TableReader {
             cell: self.column.snapshot_cell(),
             schema: self.schema,
+            governor: None,
         }
     }
 
@@ -239,24 +241,99 @@ impl Table {
     pub fn execute(&mut self, q: &HapQuery) -> Result<QueryOutput, StorageError> {
         let _span = OBS_TABLE_SPAN.start();
         let timer = QueryTimer::start(q);
-        let out = self.execute_inner(q)?;
+        let out = self.execute_inner(q, None)?;
         QueryTimer::finish(timer, &out);
         Ok(out)
     }
 
-    fn execute_inner(&mut self, q: &HapQuery) -> Result<QueryOutput, StorageError> {
+    /// [`Table::execute`] with a deadline/cancel context checked at chunk
+    /// boundaries. Expiry unwinds as [`StorageError::DeadlineExceeded`] /
+    /// [`StorageError::Cancelled`] without touching shared state: reads
+    /// abandon their scan, and writes are checked *before* dispatch (a
+    /// point write that has started is cheaper to finish than to abort
+    /// half-applied).
+    pub fn execute_ctx(
+        &mut self,
+        q: &HapQuery,
+        ctx: &QueryCtx,
+    ) -> Result<QueryOutput, StorageError> {
+        let _span = OBS_TABLE_SPAN.start();
+        let timer = QueryTimer::start(q);
+        let out = self.execute_inner(q, Some(ctx))?;
+        QueryTimer::finish(timer, &out);
+        Ok(out)
+    }
+
+    /// Fully governed execution: admission through `gov`'s slot gate,
+    /// deadline/cancel checks from `ctx`, and `catch_unwind` panic
+    /// isolation. A panicking query surfaces as [`QueryError::Panicked`]
+    /// carrying the implicated chunk (point-shaped operations route to
+    /// exactly one) so the caller can quarantine it; the serving loop —
+    /// and the query slot, released by RAII — survive.
+    pub fn execute_governed(
+        &mut self,
+        q: &HapQuery,
+        gov: &Governor,
+        ctx: &QueryCtx,
+    ) -> Result<QueryOutput, QueryError> {
+        let is_write = matches!(
+            q,
+            HapQuery::Q4 { .. } | HapQuery::Q5 { .. } | HapQuery::Q6 { .. }
+        );
+        let _permit = gov.admit(is_write)?;
+        // AssertUnwindSafe: a panic can leave the routed chunk's in-memory
+        // state half-mutated, which is exactly why the caller quarantines
+        // the implicated chunk — nothing else is reachable mid-query.
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute_ctx(q, ctx)));
+        match result {
+            Ok(Ok(out)) => Ok(out),
+            Ok(Err(e)) => Err(gov.note_outcome(QueryError::from(e))),
+            Err(payload) => Err(gov.note_outcome(QueryError::Panicked {
+                detail: panic_detail(payload),
+                chunk: self.implicated_chunk(q),
+            })),
+        }
+    }
+
+    /// The chunk a panicked query was operating on, when attributable:
+    /// point-shaped operations route to exactly one chunk; range scans and
+    /// broadcast columns report `None` (no single suspect).
+    fn implicated_chunk(&self, q: &HapQuery) -> Option<usize> {
+        use casper_core::Op;
+        match q.key_op() {
+            Op::Point(v) | Op::Insert(v) | Op::Delete(v) => self.column.route_for(v),
+            Op::Update(old, _) => self.column.route_for(old),
+            Op::Range(..) => None,
+        }
+    }
+
+    fn execute_inner(
+        &mut self,
+        q: &HapQuery,
+        ctx: Option<&QueryCtx>,
+    ) -> Result<QueryOutput, StorageError> {
+        if let Some(c) = ctx {
+            c.check()?;
+        }
         self.column.hydrate_for_query(q)?;
         Ok(match q {
             HapQuery::Q1 { v, k } => {
                 let cols: Vec<usize> = (0..(*k).min(self.schema.payload_cols)).collect();
-                let (rows, cost) = self.column.q1_point(*v, &cols)?;
+                let (rows, cost) = match ctx {
+                    Some(c) => self.column.q1_point_ctx(*v, &cols, c)?,
+                    None => self.column.q1_point(*v, &cols)?,
+                };
                 QueryOutput {
                     result: QueryResult::Rows(rows),
                     cost,
                 }
             }
             HapQuery::Q2 { vs, ve } => {
-                let (n, cost) = self.column.q2_count(*vs, *ve)?;
+                let (n, cost) = match ctx {
+                    Some(c) => self.column.q2_count_ctx(*vs, *ve, c)?,
+                    None => self.column.q2_count(*vs, *ve)?,
+                };
                 QueryOutput {
                     result: QueryResult::Count(n),
                     cost,
@@ -264,7 +341,10 @@ impl Table {
             }
             HapQuery::Q3 { vs, ve, k } => {
                 let cols: Vec<usize> = (0..(*k).min(self.schema.payload_cols)).collect();
-                let (sum, cost) = self.column.q3_sum(*vs, *ve, &cols)?;
+                let (sum, cost) = match ctx {
+                    Some(c) => self.column.q3_sum_ctx(*vs, *ve, &cols, c)?,
+                    None => self.column.q3_sum(*vs, *ve, &cols)?,
+                };
                 QueryOutput {
                     result: QueryResult::Sum(sum),
                     cost,
@@ -298,8 +378,13 @@ impl Table {
     /// over rows with key in `[lo, hi)` whose `pred_col` payload lies in
     /// `[pred_lo, pred_hi)`. Corrupt persisted chunks surface as
     /// [`StorageError::Corrupt`], same as [`Table::execute`].
+    ///
+    /// `&self`: hydration goes through the shared `ChunkSlot` fill (the
+    /// same `&self` path `TableReader` uses), so this works on a shared
+    /// borrow — the historical `&mut self` requirement was a persistence
+    /// workaround that no longer exists.
     pub fn multi_column_sum(
-        &mut self,
+        &self,
         lo: u64,
         hi: u64,
         sum_cols: &[usize],
@@ -405,9 +490,25 @@ impl Table {
 pub struct TableReader {
     cell: Arc<SnapshotCell>,
     schema: HapSchema,
+    /// Attached by [`TableReader::with_governor`]: when present,
+    /// [`TableReader::execute_governed`] admits through its slot gate and
+    /// isolates panics.
+    governor: Option<Arc<Governor>>,
 }
 
 impl TableReader {
+    /// Attach a shared [`Governor`] so [`TableReader::execute_governed`]
+    /// participates in admission control and panic isolation.
+    pub fn with_governor(mut self, governor: Arc<Governor>) -> Self {
+        self.governor = Some(governor);
+        self
+    }
+
+    /// The attached governor, if any.
+    pub fn governor(&self) -> Option<&Arc<Governor>> {
+        self.governor.as_ref()
+    }
+
     /// Pin the currently published snapshot (one lightweight pointer
     /// clone); the returned snapshot is stable for its lifetime.
     pub fn pin(&self) -> Arc<ColumnSnapshot> {
@@ -425,24 +526,72 @@ impl TableReader {
         // guard's bookkeeping would dominate it — the sampled timer and
         // the routed/pruned counters carry the read-path telemetry.
         let timer = QueryTimer::start_sampled(q);
-        let out = self.execute_inner(q)?;
+        let out = self.execute_inner(q, None)?;
         QueryTimer::finish(timer, &out);
         Ok(out)
     }
 
-    fn execute_inner(&self, q: &HapQuery) -> Result<QueryOutput, StorageError> {
+    /// [`TableReader::execute`] with a deadline/cancel context checked at
+    /// chunk boundaries.
+    pub fn execute_ctx(&self, q: &HapQuery, ctx: &QueryCtx) -> Result<QueryOutput, StorageError> {
+        let timer = QueryTimer::start_sampled(q);
+        let out = self.execute_inner(q, Some(ctx))?;
+        QueryTimer::finish(timer, &out);
+        Ok(out)
+    }
+
+    /// Governed snapshot read: admission through the attached governor's
+    /// slot gate (a reader without one passes straight through), ctx
+    /// interrupts, and panic isolation. Snapshot reads cannot attribute a
+    /// panic to a chunk the live column could quarantine, so
+    /// [`QueryError::Panicked::chunk`] is `None` here.
+    pub fn execute_governed(
+        &self,
+        q: &HapQuery,
+        ctx: &QueryCtx,
+    ) -> Result<QueryOutput, QueryError> {
+        let Some(gov) = &self.governor else {
+            return self.execute_ctx(q, ctx).map_err(QueryError::from);
+        };
+        let _permit = gov.admit(false)?;
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.execute_ctx(q, ctx)));
+        match result {
+            Ok(Ok(out)) => Ok(out),
+            Ok(Err(e)) => Err(gov.note_outcome(QueryError::from(e))),
+            Err(payload) => Err(gov.note_outcome(QueryError::Panicked {
+                detail: panic_detail(payload),
+                chunk: None,
+            })),
+        }
+    }
+
+    fn execute_inner(
+        &self,
+        q: &HapQuery,
+        ctx: Option<&QueryCtx>,
+    ) -> Result<QueryOutput, StorageError> {
+        if let Some(c) = ctx {
+            c.check()?;
+        }
         let snap = self.pin();
         Ok(match q {
             HapQuery::Q1 { v, k } => {
                 let cols: Vec<usize> = (0..(*k).min(self.schema.payload_cols)).collect();
-                let (rows, cost) = snap.q1_point(*v, &cols)?;
+                let (rows, cost) = match ctx {
+                    Some(c) => snap.q1_point_ctx(*v, &cols, c)?,
+                    None => snap.q1_point(*v, &cols)?,
+                };
                 QueryOutput {
                     result: QueryResult::Rows(rows),
                     cost,
                 }
             }
             HapQuery::Q2 { vs, ve } => {
-                let (n, cost) = snap.q2_count(*vs, *ve)?;
+                let (n, cost) = match ctx {
+                    Some(c) => snap.q2_count_ctx(*vs, *ve, c)?,
+                    None => snap.q2_count(*vs, *ve)?,
+                };
                 QueryOutput {
                     result: QueryResult::Count(n),
                     cost,
@@ -450,7 +599,10 @@ impl TableReader {
             }
             HapQuery::Q3 { vs, ve, k } => {
                 let cols: Vec<usize> = (0..(*k).min(self.schema.payload_cols)).collect();
-                let (sum, cost) = snap.q3_sum(*vs, *ve, &cols)?;
+                let (sum, cost) = match ctx {
+                    Some(c) => snap.q3_sum_ctx(*vs, *ve, &cols, c)?,
+                    None => snap.q3_sum(*vs, *ve, &cols)?,
+                };
                 QueryOutput {
                     result: QueryResult::Sum(sum),
                     cost,
@@ -693,7 +845,7 @@ mod tests {
             EngineConfig::small(LayoutMode::NoOrder),
             schema.payload_cols,
         );
-        let mut t = Table::from_restored(schema, column);
+        let t = Table::from_restored(schema, column);
         let out = t.multi_column_sum(0, 1000, &[0, 1], 2, 0, u32::MAX);
         assert!(matches!(
             out,

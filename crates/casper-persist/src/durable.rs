@@ -62,8 +62,8 @@
 
 use crate::checkpointer::{run_with_retry, Checkpointer, Completion, RetryPolicy};
 use crate::incremental::{
-    decode_manifest, manifest_path, numbered_file, prune_stale, restore_table, CheckpointJob,
-    ChunkEntry, RecordSource,
+    decode_manifest, manifest_path, numbered_file, prune_stale, record_loader, restore_table,
+    CheckpointJob, ChunkEntry, RecordSource,
 };
 use crate::scrub::{ScrubFinding, ScrubReport, ScrubStats, Scrubber};
 use crate::snapshot::decode_snapshot;
@@ -73,13 +73,17 @@ use crate::PersistError;
 use casper_core::FrequencyModel;
 use casper_engine::adapt::{AdaptDecision, AdaptiveController};
 use casper_engine::optimize::{capture_per_chunk, optimize_table, OptimizeOptions, OptimizeReport};
-use casper_engine::{QueryOutput, Table, Transaction, TxnError, TxnManager};
+use casper_engine::{
+    Governor, GovernorConfig, GovernorStats, QueryCtx, QueryError, QueryOutput, Table, TableReader,
+    Transaction, TxnError, TxnManager,
+};
 use casper_obs::{CounterDef, GaugeDef};
 use casper_storage::StorageError;
 use casper_workload::HapQuery;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 
 // Checkpoint health metrics. The counters and gauges are written from the
@@ -162,6 +166,11 @@ pub struct DurableOptions {
     /// Throttle: microseconds the scrubber sleeps between records so a
     /// pass never competes with the commit path for I/O bandwidth.
     pub scrub_pause_per_record_us: u64,
+    /// Resource-governor configuration (`None` = ungoverned: no memory
+    /// budget, no admission control; [`DurableTable::execute_governed`]
+    /// still honors deadlines/cancellation). See
+    /// `docs/resource-governance.md`.
+    pub governor: Option<GovernorConfig>,
 }
 
 impl Default for DurableOptions {
@@ -177,6 +186,7 @@ impl Default for DurableOptions {
             degrade_after: 8,
             scrub_interval_ms: 0,
             scrub_pause_per_record_us: 0,
+            governor: None,
         }
     }
 }
@@ -309,10 +319,17 @@ pub struct DurableTable {
     /// Scrub counters from manual [`DurableTable::scrub_now`] passes
     /// (background passes accumulate in the scrubber's shared state).
     manual_scrub: ScrubStats,
-    /// Chunks whose on-disk record is damaged and which were never
-    /// hydrated: their data exists nowhere, so hydration would fail a CRC
-    /// check. Keyed by chunk index, holding the scrub finding's reason.
+    /// Chunks whose in-memory state must not be trusted or whose on-disk
+    /// record is damaged: scrub-quarantined chunks (damaged record, never
+    /// hydrated — hydration would fail a CRC check) and panic-quarantined
+    /// chunks (a query panicked mid-mutation, leaving suspect memory).
+    /// Keyed by chunk index, holding the reason. Checkpoints never
+    /// `Encode` a quarantined chunk — they keep re-pointing at its last
+    /// durable record.
     quarantined: BTreeMap<usize, String>,
+    /// Resource governor (admission gate, memory budget, interrupt
+    /// counters), shared with every [`TableReader`] this table hands out.
+    governor: Option<Arc<Governor>>,
 }
 
 fn corrupt(reason: impl Into<String>) -> PersistError {
@@ -483,6 +500,7 @@ impl DurableTable {
             scrubber: spawn_scrubber(&opts, &vfs, dir)?,
             manual_scrub: ScrubStats::default(),
             quarantined: BTreeMap::new(),
+            governor: opts.governor.map(|cfg| Arc::new(Governor::new(cfg))),
             vfs,
             opts,
         })
@@ -600,6 +618,7 @@ impl DurableTable {
             scrubber: spawn_scrubber(&opts, &vfs, dir)?,
             manual_scrub: ScrubStats::default(),
             quarantined: BTreeMap::new(),
+            governor: opts.governor.map(|cfg| Arc::new(Governor::new(cfg))),
             vfs,
             opts,
         })
@@ -656,6 +675,7 @@ impl DurableTable {
             scrubber: spawn_scrubber(&opts, &vfs, dir)?,
             manual_scrub: ScrubStats::default(),
             quarantined: BTreeMap::new(),
+            governor: opts.governor.map(|cfg| Arc::new(Governor::new(cfg))),
             vfs,
             opts,
         };
@@ -692,6 +712,25 @@ impl DurableTable {
     pub fn hydrate_all(&mut self) -> Result<(), PersistError> {
         self.ensure_no_quarantine()?;
         self.table.hydrate_all().map_err(PersistError::from)
+    }
+
+    /// A panic-quarantined chunk whose suspect memory holds writes newer
+    /// than its durable record (its version counter moved past the clean
+    /// snapshot). Checkpointing is unsound while one exists: the
+    /// manifest's WAL watermark would claim those writes while the pinned
+    /// record lacks them — acked-then-lost on the next reopen. Such a
+    /// chunk freezes checkpoint progress instead; the WAL chain keeps
+    /// growing and a reopen reconstructs the chunk from its last good
+    /// record plus replay.
+    fn dirty_quarantined(&self) -> Option<usize> {
+        let versions = self.table.column().versions();
+        if self.entries.len() != versions.len() {
+            return None;
+        }
+        self.quarantined
+            .keys()
+            .copied()
+            .find(|&i| i < versions.len() && versions[i] != self.clean_versions[i])
     }
 
     fn ensure_no_quarantine(&self) -> Result<(), PersistError> {
@@ -775,6 +814,11 @@ impl DurableTable {
         OBS_SEGMENT_CHAIN.set(segments.len() as f64);
         OBS_QUARANTINED.set(self.quarantined.len() as f64);
         OBS_DEGRADED_MODE.set(if self.is_degraded() { 1.0 } else { 0.0 });
+        if let Some(g) = &self.governor {
+            // Refresh the resident gauge so a metrics dump between budget
+            // checks still reports current residency.
+            g.set_resident_bytes(self.table.column().resident_bytes() as u64);
+        }
     }
 
     /// Render the process-wide telemetry registry as Prometheus text
@@ -943,14 +987,267 @@ impl DurableTable {
                 self.seal_and_maybe_checkpoint()?;
             }
         }
+        self.govern_memory();
         Ok(out)
     }
 
-    /// Multi-column predicated sum (the TPC-H Q6 shape); read-only, so it
-    /// works on degraded tables too. Corrupt persisted chunks surface as a
-    /// typed error, same as [`DurableTable::execute`].
-    pub fn multi_column_sum(
+    /// Execute one query under full resource governance: admission
+    /// through the table's governor (if one is configured), `ctx`
+    /// deadline/cancel checks at chunk boundaries, and `catch_unwind`
+    /// panic isolation. Writes still flow WAL-first exactly as in
+    /// [`DurableTable::execute`]; a write's deadline is checked before
+    /// dispatch only (a started point write is cheaper to finish than to
+    /// abort half-applied).
+    ///
+    /// Panic containment: a panic attributed to a *clean, persisted*
+    /// chunk **heals** — the suspect in-memory state is dropped and the
+    /// chunk re-points at its last durable record, from which the next
+    /// read rehydrates bit-exact (the record was byte-identical to the
+    /// pre-panic memory). A panic in a *dirty* chunk **quarantines** it:
+    /// its durable record plus the WAL still reconstruct a consistent
+    /// table on reopen, and checkpoints never re-encode the suspect
+    /// memory. Either way the serving loop — and the query slot — stay
+    /// alive.
+    pub fn execute_governed(
         &mut self,
+        q: &HapQuery,
+        ctx: &QueryCtx,
+    ) -> Result<QueryOutput, PersistError> {
+        let logged = WalOp::from_query(q);
+        if logged.is_some() {
+            self.ensure_active()?;
+        }
+        let out = match &self.governor {
+            Some(gov) => {
+                let gov = Arc::clone(gov);
+                match self.table.execute_governed(q, &gov, ctx) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        if let QueryError::Panicked {
+                            chunk: Some(i),
+                            detail,
+                        } = &e
+                        {
+                            self.contain_panic(*i, detail);
+                        }
+                        return Err(e.into());
+                    }
+                }
+            }
+            None => self
+                .table
+                .execute_ctx(q, ctx)
+                .map_err(|e| PersistError::from(QueryError::from(e)))?,
+        };
+        if let Some(op) = logged {
+            self.wal.stage(&op);
+            if self.wal.staged_records() >= self.opts.group_commit as u64 {
+                self.seal_and_maybe_checkpoint()?;
+            }
+        }
+        self.govern_memory();
+        Ok(out)
+    }
+
+    /// Contain a query panic attributed to chunk `i` (see
+    /// [`DurableTable::execute_governed`] for the heal-vs-quarantine
+    /// contract).
+    fn contain_panic(&mut self, i: usize, detail: &str) {
+        let versions = self.table.column().versions();
+        let n = versions.len();
+        let healable = self.entries.len() == n
+            && i < n
+            && versions[i] == self.clean_versions[i]
+            && !self.quarantined.contains_key(&i);
+        if healable {
+            let entry = self.entries[i].clone();
+            let live = entry.live as usize;
+            let loader = self.governed_loader(entry);
+            self.table.column_mut().repoint_chunk(i, live, loader);
+            self.table.column().republish();
+            warn_rate_limited(&format!(
+                "query panicked in clean chunk {i} ({detail}); \
+                 chunk re-pointed at its durable record"
+            ));
+        } else if i < n {
+            self.quarantined
+                .entry(i)
+                .or_insert_with(|| format!("query panicked in this chunk: {detail}"));
+            warn_rate_limited(&format!(
+                "query panicked in dirty chunk {i} ({detail}); chunk quarantined \
+                 (durable record + WAL reconstruct it on reopen)"
+            ));
+            self.sync_obs_gauges();
+        }
+    }
+
+    /// Build the rehydration loader for an evicted or healed chunk: maps
+    /// the record's segment on first touch and decodes through the same
+    /// CRC-verified path restore-time laziness uses, counting the
+    /// rehydration in the governor (when one is configured).
+    fn governed_loader(&self, entry: ChunkEntry) -> casper_engine::column::ChunkLoader {
+        let inner = record_loader(
+            self.vfs.clone(),
+            self.dir.clone(),
+            entry,
+            *self.table.column().config(),
+            self.table.column().payload_width(),
+        );
+        match &self.governor {
+            Some(gov) => {
+                let gov = Arc::clone(gov);
+                Box::new(move || {
+                    let store = inner()?;
+                    gov.note_rehydration();
+                    Ok(store)
+                })
+            }
+            None => inner,
+        }
+    }
+
+    /// Run the memory governor's budget step if its amortization clock is
+    /// due: account resident bytes, evict cold clean chunks past the
+    /// budget, optionally checkpoint to make dirty chunks evictable, and
+    /// escalate to degraded read-only mode after
+    /// `over_budget_degrade_after` consecutive failed passes. A
+    /// checkpoint failure here is stashed like any background checkpoint
+    /// failure — it must not fail the (possibly read-only) query that
+    /// happened to trigger the pass.
+    fn govern_memory(&mut self) {
+        let Some(gov) = self.governor.clone() else {
+            return;
+        };
+        let budget = gov.config().memory_budget_bytes;
+        if budget == 0 || !gov.budget_check_due() {
+            return;
+        }
+        let mut resident = self.evict_pass(&gov, budget);
+        if resident > budget
+            && gov.config().governor_checkpoint
+            && !self.is_degraded()
+            && self.dirty_quarantined().is_none()
+        {
+            // Dirty chunks are ineligible for eviction (their records are
+            // stale); a checkpoint refreshes the records and a second
+            // sweep can then demote them.
+            match self.checkpoint_sync(false) {
+                Ok(_) => resident = self.evict_pass(&gov, budget),
+                Err(e) => self.background_error = Some(e),
+            }
+        }
+        let still_over = resident > budget;
+        if gov.over_budget_tick(still_over) && !self.is_degraded() {
+            self.enter_degraded(format!(
+                "memory governor: {resident} resident bytes still exceed the \
+                 {budget}-byte budget after eviction and checkpointing"
+            ));
+        }
+    }
+
+    /// One eviction sweep: account resident bytes and demote the coldest
+    /// clean, persisted, unquarantined chunks back to lazy slots until
+    /// the budget holds (or candidates run out). Publishes once per
+    /// sweep; in-flight snapshot pins keep the hydrated copies alive
+    /// until their readers finish. Returns resident bytes after.
+    fn evict_pass(&mut self, gov: &Arc<Governor>, budget: usize) -> usize {
+        let resident = self.table.column().resident_bytes();
+        gov.set_resident_bytes(resident as u64);
+        if resident <= budget {
+            return resident;
+        }
+        let n = self.table.column().chunks().len();
+        if self.entries.len() != n {
+            // No v2 manifest yet (fresh v1 upgrade): nothing has a
+            // per-chunk record to re-point at.
+            return resident;
+        }
+        // Coldest-first victim order from the per-slot access stamps.
+        let victims: Vec<(u64, usize, usize)> = {
+            let versions = self.table.column().versions();
+            self.table
+                .column()
+                .chunks()
+                .iter()
+                .enumerate()
+                .filter(|(i, slot)| {
+                    slot.is_hydrated()
+                        && versions[*i] == self.clean_versions[*i]
+                        && !self.quarantined.contains_key(i)
+                })
+                .map(|(i, slot)| (slot.last_access(), i, slot.resident_bytes()))
+                .collect()
+        };
+        let mut victims = victims;
+        victims.sort_unstable();
+        let need = resident - budget;
+        let mut freed = 0usize;
+        let mut evicted = 0u64;
+        for (_, i, bytes) in victims {
+            if freed >= need {
+                break;
+            }
+            let loader = self.governed_loader(self.entries[i].clone());
+            if self.table.column_mut().evict_chunk(i, loader) {
+                freed += bytes;
+                evicted += 1;
+            }
+        }
+        if evicted > 0 {
+            self.table.column().republish();
+            gov.note_evictions(evicted);
+        }
+        let after = self.table.column().resident_bytes();
+        gov.set_resident_bytes(after as u64);
+        after
+    }
+
+    /// The table's resource governor, when one was configured.
+    pub fn governor(&self) -> Option<&Arc<Governor>> {
+        self.governor.as_ref()
+    }
+
+    /// Governor counters (`None` when ungoverned).
+    pub fn governor_stats(&self) -> Option<GovernorStats> {
+        self.governor.as_ref().map(|g| g.stats())
+    }
+
+    /// Resident heap bytes across hydrated chunk stores (the governor's
+    /// budget measure; meaningful without a governor too).
+    pub fn resident_bytes(&self) -> usize {
+        self.table.column().resident_bytes()
+    }
+
+    /// A cheap read-only handle over the table's published snapshot,
+    /// sharing the table's governor (if any): `execute_governed` on the
+    /// reader goes through the same slot gate and interrupt counters.
+    pub fn reader(&self) -> TableReader {
+        let r = self.table.reader();
+        match &self.governor {
+            Some(g) => r.with_governor(Arc::clone(g)),
+            None => r,
+        }
+    }
+
+    /// Test hook: replace chunk `i`'s slot with one that panics on next
+    /// touch, simulating a latent in-memory fault for the
+    /// panic-isolation tests.
+    #[doc(hidden)]
+    pub fn inject_chunk_panic(&mut self, i: usize) {
+        let live = self.table.column().chunks()[i].len();
+        self.table
+            .column_mut()
+            .repoint_chunk(i, live, Box::new(|| panic!("injected chunk fault")));
+        self.table.column().republish();
+    }
+
+    /// Multi-column predicated sum (the TPC-H Q6 shape); read-only — and
+    /// `&self`, since hydration goes through the shared `ChunkSlot` fill —
+    /// so it works on degraded tables and shared borrows alike. Corrupt
+    /// persisted chunks surface as a typed error, same as
+    /// [`DurableTable::execute`].
+    pub fn multi_column_sum(
+        &self,
         lo: u64,
         hi: u64,
         sum_cols: &[usize],
@@ -979,6 +1276,7 @@ impl DurableTable {
             outs.push(out);
         }
         self.seal_and_maybe_checkpoint()?;
+        self.govern_memory();
         Ok(outs)
     }
 
@@ -1057,6 +1355,10 @@ impl DurableTable {
             && self.wal.durable_bytes() >= self.opts.wal_checkpoint_bytes
             && self.inflight.is_none()
             && !self.is_degraded()
+            // A dirty quarantined chunk freezes checkpoint progress (the
+            // WAL keeps growing); the write that crossed the watermark
+            // still sealed durably, so skipping — not failing — is right.
+            && self.dirty_quarantined().is_none()
         {
             let job = self.capture(false)?;
             match (&self.worker, self.opts.background_checkpointer) {
@@ -1155,6 +1457,18 @@ impl DurableTable {
     /// path the watermark below folds the ghost batch in.
     fn capture(&mut self, force_full: bool) -> Result<CheckpointJob, PersistError> {
         debug_assert!(self.inflight.is_none(), "one checkpoint at a time");
+        // Checked before any side effect (notably the WAL rotation): see
+        // `dirty_quarantined` for why a checkpoint must not proceed.
+        if let Some(chunk) = self.dirty_quarantined() {
+            return Err(PersistError::Storage(StorageError::Quarantined {
+                chunk: chunk as u64,
+                reason: format!(
+                    "{}; the chunk holds un-checkpointed writes, so checkpointing \
+                     is frozen until a reopen replays them from the WAL",
+                    self.quarantined[&chunk]
+                ),
+            }));
+        }
         let poisoned = self.wal.poisoned();
         debug_assert!(
             poisoned || self.wal.staged_records() == 0,
@@ -1218,9 +1532,26 @@ impl DurableTable {
             }
         }
 
+        let mut versions = versions;
         let mut fresh: Vec<(usize, RecordSource)> = Vec::new();
         let mut reused: Vec<(usize, ChunkEntry)> = Vec::new();
-        for (i, version) in versions.iter().enumerate() {
+        for i in 0..n {
+            // A quarantined chunk is never `Encode`d: scrub-quarantined
+            // chunks were never hydrated (nothing in memory to encode) and
+            // panic-quarantined ones hold suspect memory. Keep re-pointing
+            // at the last durable record, and pin the captured version to
+            // the clean snapshot so the chunk stays Encode-ineligible in
+            // later captures too.
+            if has_manifest && self.quarantined.contains_key(&i) {
+                versions[i] = self.clean_versions[i];
+                if full {
+                    fresh.push((i, RecordSource::Copy(self.entries[i].clone())));
+                } else {
+                    reused.push((i, self.entries[i].clone()));
+                }
+                continue;
+            }
+            let version = &versions[i];
             let dirty = !has_manifest || *version != self.clean_versions[i];
             if full && !dirty {
                 // Compaction of a clean chunk: byte-copy its existing

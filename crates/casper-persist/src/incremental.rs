@@ -528,6 +528,32 @@ pub(crate) fn restore_table(
     Ok(Table::from_restored(manifest.schema, column))
 }
 
+/// Build a lazy loader re-pointing an **evicted** chunk at its persisted
+/// record: the segment is mapped on first touch (not held open — an
+/// evicted chunk should cost nothing until someone reads it), its header
+/// and the record CRC are verified, and the store decodes through the
+/// shared decoder — the same integrity path restore-time laziness uses,
+/// so rehydration is bit-exact by construction.
+pub(crate) fn record_loader(
+    vfs: VfsHandle,
+    dir: PathBuf,
+    entry: ChunkEntry,
+    config: EngineConfig,
+    payload_width: usize,
+) -> casper_engine::column::ChunkLoader {
+    Box::new(move || {
+        let path = segment_path(&dir, entry.seg);
+        let map = vfs.mmap(&path).map_err(|e| {
+            corrupt(format!(
+                "evicted chunk cannot re-map segment {}: {e}",
+                entry.seg
+            ))
+        })?;
+        verify_segment_header(&map, entry.seg)?;
+        decode_record(&map, &entry, &config, payload_width)
+    })
+}
+
 /// Check a mapped segment's header (magic, version, recorded sequence).
 fn verify_segment_header(map: &Mmap, seq: u64) -> Result<(), StorageError> {
     let mut r = ByteReader::new(map);

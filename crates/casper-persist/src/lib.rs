@@ -56,7 +56,7 @@ pub use snapshot::{decode_snapshot, encode_snapshot, RestoredSnapshot};
 pub use vfs::{RealVfs, Vfs, VfsFile, VfsHandle};
 pub use wal::{Wal, WalBatch, WalOp, WalScan};
 
-use casper_engine::TxnError;
+use casper_engine::{QueryError, TxnError};
 use casper_storage::StorageError;
 use std::fmt;
 
@@ -70,6 +70,11 @@ pub enum PersistError {
     Storage(StorageError),
     /// A transaction failed validation during a durable commit.
     Txn(TxnError),
+    /// A resource-governance outcome from governed execution: deadline
+    /// expiry, cancellation, load shedding, or an isolated query panic.
+    /// Strictly separated from [`PersistError::Storage`] so callers can
+    /// retry/abandon without treating the table as damaged.
+    Query(QueryError),
     /// The table is in degraded read-only mode: persistent durability
     /// failure (a poisoned WAL whose recovery checkpoint also failed, or
     /// too many consecutive checkpoint failures) means new writes cannot
@@ -88,6 +93,7 @@ impl fmt::Display for PersistError {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::Storage(e) => write!(f, "{e}"),
             PersistError::Txn(e) => write!(f, "{e}"),
+            PersistError::Query(e) => write!(f, "{e}"),
             PersistError::Degraded { reason } => write!(
                 f,
                 "durable table is degraded (read-only): {reason}; \
@@ -103,6 +109,7 @@ impl std::error::Error for PersistError {
             PersistError::Io(e) => Some(e),
             PersistError::Storage(e) => Some(e),
             PersistError::Txn(e) => Some(e),
+            PersistError::Query(e) => Some(e),
             PersistError::Degraded { .. } => None,
         }
     }
@@ -123,5 +130,17 @@ impl From<StorageError> for PersistError {
 impl From<TxnError> for PersistError {
     fn from(e: TxnError) -> Self {
         PersistError::Txn(e)
+    }
+}
+
+impl From<QueryError> for PersistError {
+    fn from(e: QueryError) -> Self {
+        match e {
+            // A storage fault inside a governed query is still a storage
+            // fault — callers match on `PersistError::Storage` for those
+            // regardless of which execution path surfaced them.
+            QueryError::Storage(inner) => PersistError::Storage(inner),
+            other => PersistError::Query(other),
+        }
     }
 }

@@ -3,7 +3,7 @@
 //! signal from every instrumented subsystem, and the dump must be
 //! structurally parseable Prometheus text.
 
-use casper_engine::{EngineConfig, LayoutMode, Table};
+use casper_engine::{EngineConfig, GovernorConfig, LayoutMode, QueryCtx, Table};
 use casper_persist::{DurableOptions, DurableTable};
 use casper_workload::{HapQuery, HapSchema, KeyDist, WorkloadGenerator};
 use std::fs;
@@ -43,7 +43,18 @@ fn full_cycle_dump_has_signal_from_every_subsystem() {
     casper_obs::enable();
     let rows = 4_000u64;
     let dir = test_dir("observability_e2e");
-    let mut dt = DurableTable::create_from_table(&dir, seed_table(rows), DurableOptions::default())
+    let opts = DurableOptions {
+        // A roomy governor: the slot gate and budget never bind, but
+        // admission and residency accounting leave registry signal.
+        governor: Some(GovernorConfig {
+            memory_budget_bytes: 1 << 40,
+            query_slots: 8,
+            check_interval: 1,
+            ..GovernorConfig::default()
+        }),
+        ..DurableOptions::default()
+    };
+    let mut dt = DurableTable::create_from_table(&dir, seed_table(rows), opts)
         .expect("create durable table");
 
     // Query path: point, range-count and range-sum shapes.
@@ -95,6 +106,33 @@ fn full_cycle_dump_has_signal_from_every_subsystem() {
         .collect();
     batch_table.execute_batch(&batch).expect("batched inserts");
 
+    // Governed execution: admission through the (roomy) slot gate plus
+    // residency accounting on the main table; a second table under a
+    // deliberately tiny budget adds eviction/rehydration churn (reads
+    // only — its chunks stay clean, so every pass ends under budget and
+    // never escalates).
+    let ctx = QueryCtx::unbounded();
+    for v in (0..rows * 2).step_by(513) {
+        dt.execute_governed(&HapQuery::Q2 { vs: v, ve: v + 200 }, &ctx)
+            .expect("governed q2");
+    }
+    let tiny_dir = test_dir("observability_e2e_evict");
+    let tiny_opts = DurableOptions {
+        governor: Some(GovernorConfig {
+            memory_budget_bytes: 1, // every hydrated chunk is over budget
+            check_interval: 1,
+            governor_checkpoint: false,
+            ..GovernorConfig::default()
+        }),
+        ..DurableOptions::default()
+    };
+    let mut tiny =
+        DurableTable::create_from_table(&tiny_dir, seed_table(1_000), tiny_opts).expect("create");
+    for v in (0..2_000).step_by(401) {
+        tiny.execute_governed(&HapQuery::Q1 { v, k: 1 }, &ctx)
+            .expect("governed q1");
+    }
+
     let text = dt.metrics_text();
 
     // Query-path signal.
@@ -119,6 +157,13 @@ fn full_cycle_dump_has_signal_from_every_subsystem() {
     // Scrub signal.
     assert_nonzero(&text, "casper_scrub_passes_total");
     assert_nonzero(&text, "casper_scrub_records_checked_total");
+
+    // Governor signal: admission waits recorded, resident bytes
+    // accounted, and the tiny-budget table's eviction/rehydration churn.
+    assert_nonzero(&text, "casper_governor_admit_wait_ns_count");
+    assert_nonzero(&text, "casper_governor_resident_bytes");
+    assert_nonzero(&text, "casper_governor_evictions_total");
+    assert_nonzero(&text, "casper_governor_rehydrations_total");
 
     // FM drift signal: at least one chunk with observed accesses.
     let drift_signal = text.lines().any(|l| {

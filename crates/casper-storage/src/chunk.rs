@@ -341,6 +341,25 @@ impl<K: ColumnValue> PartitionedChunk<K> {
         &self.payloads
     }
 
+    /// Heap bytes resident for this chunk: slots, partition metadata,
+    /// zone maps, encoded fragments, the partition index, and payloads.
+    /// Used by the resource governor's budget accounting; an estimate of
+    /// allocator-visible memory, not a byte-exact malloc audit.
+    pub fn resident_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<K>()
+            + self.parts.capacity() * std::mem::size_of::<PartitionMeta<K>>()
+            + self.zones.capacity() * std::mem::size_of::<ZoneMap<K>>()
+            + self.frags.capacity() * std::mem::size_of::<Option<Fragment<K>>>()
+            + self
+                .frags
+                .iter()
+                .flatten()
+                .map(Fragment::encoded_bytes)
+                .sum::<usize>()
+            + self.index.resident_bytes()
+            + self.payloads.resident_bytes()
+    }
+
     /// Per-partition zone maps (tight live min/max), parallel to
     /// [`PartitionedChunk::partitions`].
     #[inline]

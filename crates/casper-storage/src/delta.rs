@@ -89,6 +89,23 @@ impl<K: ColumnValue> SortedDelta<K> {
         &self.main
     }
 
+    /// Heap bytes resident across the main column and the write buffer
+    /// (buffered insert payload rows included).
+    pub fn resident_bytes(&self) -> usize {
+        let ops_heap: usize = self
+            .delta_ops
+            .iter()
+            .map(|op| match op {
+                DeltaOp::Insert(row) => row.capacity() * std::mem::size_of::<u32>(),
+                DeltaOp::Delete => 0,
+            })
+            .sum();
+        self.main.resident_bytes()
+            + self.delta_keys.capacity() * std::mem::size_of::<K>()
+            + self.delta_ops.capacity() * std::mem::size_of::<DeltaOp>()
+            + ops_heap
+    }
+
     /// Index range of buffered ops with keys in `[lo, hi)`.
     fn delta_range(&self, lo: K, hi: K) -> std::ops::Range<usize> {
         let a = self.delta_keys.partition_point(|&k| k < lo);

@@ -50,6 +50,13 @@ pub enum StorageError {
         /// Why its record was quarantined (the scrub finding).
         reason: String,
     },
+    /// A query's deadline expired at a chunk boundary. Cooperative: the
+    /// scan loop noticed the expiry and unwound cleanly, leaving all
+    /// shared state (snapshots, hydration, fences) untouched.
+    DeadlineExceeded,
+    /// A query's cancel token was flipped at a chunk boundary. Same
+    /// cooperative unwind guarantees as [`StorageError::DeadlineExceeded`].
+    Cancelled,
 }
 
 impl fmt::Display for StorageError {
@@ -81,6 +88,8 @@ impl fmt::Display for StorageError {
                      in-memory copy): {reason}"
                 )
             }
+            StorageError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            StorageError::Cancelled => write!(f, "query cancelled"),
         }
     }
 }

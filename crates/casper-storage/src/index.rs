@@ -129,6 +129,21 @@ impl<K: ColumnValue> PartitionIndex<K> {
         };
     }
 
+    /// Heap bytes resident for the bounds array and the k-ary tree levels.
+    pub fn resident_bytes(&self) -> usize {
+        let tree: usize = self
+            .tree
+            .as_ref()
+            .map(|t| {
+                t.levels
+                    .iter()
+                    .map(|l| l.capacity() * std::mem::size_of::<K>())
+                    .sum()
+            })
+            .unwrap_or(0);
+        self.bounds.capacity() * std::mem::size_of::<K>() + tree
+    }
+
     /// Partition that a value `v` maps to: the first partition whose upper
     /// bound is `>= v`, clamped to the last partition (values above every
     /// bound route to the final partition, which then widens its bound).

@@ -119,6 +119,15 @@ impl PayloadSet {
         &self.cols
     }
 
+    /// Heap bytes resident for the payload columns (allocated capacity,
+    /// not just live length — the tail slack is real memory too).
+    pub fn resident_bytes(&self) -> usize {
+        self.cols
+            .iter()
+            .map(|c| c.capacity() * std::mem::size_of::<u32>())
+            .sum()
+    }
+
     /// Grow the physical slot count (used when a chunk expands its tail).
     pub fn grow_to(&mut self, physical: usize) {
         for c in &mut self.cols {

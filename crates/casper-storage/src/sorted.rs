@@ -67,6 +67,17 @@ impl<K: ColumnValue> SortedColumn<K> {
         &self.data
     }
 
+    /// Heap bytes resident for the key column plus payload columns
+    /// (allocated capacity).
+    pub fn resident_bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<K>()
+            + self
+                .payload_cols
+                .iter()
+                .map(|c| c.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
+
     /// Read one payload attribute.
     pub fn payload(&self, col: usize, pos: usize) -> u32 {
         self.payload_cols[col][pos]

@@ -151,7 +151,7 @@ fn multi_column_q6_analog_consistent_across_modes() {
     let mix = Mix::new(MixKind::HybridRangeSkewed, HapSchema::narrow(), 4096);
     let mut reference: Option<u64> = None;
     for mode in LayoutMode::all() {
-        let mut table = Table::load_from_generator(mix.generator(), small_config(mode));
+        let table = Table::load_from_generator(mix.generator(), small_config(mode));
         let out = table
             .multi_column_sum(1000, 5000, &[0, 1], 2, 0, 50_000)
             .unwrap();

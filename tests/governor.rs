@@ -1,0 +1,489 @@
+//! Resource-governor integration tests: memory-budgeted eviction with
+//! bit-exact rehydration, deadline/cancellation mid-scan, load shedding
+//! under admission control, and panic isolation — the four guarantees of
+//! PR 9's serving-survival layer.
+//!
+//! The concurrency stress follows the `tests/concurrency.rs` pattern and
+//! is parameterized by environment for the CI `governor-smoke` matrix:
+//!
+//! - `CASPER_STRESS_THREADS` — reader thread count (default 4)
+//! - `CASPER_STRESS_SEEDS`   — comma-separated RNG seeds (default "1,2")
+//! - `CASPER_GOV_ROUNDS`     — governed queries per seed (default 150)
+
+use casper::engine::{
+    CancelToken, EngineConfig, Governor, GovernorConfig, LayoutMode, QueryCtx, QueryError,
+    QueryResult, Table,
+};
+use casper::persist::{DurableOptions, DurableTable, PersistError};
+use casper::storage::StorageError;
+use casper::workload::{HapQuery, HapSchema};
+use rand::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CHUNK_VALUES: usize = 64;
+const CHUNKS: usize = 8;
+/// Even keys 0, 2, …: odd keys are guaranteed absent, so tests can mint
+/// fresh keys without colliding with the fixture.
+const ROWS: u64 = (CHUNK_VALUES * CHUNKS) as u64;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_seeds() -> Vec<u64> {
+    std::env::var("CASPER_STRESS_SEEDS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|s| s.trim().parse().ok())
+                .collect::<Vec<u64>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2])
+}
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn schema() -> HapSchema {
+    HapSchema { payload_cols: 2 }
+}
+
+fn payload_row(key: u64) -> Vec<u32> {
+    vec![(key % 251) as u32, (key % 83) as u32]
+}
+
+fn engine_config() -> EngineConfig {
+    let mut config = EngineConfig::small(LayoutMode::Casper);
+    config.chunk_values = CHUNK_VALUES;
+    config.threads = 1;
+    config
+}
+
+fn seed_table() -> Table {
+    let keys: Vec<u64> = (0..ROWS).map(|i| i * 2).collect();
+    let cols: Vec<Vec<u32>> = (0..2)
+        .map(|c| keys.iter().map(|&k| payload_row(k)[c]).collect())
+        .collect();
+    Table::load(schema(), keys, cols, engine_config())
+}
+
+fn point(key: u64) -> HapQuery {
+    HapQuery::Q1 { v: key, k: 2 }
+}
+
+fn count_all() -> HapQuery {
+    HapQuery::Q2 {
+        vs: 0,
+        ve: u64::MAX,
+    }
+}
+
+fn expect_rows(out: &casper::engine::QueryOutput, key: u64) {
+    match &out.result {
+        QueryResult::Rows(rows) => {
+            assert_eq!(rows.len(), 1, "key {key} must resolve to one row");
+            assert_eq!(rows[0], payload_row(key), "payload mismatch for key {key}");
+        }
+        other => panic!("expected rows for key {key}, got {other:?}"),
+    }
+}
+
+/// Create a durable table at `dir`, drop it, and return the fully
+/// hydrated working-set size in bytes (the budget baseline).
+fn persist_fixture(dir: &std::path::Path) -> usize {
+    {
+        let t = DurableTable::create_from_table(dir, seed_table(), DurableOptions::default())
+            .expect("create");
+        drop(t);
+    }
+    let mut probe = DurableTable::open(dir, DurableOptions::default()).expect("probe open");
+    probe.hydrate_all().expect("probe hydrate");
+    let working_set = probe.resident_bytes();
+    assert!(
+        working_set > 0,
+        "hydrated table must account resident bytes"
+    );
+    working_set
+}
+
+/// Tentpole acceptance: with a budget at ~50% of the working set, a full
+/// key sweep (which hydrates every chunk at least once) keeps accounted
+/// resident bytes at or under the budget after every governed query, all
+/// point reads return bit-exact payloads, and both eviction and
+/// rehydration actually happened.
+#[test]
+fn memory_budget_holds_with_bit_exact_rehydration() {
+    let dir = test_dir("gov_budget");
+    let working_set = persist_fixture(&dir);
+    let budget = working_set / 2;
+
+    let mut gov_cfg = GovernorConfig::default();
+    gov_cfg.memory_budget_bytes = budget;
+    gov_cfg.check_interval = 1; // account after every query: tightest gate
+    let mut opts = DurableOptions::default();
+    opts.governor = Some(gov_cfg);
+    let mut t = DurableTable::open(&dir, opts).expect("governed open");
+
+    let ctx = QueryCtx::unbounded();
+    let rounds = env_usize("CASPER_GOV_ROUNDS", 150).max(2 * ROWS as usize);
+    let mut max_resident = 0usize;
+    for i in 0..rounds {
+        let key = (i as u64 % ROWS) * 2;
+        let out = t.execute_governed(&point(key), &ctx).expect("point read");
+        expect_rows(&out, key);
+        max_resident = max_resident.max(t.resident_bytes());
+    }
+    let out = t.execute_governed(&count_all(), &ctx).expect("count");
+    assert_eq!(out.result.scalar(), ROWS, "no rows lost to eviction");
+
+    assert!(
+        max_resident <= budget,
+        "resident ceiling violated: {max_resident} > budget {budget}"
+    );
+    let stats = t.governor_stats().expect("governor configured");
+    assert!(stats.evictions > 0, "budget at 50% must force evictions");
+    assert!(
+        stats.rehydrations > 0,
+        "sweeping all keys must rehydrate evicted chunks"
+    );
+    assert_eq!(stats.resident_bytes as usize, t.resident_bytes());
+}
+
+/// Eviction-vs-pinned-snapshot stress: reader threads pin published
+/// snapshots and must observe the exact row-count invariant while the
+/// owner thread drives hydration/eviction churn with governed point reads
+/// and count-neutral key moves. Seeded and env-tunable like
+/// `tests/concurrency.rs`.
+#[test]
+fn eviction_respects_pinned_snapshots_under_concurrency() {
+    let readers = env_usize("CASPER_STRESS_THREADS", 4);
+    let rounds = env_usize("CASPER_GOV_ROUNDS", 150);
+    for seed in env_seeds() {
+        stress_round(seed, readers, rounds);
+    }
+}
+
+fn stress_round(seed: u64, readers: usize, rounds: usize) {
+    const EXTRA_KEYS: usize = 8;
+    let dir = test_dir(&format!("gov_stress_{seed}"));
+    let working_set = persist_fixture(&dir);
+
+    let mut gov_cfg = GovernorConfig::default();
+    gov_cfg.memory_budget_bytes = working_set / 2;
+    gov_cfg.check_interval = 4;
+    let mut opts = DurableOptions::default();
+    opts.governor = Some(gov_cfg);
+    let mut t = DurableTable::open(&dir, opts).expect("governed open");
+
+    // Float EXTRA odd keys, then checkpoint so every chunk is clean again
+    // (eviction needs clean, persisted candidates to work against).
+    let mut next_key = 2 * ROWS + 1;
+    let mut extras: Vec<u64> = Vec::new();
+    for _ in 0..EXTRA_KEYS {
+        let k = next_key;
+        next_key += 2;
+        t.execute(&HapQuery::Q4 {
+            key: k,
+            payload: payload_row(k),
+        })
+        .expect("seed extra");
+        extras.push(k);
+    }
+    t.checkpoint().expect("post-seed checkpoint");
+    let invariant = ROWS + EXTRA_KEYS as u64;
+
+    let reader = t.reader();
+    let stop = AtomicBool::new(false);
+    let observations = AtomicU64::new(0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ctx = QueryCtx::unbounded();
+
+    std::thread::scope(|scope| {
+        for _ in 0..readers {
+            let handle = reader.clone();
+            let stop = &stop;
+            let observations = &observations;
+            scope.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let out = handle.execute(&count_all()).expect("snapshot count");
+                    assert_eq!(
+                        out.result.scalar(),
+                        invariant,
+                        "reader observed a torn state during eviction (seed {seed})"
+                    );
+                    // A pinned snapshot must stay internally stable even
+                    // while the governor evicts underneath it.
+                    let snap = handle.pin();
+                    let (a, _) = snap.q2_count(0, u64::MAX).expect("pinned count");
+                    let (b, _) = snap.q2_count(0, u64::MAX).expect("pinned recount");
+                    assert_eq!(a, b, "pinned snapshot changed underneath a reader");
+                    observations.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        while observations.load(Ordering::Relaxed) < readers as u64 {
+            std::thread::yield_now();
+        }
+
+        for round in 0..rounds {
+            // Governed point reads sweep the key space, hydrating evicted
+            // chunks and pushing residency against the budget.
+            let key = (rng.gen_range(0..ROWS)) * 2;
+            let out = t.execute_governed(&point(key), &ctx).expect("point read");
+            expect_rows(&out, key);
+            // Every few rounds, a count-neutral move dirties a chunk so
+            // the governor's checkpoint-then-evict ladder gets exercised.
+            if round % 8 == 0 {
+                let idx = rng.gen_range(0..extras.len());
+                let to = next_key;
+                next_key += 2;
+                let from = extras[idx];
+                extras[idx] = to;
+                let out = t
+                    .execute_governed(&HapQuery::Q6 { v: from, vnew: to }, &ctx)
+                    .expect("key move");
+                assert_eq!(out.result.scalar(), 1, "move must touch one row");
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    assert!(observations.load(Ordering::Relaxed) > 0);
+    let out = t.execute(&count_all()).expect("final count");
+    assert_eq!(out.result.scalar(), invariant);
+    let stats = t.governor_stats().expect("governor configured");
+    assert!(
+        stats.evictions > 0,
+        "a 50% budget must evict during the sweep (seed {seed})"
+    );
+}
+
+/// Deadline expiry mid-scan surfaces typed, without poisoning anything: a
+/// chunk whose (evicted) loader sleeps past the deadline forces the
+/// boundary check after it to fire, and the very next unbounded query
+/// over the same column returns the exact count.
+#[test]
+fn deadline_interrupts_mid_scan_without_poisoning() {
+    let mut table = seed_table();
+    table.hydrate_all().expect("hydrate");
+
+    // Demote chunk 1 to a lazy slot whose hydration takes 30ms — far past
+    // the 10ms deadline below, so the scan is *guaranteed* to observe
+    // expiry at a chunk boundary rather than at dispatch.
+    let store = table.column().chunks()[1]
+        .get()
+        .expect("hydrated chunk")
+        .clone();
+    let slow = Box::new(move || {
+        std::thread::sleep(Duration::from_millis(30));
+        Ok(store)
+    });
+    assert!(table.column_mut().evict_chunk(1, slow), "chunk 1 evictable");
+    table.column().republish();
+
+    let ctx = QueryCtx::unbounded().with_timeout(Duration::from_millis(10));
+    let err = table.execute_ctx(&count_all(), &ctx).expect_err("deadline");
+    assert_eq!(err, StorageError::DeadlineExceeded);
+
+    // Cancellation is equally typed (and wins over any deadline).
+    let token = CancelToken::new();
+    token.cancel();
+    let ctx = QueryCtx::unbounded().with_cancel(token);
+    let err = table.execute_ctx(&count_all(), &ctx).expect_err("cancel");
+    assert_eq!(err, StorageError::Cancelled);
+
+    // Nothing was poisoned: the slow loader completed its hydration and
+    // an unbounded query sees every row.
+    let out = table.execute(&count_all()).expect("post-deadline count");
+    assert_eq!(out.result.scalar(), ROWS);
+}
+
+/// Admission control sheds with a typed `Overloaded` error when the slot
+/// gate is saturated, both from a directly held permit and under a
+/// many-threads storm; a post-storm query is exact.
+#[test]
+fn overload_sheds_with_typed_error() {
+    let table = seed_table();
+    table.hydrate_all().expect("hydrate");
+    let gov = Arc::new(Governor::new(GovernorConfig {
+        query_slots: 1,
+        admit_wait_ms: 1,
+        ..GovernorConfig::default()
+    }));
+    let reader = table.reader().with_governor(Arc::clone(&gov));
+    let ctx = QueryCtx::unbounded();
+
+    // Deterministic shed: the only slot is held.
+    let permit = gov.admit(false).expect("slot");
+    let err = reader
+        .execute_governed(&count_all(), &ctx)
+        .expect_err("full gate");
+    assert!(matches!(err, QueryError::Overloaded { .. }), "got {err}");
+
+    // Storm while the slot stays held: every query from every thread must
+    // come back as a typed shed — never a panic, never a wrong result.
+    let sheds = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let handle = reader.clone();
+            let ctx = QueryCtx::unbounded();
+            let sheds = &sheds;
+            scope.spawn(move || {
+                for _ in 0..25 {
+                    match handle.execute_governed(&count_all(), &ctx) {
+                        Err(QueryError::Overloaded { waited_ms }) => {
+                            assert!(waited_ms >= 1, "shed must report its wait");
+                            sheds.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) => panic!("admitted through a held slot"),
+                        Err(other) => panic!("unexpected governed error: {other}"),
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(sheds.load(Ordering::Relaxed), 8 * 25);
+    assert_eq!(gov.stats().shed, 8 * 25 + 1);
+
+    // The storm passes, the permit drops, service resumes exactly.
+    drop(permit);
+    let out = reader
+        .execute_governed(&count_all(), &ctx)
+        .expect("slot freed");
+    assert_eq!(out.result.scalar(), ROWS);
+}
+
+/// Engine-level panic isolation: a chunk whose loader panics takes down
+/// neither the process nor its neighbors — the error is typed, carries
+/// the implicated chunk, and every other chunk keeps serving.
+#[test]
+fn panic_is_isolated_to_the_implicated_chunk() {
+    let mut table = seed_table();
+    table.hydrate_all().expect("hydrate");
+    table
+        .column_mut()
+        .repoint_chunk(1, CHUNK_VALUES, Box::new(|| panic!("injected chunk fault")));
+    table.column().republish();
+
+    let gov = Governor::new(GovernorConfig::default());
+    let ctx = QueryCtx::unbounded();
+    // Key 130 routes to chunk 1 (keys 128..256 with 64-key chunks).
+    let err = table
+        .execute_governed(&point(130), &gov, &ctx)
+        .expect_err("chunk 1 panics");
+    match err {
+        QueryError::Panicked { chunk, ref detail } => {
+            assert_eq!(chunk, Some(1), "panic must be attributed to chunk 1");
+            assert!(detail.contains("injected"), "payload preserved: {detail}");
+        }
+        other => panic!("expected Panicked, got {other}"),
+    }
+    // The serving loop survives: chunk 0 answers exactly.
+    let out = table
+        .execute_governed(&point(2), &gov, &ctx)
+        .expect("chunk 0");
+    expect_rows(&out, 2);
+    assert_eq!(gov.stats().panics, 1);
+}
+
+/// Durable-level containment, clean chunk: the panic heals — the chunk
+/// re-points at its durable record and the *next* read rehydrates
+/// bit-exact. No quarantine, no degraded mode, zero wrong results.
+#[test]
+fn durable_panic_on_clean_chunk_heals_from_record() {
+    let dir = test_dir("gov_panic_clean");
+    let mut opts = DurableOptions::default();
+    opts.governor = Some(GovernorConfig::default());
+    let mut t = DurableTable::create_from_table(&dir, seed_table(), opts).expect("create");
+    let ctx = QueryCtx::unbounded();
+
+    t.inject_chunk_panic(1);
+    let err = t.execute_governed(&point(130), &ctx).expect_err("panics");
+    match err {
+        PersistError::Query(QueryError::Panicked { chunk, .. }) => assert_eq!(chunk, Some(1)),
+        other => panic!("expected typed panic, got {other}"),
+    }
+
+    // Healed: the same query now answers from the rehydrated record.
+    let out = t.execute_governed(&point(130), &ctx).expect("healed read");
+    expect_rows(&out, 130);
+    let out = t.execute_governed(&count_all(), &ctx).expect("count");
+    assert_eq!(out.result.scalar(), ROWS);
+    assert!(
+        t.quarantined_chunks().is_empty(),
+        "clean chunks heal, not quarantine"
+    );
+    assert!(!t.is_degraded());
+    let stats = t.governor_stats().expect("governor");
+    assert_eq!(stats.panics, 1);
+    assert!(stats.rehydrations >= 1, "heal rehydrates from the record");
+}
+
+/// Durable-level containment, dirty chunk: the suspect memory is
+/// quarantined (never re-encoded by a checkpoint), and a reopen
+/// reconstructs the consistent state from the last good record plus the
+/// WAL — the committed write survives, the panic leaves no wrong data.
+#[test]
+fn durable_panic_on_dirty_chunk_quarantines_and_reopen_recovers() {
+    let dir = test_dir("gov_panic_dirty");
+    let mut opts = DurableOptions::default();
+    opts.governor = Some(GovernorConfig::default());
+    let mut t = DurableTable::create_from_table(&dir, seed_table(), opts).expect("create");
+    let ctx = QueryCtx::unbounded();
+
+    // Dirty chunk 1 with a committed (sealed, group_commit=1) insert.
+    let fresh = 131; // odd, routes into chunk 1's key range
+    t.execute_governed(
+        &HapQuery::Q4 {
+            key: fresh,
+            payload: payload_row(fresh),
+        },
+        &ctx,
+    )
+    .expect("dirtying insert");
+
+    t.inject_chunk_panic(1);
+    let err = t.execute_governed(&point(130), &ctx).expect_err("panics");
+    assert!(matches!(
+        err,
+        PersistError::Query(QueryError::Panicked { chunk: Some(1), .. })
+    ));
+    assert_eq!(
+        t.quarantined_chunks(),
+        vec![1],
+        "dirty chunk must quarantine, not heal"
+    );
+    // The quarantined chunk holds a committed write newer than its
+    // durable record, so checkpointing must freeze (a checkpoint would
+    // advance the WAL watermark past a write its pinned record lacks):
+    let err = t.checkpoint().expect_err("checkpointing is frozen");
+    assert!(
+        matches!(
+            err,
+            PersistError::Storage(StorageError::Quarantined { chunk: 1, .. })
+        ),
+        "expected typed quarantine freeze, got {err}"
+    );
+
+    // Reopen: durable record + WAL replay reconstruct everything,
+    // including the committed insert that preceded the panic.
+    drop(t);
+    let mut reopened = DurableTable::open(&dir, DurableOptions::default()).expect("reopen");
+    let out = reopened.execute(&point(130)).expect("recovered read");
+    expect_rows(&out, 130);
+    let out = reopened.execute(&point(fresh)).expect("recovered insert");
+    expect_rows(&out, fresh);
+    let out = reopened.execute(&count_all()).expect("recovered count");
+    assert_eq!(out.result.scalar(), ROWS + 1);
+}
