@@ -30,8 +30,13 @@
 //! (`try_recv` on every seal, blocking `recv` for the synchronous
 //! `checkpoint()` / `optimize()` / drop paths). Crash at any point is
 //! safe: until `CURRENT` swings, recovery resolves the previous manifest
-//! plus the intact WAL chain (the rotated-out WAL file is only pruned
-//! *after* the swing).
+//! plus the intact WAL chain (the rotated-out WAL file is only pruned —
+//! or, with archiving on, *retired* into the archive — *after* the
+//! swing). Each job carries the table's shared backup pins, so the
+//! post-swing prune/retire running on this thread never removes a file an
+//! in-flight `BackupJob` is still copying; `begin_backup`'s fence
+//! (`finish_inflight` before pinning) closes the race in the other
+//! direction.
 
 use crate::incremental::{run_checkpoint, CheckpointJob, Manifest};
 use crate::PersistError;

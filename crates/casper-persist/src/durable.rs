@@ -60,10 +60,11 @@
 //!   *quarantined* — surfaced as a typed error instead of a surprise CRC
 //!   panic at first touch.
 
+use crate::archive::{BackupJob, BackupReport, BackupVerifyReport, PointInTime};
 use crate::checkpointer::{run_with_retry, Checkpointer, Completion, RetryPolicy};
 use crate::incremental::{
-    decode_manifest, manifest_path, numbered_file, prune_stale, record_loader, restore_table,
-    CheckpointJob, ChunkEntry, RecordSource,
+    decode_manifest, manifest_path, numbered_file, record_loader, restore_table, CheckpointJob,
+    ChunkEntry, RecordSource,
 };
 use crate::scrub::{ScrubFinding, ScrubReport, ScrubStats, Scrubber};
 use crate::snapshot::decode_snapshot;
@@ -83,7 +84,7 @@ use casper_workload::HapQuery;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 // Checkpoint health metrics. The counters and gauges are written from the
@@ -108,8 +109,7 @@ static OBS_DEGRADED_EXIT: CounterDef =
 /// Print `msg` to stderr, at most once per five seconds process-wide.
 /// Degraded-mode churn (a flapping disk triggers enter/exit per write
 /// attempt) must not flood an operator's console.
-fn warn_rate_limited(msg: &str) {
-    use std::sync::Mutex;
+pub(crate) fn warn_rate_limited(msg: &str) {
     use std::time::Instant;
     static LAST: Mutex<Option<Instant>> = Mutex::new(None);
     const MIN_GAP: Duration = Duration::from_secs(5);
@@ -171,6 +171,12 @@ pub struct DurableOptions {
     /// still honors deadlines/cancellation). See
     /// `docs/resource-governance.md`.
     pub governor: Option<GovernorConfig>,
+    /// Archive policy (`None` = archiving off: checkpoint pruning deletes
+    /// superseded files exactly as before). `Some` makes pruning *retire*
+    /// them into the LSN-indexed `archive/` directory instead, enabling
+    /// [`DurableTable::open_at`] point-in-time restores. See
+    /// `docs/persist-format.md` ("Archive format & PITR protocol").
+    pub archive: Option<crate::archive::ArchiveConfig>,
 }
 
 impl Default for DurableOptions {
@@ -187,6 +193,7 @@ impl Default for DurableOptions {
             scrub_interval_ms: 0,
             scrub_pause_per_record_us: 0,
             governor: None,
+            archive: None,
         }
     }
 }
@@ -330,6 +337,13 @@ pub struct DurableTable {
     /// Resource governor (admission gate, memory budget, interrupt
     /// counters), shared with every [`TableReader`] this table hands out.
     governor: Option<Arc<Governor>>,
+    /// Backup pins, shared with checkpoint jobs (pruning/retiring runs on
+    /// the checkpointer thread) and outstanding [`BackupJob`]s: a pinned
+    /// file is neither deleted nor retired until its backup finishes.
+    pins: crate::archive::SharedPins,
+    /// Backup directories registered via [`DurableTable::watch_backup`];
+    /// the background scrubber re-verifies them after each pass.
+    watched_backups: Arc<Mutex<Vec<PathBuf>>>,
 }
 
 fn corrupt(reason: impl Into<String>) -> PersistError {
@@ -342,7 +356,7 @@ fn snap_path(dir: &Path, generation: u64) -> PathBuf {
     dir.join(format!("snap-{generation:06}.casper"))
 }
 
-fn wal_path(dir: &Path, seq: u64) -> PathBuf {
+pub(crate) fn wal_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("wal-{seq:06}.log"))
 }
 
@@ -394,6 +408,7 @@ fn spawn_scrubber(
     opts: &DurableOptions,
     vfs: &VfsHandle,
     dir: &Path,
+    watched: Arc<Mutex<Vec<PathBuf>>>,
 ) -> Result<Option<Scrubber>, PersistError> {
     if opts.scrub_interval_ms > 0 {
         Ok(Some(Scrubber::spawn(
@@ -401,6 +416,7 @@ fn spawn_scrubber(
             dir.to_path_buf(),
             Duration::from_millis(opts.scrub_interval_ms),
             Duration::from_micros(opts.scrub_pause_per_record_us),
+            watched,
         )?))
     } else {
         Ok(None)
@@ -465,6 +481,8 @@ impl DurableTable {
             .enumerate()
             .map(|(i, store)| (i, RecordSource::Encode(store.clone())))
             .collect();
+        let pins = crate::archive::SharedPins::default();
+        let watched = Arc::new(Mutex::new(Vec::new()));
         let job = CheckpointJob {
             vfs: vfs.clone(),
             dir: dir.to_path_buf(),
@@ -478,6 +496,8 @@ impl DurableTable {
             n_chunks: chunks.len(),
             fresh,
             reused: Vec::new(),
+            archive: opts.archive,
+            pins: pins.clone(),
         };
         let manifest = crate::incremental::run_checkpoint(&job)?;
         let clean_versions = table.column().versions().to_vec();
@@ -497,10 +517,12 @@ impl DurableTable {
             background_error: None,
             mode: TableMode::Active,
             cp_stats: CheckpointStats::default(),
-            scrubber: spawn_scrubber(&opts, &vfs, dir)?,
+            scrubber: spawn_scrubber(&opts, &vfs, dir, Arc::clone(&watched))?,
             manual_scrub: ScrubStats::default(),
             quarantined: BTreeMap::new(),
             governor: opts.governor.map(|cfg| Arc::new(Governor::new(cfg))),
+            pins,
+            watched_backups: watched,
             vfs,
             opts,
         })
@@ -595,10 +617,13 @@ impl DurableTable {
         let next_seg = Self::max_segment_on_disk(dir)
             .max(manifest.referenced_segments().last().copied().unwrap_or(0))
             + 1;
+        let pins = crate::archive::SharedPins::default();
+        let watched = Arc::new(Mutex::new(Vec::new()));
         // Clear leftovers of interrupted checkpoints (unreferenced
         // segments, orphaned manifests) — but never the WAL chain at or
-        // above the durable generation.
-        prune_stale(&vfs, dir, &manifest);
+        // above the durable generation. With archiving on this also
+        // completes any retire a crash interrupted (the reconcile pass).
+        crate::archive::retire_stale(&vfs, dir, &manifest, opts.archive.as_ref(), &pins);
         Ok(Self {
             table,
             dir: dir.to_path_buf(),
@@ -615,10 +640,12 @@ impl DurableTable {
             background_error: None,
             mode: TableMode::Active,
             cp_stats: CheckpointStats::default(),
-            scrubber: spawn_scrubber(&opts, &vfs, dir)?,
+            scrubber: spawn_scrubber(&opts, &vfs, dir, Arc::clone(&watched))?,
             manual_scrub: ScrubStats::default(),
             quarantined: BTreeMap::new(),
             governor: opts.governor.map(|cfg| Arc::new(Governor::new(cfg))),
+            pins,
+            watched_backups: watched,
             vfs,
             opts,
         })
@@ -654,6 +681,7 @@ impl DurableTable {
         // snapshot already folded in; otherwise fresh records would replay
         // as already-applied.
         wal.ensure_lsn_at_least(restored.durable_lsn.max(s.last_lsn) + 1);
+        let watched = Arc::new(Mutex::new(Vec::new()));
         let this = Self {
             table,
             dir: dir.to_path_buf(),
@@ -672,10 +700,12 @@ impl DurableTable {
             background_error: None,
             mode: TableMode::Active,
             cp_stats: CheckpointStats::default(),
-            scrubber: spawn_scrubber(&opts, &vfs, dir)?,
+            scrubber: spawn_scrubber(&opts, &vfs, dir, Arc::clone(&watched))?,
             manual_scrub: ScrubStats::default(),
             quarantined: BTreeMap::new(),
             governor: opts.governor.map(|cfg| Arc::new(Governor::new(cfg))),
+            pins: crate::archive::SharedPins::default(),
+            watched_backups: watched,
             vfs,
             opts,
         };
@@ -897,6 +927,10 @@ impl DurableTable {
             s.records_checked += bg.records_checked;
             s.corrupt_records += bg.corrupt_records;
             s.failed_passes += bg.failed_passes;
+            s.archive_files_checked += bg.archive_files_checked;
+            s.archive_corrupt_files += bg.archive_corrupt_files;
+            s.backups_checked += bg.backups_checked;
+            s.backup_failures += bg.backup_failures;
         }
         s
     }
@@ -910,12 +944,35 @@ impl DurableTable {
     /// Run one synchronous scrub pass over the current manifest and apply
     /// its findings (mark damaged-but-resident chunks dirty so the next
     /// checkpoint rewrites them; quarantine damaged never-hydrated ones).
+    /// The pass also re-verifies the archive behind the live chain and any
+    /// backups registered via [`DurableTable::watch_backup`]; their
+    /// damage is counted and reported, never escalated — archive or backup
+    /// rot must not block live serving.
     pub fn scrub_now(&mut self) -> Result<ScrubReport, PersistError> {
         let report = crate::scrub::scrub_pass(&self.vfs, &self.dir, Duration::ZERO, None)?;
         self.manual_scrub.passes += 1;
         self.manual_scrub.records_checked += report.records_checked;
         self.manual_scrub.corrupt_records += report.findings.len() as u64;
+        self.manual_scrub.archive_files_checked += report.archive_files_checked;
+        self.manual_scrub.archive_corrupt_files += report.archive_findings.len() as u64;
         self.apply_scrub_findings(&report.findings);
+        let watched: Vec<PathBuf> = self
+            .watched_backups
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        for backup in watched {
+            self.manual_scrub.backups_checked += 1;
+            let outcome = crate::archive::verify_backup(&self.vfs, &backup, Duration::ZERO, None);
+            crate::scrub::note_backup_verification(outcome.is_ok());
+            if let Err(e) = outcome {
+                self.manual_scrub.backup_failures += 1;
+                warn_rate_limited(&format!(
+                    "watched backup {} failed verification: {e}",
+                    backup.display()
+                ));
+            }
+        }
         Ok(report)
     }
 
@@ -1395,6 +1452,136 @@ impl DurableTable {
         self.checkpoint_sync(true)
     }
 
+    /// Restore the table as it stood at `lsn`: pick the newest manifest
+    /// (archived or live) whose durable LSN is at or before the target,
+    /// rebuild the table from its records — **zero layout solves, zero
+    /// codec re-encodes**, even when `lsn` predates an
+    /// [`DurableTable::optimize`] re-layout (the archived manifest carries
+    /// the old layout verbatim) — and replay the archived + live WAL chain
+    /// up to the target. A target between two commit boundaries rounds
+    /// *down* to the last committed batch at or below it (group commit
+    /// acknowledged nothing in between); a target past the end of history
+    /// clamps to everything available. A target older than the retention
+    /// horizon fails with a typed error.
+    ///
+    /// The result is read-only and detached from the live table, which may
+    /// keep serving concurrently (restore never writes to the directory).
+    pub fn open_at(
+        dir: &Path,
+        lsn: u64,
+        opts: DurableOptions,
+    ) -> Result<PointInTime, PersistError> {
+        Self::open_at_with_vfs(VfsHandle::default(), dir, lsn, opts)
+    }
+
+    /// As [`DurableTable::open_at`], routing all I/O through `vfs`.
+    pub fn open_at_with_vfs(
+        vfs: VfsHandle,
+        dir: &Path,
+        lsn: u64,
+        opts: DurableOptions,
+    ) -> Result<PointInTime, PersistError> {
+        casper_obs::enable_from_env();
+        crate::archive::open_at(&vfs, dir, lsn, opts)
+    }
+
+    /// Take a consistent online backup into `dest`: pin the current
+    /// generation, then copy its manifest, every referenced segment, and
+    /// the sealed WAL chain — CRC-verifying every byte on the way out.
+    /// Equivalent to [`DurableTable::begin_backup`] followed immediately
+    /// by [`BackupJob::run`] on the calling thread; use `begin_backup` to
+    /// run the copy on a worker while this table keeps serving.
+    pub fn backup_to(&mut self, dest: &Path) -> Result<BackupReport, PersistError> {
+        self.begin_backup(dest)?.run()
+    }
+
+    /// Fence and pin a backup of the current generation. The fence is
+    /// short — wait out any in-flight background checkpoint, seal the open
+    /// WAL batch — and on return the backup's contents are fixed: exactly
+    /// the writes acknowledged before this call. The returned job owns a
+    /// pin that keeps every source file in place (not pruned, not retired)
+    /// until the job is dropped; [`BackupJob::run`] may execute on any
+    /// thread while this table serves reads *and writes* concurrently.
+    pub fn begin_backup(&mut self, dest: &Path) -> Result<BackupJob, PersistError> {
+        self.ensure_active()?;
+        if self.entries.len() != self.table.column().chunks().len() {
+            // A not-yet-upgraded v1 directory has no per-chunk records to
+            // copy; its first v2 checkpoint creates them.
+            self.checkpoint()?;
+        }
+        // The fence against the checkpointer's capture/execute split: a
+        // job captured before this point has fully committed (or failed)
+        // once finish_inflight returns, and any later capture happens on
+        // this thread, after the pin below is registered.
+        self.finish_inflight()?;
+        if let Err(e) = self.wal.seal() {
+            if !self.wal.poisoned() {
+                return Err(e);
+            }
+            // Poisoned seal: the recovery checkpoint folds the ghost batch
+            // into a fresh generation; the backup then copies that.
+            self.checkpoint_sync(false)?;
+        }
+        let segments: BTreeSet<u64> = self.entries.iter().map(|e| e.seg).collect();
+        let pin = self.pins.pin(crate::archive::BackupPin {
+            generation: self.generation,
+            segments,
+            min_wal: self.generation,
+        });
+        let mut wal_specs: Vec<(u64, Option<u64>)> =
+            (self.generation..self.wal_seq).map(|s| (s, None)).collect();
+        // The live link keeps growing under concurrent writes; cut it at
+        // the durable boundary of the fence.
+        wal_specs.push((self.wal_seq, Some(self.wal.durable_bytes())));
+        let backup_lsn = self.wal.next_lsn().saturating_sub(1);
+        Ok(BackupJob::new(
+            self.vfs.clone(),
+            self.dir.clone(),
+            dest.to_path_buf(),
+            self.generation,
+            wal_specs,
+            backup_lsn,
+            pin,
+        ))
+    }
+
+    /// Verify a backup directory end to end: `CURRENT` → manifest checksum
+    /// → every chunk record CRC → every WAL link fully sealed with gapless
+    /// LSN continuity across links. Read-only; works on any self-contained
+    /// table directory.
+    pub fn verify_backup(dir: &Path) -> Result<BackupVerifyReport, PersistError> {
+        Self::verify_backup_with_vfs(VfsHandle::default(), dir)
+    }
+
+    /// As [`DurableTable::verify_backup`], routing all I/O through `vfs`.
+    pub fn verify_backup_with_vfs(
+        vfs: VfsHandle,
+        dir: &Path,
+    ) -> Result<BackupVerifyReport, PersistError> {
+        crate::archive::verify_backup(&vfs, dir, Duration::ZERO, None)
+    }
+
+    /// Register a backup directory for ongoing re-verification: the
+    /// background scrubber (when enabled) and [`DurableTable::scrub_now`]
+    /// walk it after each pass, counting failures in
+    /// [`ScrubStats::backup_failures`] — a rotting backup is found before
+    /// the day it is needed.
+    pub fn watch_backup(&mut self, dir: &Path) {
+        let mut watched = self
+            .watched_backups
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if !watched.iter().any(|p| p == dir) {
+            watched.push(dir.to_path_buf());
+        }
+    }
+
+    /// The current archive index (empty when archiving is off or nothing
+    /// has been retired yet).
+    pub fn archive_index(&self) -> Result<crate::archive::ArchiveIndex, PersistError> {
+        crate::archive::ArchiveIndex::load(&self.vfs, &self.dir)
+    }
+
     fn checkpoint_sync(&mut self, force_full: bool) -> Result<u64, PersistError> {
         self.finish_inflight()?;
         self.absorb_scrub_findings();
@@ -1602,6 +1789,8 @@ impl DurableTable {
             n_chunks: n,
             fresh,
             reused,
+            archive: self.opts.archive,
+            pins: self.pins.clone(),
         })
     }
 

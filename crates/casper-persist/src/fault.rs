@@ -167,6 +167,12 @@ enum DirentOp {
     Rename {
         from: PathBuf,
         to: PathBuf,
+        /// Durable content of `from`'s inode at rename time. Carried in
+        /// the op because durable content is a property of the *inode*,
+        /// not the name: a later create may reuse `from` (a retried
+        /// write-atomic reuses its temp name), and resolving at commit
+        /// time would hand the first rename the second inode's bytes.
+        content: Vec<u8>,
         /// Durable content `to` held before being replaced (`None`: `to`
         /// did not exist).
         replaced: Option<Vec<u8>>,
@@ -333,7 +339,9 @@ impl FaultVfs {
                     let _ = std::fs::remove_file(&p);
                     st.durable.remove(&p);
                 }
-                DirentOp::Rename { from, to, replaced } => {
+                DirentOp::Rename {
+                    from, to, replaced, ..
+                } => {
                     let _ = std::fs::rename(&to, &from);
                     match replaced {
                         Some(content) => std::fs::write(&to, content)?,
@@ -475,6 +483,7 @@ impl Vfs for Arc<FaultVfs> {
             return Err(err.to_io());
         }
         st.track_existing(from);
+        let content = st.durable.get(from).cloned().unwrap_or_default();
         let replaced = if to.exists() {
             st.track_existing(to);
             st.durable.get(to).cloned()
@@ -485,6 +494,7 @@ impl Vfs for Arc<FaultVfs> {
         st.pending.push(DirentOp::Rename {
             from: from.to_path_buf(),
             to: to.to_path_buf(),
+            content,
             replaced,
         });
         Ok(())
@@ -528,8 +538,14 @@ impl Vfs for Arc<FaultVfs> {
                     // own fsyncs got (none yet → empty file after crash).
                     st.durable.entry(p).or_default();
                 }
-                DirentOp::Rename { from, to, .. } => {
-                    let content = st.durable.remove(&from).unwrap_or_default();
+                DirentOp::Rename {
+                    from, to, content, ..
+                } => {
+                    // The committed name gets the inode's bytes as they
+                    // were durable at rename time; the old name's shadow
+                    // entry (if any) described that same inode and is
+                    // gone with the dirent.
+                    st.durable.remove(&from);
                     st.durable.insert(to, content);
                 }
                 DirentOp::Remove { path, .. } => {

@@ -324,6 +324,11 @@ pub(crate) struct CheckpointJob {
     pub reused: Vec<(usize, ChunkEntry)>,
     /// Total chunk count (`fresh.len() + reused.len()`).
     pub n_chunks: usize,
+    /// Archive policy: `Some` retires stale files instead of deleting them.
+    pub archive: Option<crate::archive::ArchiveConfig>,
+    /// Backup pins shared with the owning table — pinned files survive
+    /// both pruning and retiring while a backup copies them.
+    pub pins: crate::archive::SharedPins,
 }
 
 /// Run a checkpoint job to completion: write the segment (if any records
@@ -429,7 +434,13 @@ pub(crate) fn run_checkpoint(job: &CheckpointJob) -> Result<Manifest, PersistErr
         &crate::durable::current_path(&job.dir),
         format!("{}\n", job.new_gen).as_bytes(),
     )?;
-    prune_stale(&job.vfs, &job.dir, &manifest);
+    crate::archive::retire_stale(
+        &job.vfs,
+        &job.dir,
+        &manifest,
+        job.archive.as_ref(),
+        &job.pins,
+    );
     Ok(manifest)
 }
 
@@ -459,22 +470,36 @@ pub(crate) fn read_record(
 
 /// Best-effort removal of everything the new manifest no longer needs:
 /// older manifests, v1 snapshots, unreferenced segments, WAL files below
-/// the new generation, and orphaned temp files. A crash mid-prune only
-/// leaves garbage for the next prune.
-pub(crate) fn prune_stale(vfs: &VfsHandle, dir: &Path, manifest: &Manifest) {
+/// the new generation, and orphaned temp files. Files pinned by an
+/// in-flight backup are skipped. A crash mid-prune only leaves garbage
+/// for the next prune: `CURRENT` and its targets were made durable (via
+/// checked directory fsyncs in [`crate::durable::write_atomic`]) *before*
+/// any removal starts, so no schedule can delete a file the committed
+/// generation still needs. The trailing directory fsync bounds how long
+/// removed dirents linger, so a crash-reopen does not re-surface files a
+/// prior incarnation already pruned.
+pub(crate) fn prune_stale(
+    vfs: &VfsHandle,
+    dir: &Path,
+    manifest: &Manifest,
+    pins: &crate::archive::SharedPins,
+) {
     let referenced = manifest.referenced_segments();
     let Ok(entries) = fs::read_dir(dir) else {
         return;
     };
     for entry in entries.flatten() {
+        if entry.path().is_dir() {
+            continue; // the archive directory, if one exists
+        }
         let name = entry.file_name();
         let name = name.to_string_lossy().into_owned();
         let stale = if let Some(g) = numbered_file(&name, "manifest-", ".casper") {
-            g != manifest.generation
+            g != manifest.generation && !pins.keep_manifest(g)
         } else if let Some(s) = numbered_file(&name, "seg-", ".casper") {
-            !referenced.contains(&s)
+            !referenced.contains(&s) && !pins.keep_segment(s)
         } else if let Some(w) = numbered_file(&name, "wal-", ".log") {
-            w < manifest.generation
+            w < manifest.generation && !pins.keep_wal(w)
         } else {
             name.starts_with("snap-") || name.ends_with(".tmp")
         };
@@ -482,6 +507,7 @@ pub(crate) fn prune_stale(vfs: &VfsHandle, dir: &Path, manifest: &Manifest) {
             let _ = vfs.remove(&entry.path());
         }
     }
+    crate::durable::sync_dir(vfs, dir);
 }
 
 // ---------------------------------------------------------------------
@@ -497,9 +523,27 @@ pub(crate) fn restore_table(
     manifest: &Manifest,
     eager: bool,
 ) -> Result<Table, PersistError> {
+    restore_table_from(vfs, &[dir.to_path_buf()], manifest, eager)
+}
+
+/// [`restore_table`] over a search path: each referenced segment is taken
+/// from the first directory that holds it (point-in-time restores mix live
+/// and archived segments — a shared segment may still be live while the
+/// base manifest is archived). A segment found nowhere resolves to the
+/// primary directory so the mmap produces the usual typed error.
+pub(crate) fn restore_table_from(
+    vfs: &VfsHandle,
+    dirs: &[PathBuf],
+    manifest: &Manifest,
+    eager: bool,
+) -> Result<Table, PersistError> {
     let mut maps: BTreeMap<u64, Arc<Mmap>> = BTreeMap::new();
     for seg in manifest.referenced_segments() {
-        let path = segment_path(dir, seg);
+        let path = dirs
+            .iter()
+            .map(|d| segment_path(d, seg))
+            .find(|p| p.exists())
+            .unwrap_or_else(|| segment_path(&dirs[0], seg));
         let map = Arc::new(vfs.mmap(&path)?);
         verify_segment_header(&map, seg)?;
         maps.insert(seg, map);
@@ -554,9 +598,9 @@ pub(crate) fn record_loader(
     })
 }
 
-/// Check a mapped segment's header (magic, version, recorded sequence).
-fn verify_segment_header(map: &Mmap, seq: u64) -> Result<(), StorageError> {
-    let mut r = ByteReader::new(map);
+/// Check a segment's header (magic, version, recorded sequence).
+pub(crate) fn verify_segment_header(bytes: &[u8], seq: u64) -> Result<(), StorageError> {
+    let mut r = ByteReader::new(bytes);
     let magic = [r.u8()?, r.u8()?, r.u8()?, r.u8()?];
     if magic != SEGMENT_MAGIC {
         return Err(corrupt(format!("segment {seq}: bad magic {magic:02x?}")));

@@ -26,6 +26,12 @@
 //! * [`checkpointer`] — the background checkpoint thread: the foreground
 //!   seals + rotates the WAL and clones dirty chunk state; serialization
 //!   and fsyncs run off the commit path.
+//! * [`archive`] — point-in-time recovery: with archiving enabled,
+//!   checkpoint pruning *retires* superseded manifests, segments, and WAL
+//!   links into an LSN-indexed `archive/` instead of deleting them, so
+//!   [`DurableTable::open_at`] can restore any archived LSN bit-exact
+//!   (zero solves, zero re-encodes). Also home of the online hot-backup
+//!   path ([`DurableTable::begin_backup`]) and backup verification.
 //! * [`durable`] — [`DurableTable`], the engine wrapper tying it together:
 //!   WAL staging on every write, watermark-triggered background
 //!   checkpoints, synchronous checkpoints after every optimizer re-layout,
@@ -35,6 +41,7 @@
 //! workspace's offline `crates/shims/` discipline; the byte layouts are
 //! documented in `docs/persist-format.md`.
 
+pub mod archive;
 pub mod checkpointer;
 pub mod codec;
 pub mod crc;
@@ -47,6 +54,10 @@ pub mod snapshot;
 pub mod vfs;
 pub mod wal;
 
+pub use archive::{
+    ArchiveConfig, ArchiveIndex, ArchivedManifest, ArchivedSegment, ArchivedWal, BackupJob,
+    BackupReport, BackupVerifyReport, PointInTime,
+};
 pub use durable::{CheckpointFailure, CheckpointStats, DurableOptions, DurableStats, DurableTable};
 pub use fault::{FaultCounters, FaultErr, FaultRule, FaultVfs, VfsOp};
 pub use incremental::{decode_manifest, encode_manifest, ChunkEntry, Manifest};

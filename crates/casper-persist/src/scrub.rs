@@ -31,6 +31,24 @@ static OBS_SCRUB_PASSES: CounterDef = CounterDef::new("casper_scrub_passes_total
 static OBS_SCRUB_RECORDS: CounterDef = CounterDef::new("casper_scrub_records_checked_total");
 static OBS_SCRUB_CORRUPT: CounterDef = CounterDef::new("casper_scrub_corrupt_records_total");
 static OBS_SCRUB_FAILED: CounterDef = CounterDef::new("casper_scrub_failed_passes_total");
+static OBS_SCRUB_ARCHIVE_FILES: CounterDef =
+    CounterDef::new("casper_scrub_archive_files_checked_total");
+static OBS_SCRUB_ARCHIVE_CORRUPT: CounterDef =
+    CounterDef::new("casper_scrub_archive_corrupt_total");
+static OBS_SCRUB_BACKUPS_OK: CounterDef =
+    CounterDef::new("casper_scrub_backup_verifications_total{result=\"ok\"}");
+static OBS_SCRUB_BACKUPS_ERR: CounterDef =
+    CounterDef::new("casper_scrub_backup_verifications_total{result=\"err\"}");
+
+/// Record one backup verification outcome on the registry — shared by
+/// the background scrubber and the synchronous `scrub_now` path.
+pub(crate) fn note_backup_verification(ok: bool) {
+    if ok {
+        OBS_SCRUB_BACKUPS_OK.inc();
+    } else {
+        OBS_SCRUB_BACKUPS_ERR.inc();
+    }
+}
 
 /// One damaged record discovered by a scrub pass.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -57,6 +75,12 @@ pub struct ScrubReport {
     pub records_checked: u64,
     /// Damaged records, in chunk order.
     pub findings: Vec<ScrubFinding>,
+    /// Archived files re-verified against the archive index (whole-file
+    /// length + CRC). Zero when archiving is off or nothing is retired.
+    pub archive_files_checked: u64,
+    /// Archived files that failed verification, rendered. Archive damage
+    /// is reported, never escalated: it does not block live serving.
+    pub archive_findings: Vec<String>,
 }
 
 /// Cumulative scrubber counters, surfaced through `DurableTable::stats`.
@@ -70,6 +94,14 @@ pub struct ScrubStats {
     pub corrupt_records: u64,
     /// Passes that aborted on an I/O error before completing.
     pub failed_passes: u64,
+    /// Archived files re-verified against the archive index.
+    pub archive_files_checked: u64,
+    /// Archived files that failed verification (pre-dedup).
+    pub archive_corrupt_files: u64,
+    /// Watched backup directories verified end to end.
+    pub backups_checked: u64,
+    /// Watched backup verifications that failed.
+    pub backup_failures: u64,
 }
 
 /// Verify one record's bytes against its manifest entry.
@@ -140,9 +172,18 @@ pub fn scrub_pass(
             std::thread::sleep(pause_per_record);
         }
     }
+    // Walk the archive index behind the live chain at the same throttle.
+    // Archive damage never fails the pass: history rot is a finding (and
+    // a counter), not an obstacle to serving the live table.
+    let (archive_checked, archive_findings) =
+        crate::archive::scrub_archive(vfs, dir, pause_per_record, stop);
+    report.archive_files_checked = archive_checked;
+    report.archive_findings = archive_findings;
     OBS_SCRUB_PASSES.inc();
     OBS_SCRUB_RECORDS.add(report.records_checked);
     OBS_SCRUB_CORRUPT.add(report.findings.len() as u64);
+    OBS_SCRUB_ARCHIVE_FILES.add(report.archive_files_checked);
+    OBS_SCRUB_ARCHIVE_CORRUPT.add(report.archive_findings.len() as u64);
     Ok(report)
 }
 
@@ -159,27 +200,32 @@ pub(crate) struct ScrubShared {
 }
 
 impl ScrubShared {
+    // Lock recovery: the guarded data is a plain stats struct / findings
+    // vec that no panic can leave torn, so a poisoned mutex (a panicking
+    // scrubber thread) must not cascade panics into the owning table.
     pub fn stats(&self) -> ScrubStats {
-        *self.stats.lock().expect("scrub stats lock")
+        *self.stats.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Drain the findings accumulated since the last call (deduped by
     /// (generation, chunk), capped).
     pub fn take_findings(&self) -> Vec<ScrubFinding> {
-        std::mem::take(&mut *self.findings.lock().expect("scrub findings lock"))
+        std::mem::take(&mut *self.findings.lock().unwrap_or_else(|e| e.into_inner()))
     }
 
     fn absorb(&self, report: &ScrubReport) {
         {
-            let mut stats = self.stats.lock().expect("scrub stats lock");
+            let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
             stats.passes += 1;
             stats.records_checked += report.records_checked;
             stats.corrupt_records += report.findings.len() as u64;
+            stats.archive_files_checked += report.archive_files_checked;
+            stats.archive_corrupt_files += report.archive_findings.len() as u64;
         }
         if report.findings.is_empty() {
             return;
         }
-        let mut findings = self.findings.lock().expect("scrub findings lock");
+        let mut findings = self.findings.lock().unwrap_or_else(|e| e.into_inner());
         for f in &report.findings {
             if findings.len() >= MAX_RETAINED_FINDINGS {
                 break;
@@ -193,9 +239,21 @@ impl ScrubShared {
         }
     }
 
+    fn note_backup(&self, ok: bool) {
+        note_backup_verification(ok);
+        let mut stats = self.stats.lock().unwrap_or_else(|e| e.into_inner());
+        stats.backups_checked += 1;
+        if !ok {
+            stats.backup_failures += 1;
+        }
+    }
+
     fn note_failed_pass(&self) {
         OBS_SCRUB_FAILED.inc();
-        self.stats.lock().expect("scrub stats lock").failed_passes += 1;
+        self.stats
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .failed_passes += 1;
     }
 }
 
@@ -210,11 +268,15 @@ pub(crate) struct Scrubber {
 
 impl Scrubber {
     /// Spawn the thread. Fails (typed) if the OS refuses the thread.
+    /// `watched` holds backup directories (shared with the owning table's
+    /// `watch_backup`) that each pass re-verifies end to end after the
+    /// live walk, at the same throttle.
     pub fn spawn(
         vfs: VfsHandle,
         dir: PathBuf,
         interval: Duration,
         pause_per_record: Duration,
+        watched: Arc<Mutex<Vec<PathBuf>>>,
     ) -> Result<Self, PersistError> {
         let shared = Arc::new(ScrubShared::default());
         let stop = Arc::new(AtomicBool::new(false));
@@ -243,6 +305,31 @@ impl Scrubber {
                     // the next pass sees a consistent view. Count it, move
                     // on.
                     Err(_) => thread_shared.note_failed_pass(),
+                }
+                // Re-verify watched backups at the pass cadence. Failures
+                // are counted and logged — a backup rotting on a shelf
+                // must be discovered before the day it is needed, but it
+                // must never block (or degrade) live serving.
+                let dirs: Vec<PathBuf> = watched.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                for backup in dirs {
+                    if thread_stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    match crate::archive::verify_backup(
+                        &vfs,
+                        &backup,
+                        pause_per_record,
+                        Some(&thread_stop),
+                    ) {
+                        Ok(_) => thread_shared.note_backup(true),
+                        Err(e) => {
+                            thread_shared.note_backup(false);
+                            crate::durable::warn_rate_limited(&format!(
+                                "watched backup {} failed verification: {e}",
+                                backup.display()
+                            ));
+                        }
+                    }
                 }
             })?;
         Ok(Self {

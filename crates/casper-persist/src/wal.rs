@@ -247,10 +247,24 @@ pub fn replay(
     table: &mut Table,
     after_lsn: u64,
 ) -> Result<(u64, OpCost), PersistError> {
+    replay_upto(scan, table, after_lsn, u64::MAX)
+}
+
+/// [`replay`] bounded above: only batches with
+/// `after_lsn < commit_lsn <= upto_lsn` are applied. Point-in-time restore
+/// uses the upper bound to stop at a historical LSN; batch granularity is
+/// exact because group commit never acknowledged anything between commit
+/// boundaries.
+pub fn replay_upto(
+    scan: &WalScan,
+    table: &mut Table,
+    after_lsn: u64,
+    upto_lsn: u64,
+) -> Result<(u64, OpCost), PersistError> {
     let mut applied = 0u64;
     let mut cost = OpCost::default();
     for batch in &scan.batches {
-        if batch.commit_lsn <= after_lsn {
+        if batch.commit_lsn <= after_lsn || batch.commit_lsn > upto_lsn {
             continue;
         }
         for op in &batch.ops {

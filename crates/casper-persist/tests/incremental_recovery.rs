@@ -804,3 +804,97 @@ fn fault_eio_on_manifest_read() {
         fingerprint_oracle(&mut oracle, n)
     );
 }
+
+/// Drive the crash-mid-prune workload against `dir` through `handle`:
+/// one pruning checkpoint already behind us, a second one about to run
+/// with six writes dirty. Returns the table.
+fn pruning_fixture(handle: VfsHandle, dir: &Path) -> DurableTable {
+    let opts = DurableOptions {
+        background_checkpointer: false, // inline: fsync order is exact
+        ..DurableOptions::default()
+    };
+    let mut t =
+        DurableTable::create_from_table_with_vfs(handle, dir, seed_table(), opts).expect("create");
+    for q in markers(4) {
+        t.execute(&q).expect("write");
+    }
+    t.checkpoint().expect("first pruning checkpoint");
+    for q in markers(6).split_off(4) {
+        t.execute(&q).expect("write");
+    }
+    t
+}
+
+/// Crash at *every* directory fsync of a pruning checkpoint (archiving
+/// off): WAL rotation, the manifest and `CURRENT` swings, and the final
+/// post-prune directory sync that makes stale-file removal durable.
+/// Whichever one the power cut beats, recovery must resolve a complete
+/// chain — `CURRENT` never points at a pruned file, a half-pruned
+/// directory never orphans a WAL link — and serve every acknowledged
+/// write. Stale files the crash resurrects are re-pruned next pass.
+#[test]
+fn fault_crash_at_every_dir_fsync_of_a_pruning_checkpoint() {
+    // Prime run: count the dir fsyncs one pruning checkpoint performs
+    // (the workload is deterministic, so every run repeats the count).
+    let fsyncs_per_checkpoint = {
+        let dir = test_dir("fault_prune_crash_prime");
+        let (vfs, handle) = fault_handle(40);
+        let mut t = pruning_fixture(handle, &dir);
+        let before = vfs.counters().dir_fsyncs;
+        t.checkpoint().expect("prime checkpoint");
+        vfs.counters().dir_fsyncs - before
+    };
+    assert!(
+        fsyncs_per_checkpoint >= 3,
+        "premise: rotation + swings + post-prune sync are all dir fsyncs"
+    );
+
+    let mut oracle = seed_table();
+    for q in markers(8) {
+        oracle.execute(&q).expect("oracle");
+    }
+    for nth in 1..=fsyncs_per_checkpoint {
+        let dir = test_dir(&format!("fault_prune_crash_{nth}"));
+        let (vfs, handle) = fault_handle(40 + nth);
+        let mut t = pruning_fixture(handle.clone(), &dir);
+        vfs.inject(FaultRule {
+            op: VfsOp::FsyncDir,
+            path_substr: None,
+            nth: Some(nth),
+            short_bytes: None,
+            err: FaultErr::Eio,
+            times: 1,
+        });
+        // Early fsyncs fail the checkpoint typed; the post-prune sync is
+        // best-effort (the chain is already committed) and stays Ok.
+        // Either way the table must stay writable.
+        let _ = t.checkpoint();
+        assert_eq!(vfs.counters().injected, 1, "nth {nth}: fault never fired");
+        assert!(!t.is_degraded(), "nth {nth}: one fsync failure degraded");
+        for q in markers(8).split_off(6) {
+            t.execute(&q)
+                .unwrap_or_else(|e| panic!("nth {nth}: write after fault: {e}"));
+        }
+        drop(t);
+
+        vfs.clear_faults();
+        vfs.simulate_crash().expect("crash");
+        let mut t = DurableTable::open_with_vfs(handle.clone(), &dir, DurableOptions::default())
+            .unwrap_or_else(|e| panic!("nth {nth}: reopen found an orphaned chain: {e}"));
+        assert_eq!(
+            fingerprint_durable(&mut t, 8),
+            fingerprint_oracle(&mut oracle, 8),
+            "nth {nth}: crash mid-prune lost acknowledged writes"
+        );
+        // Resurrected stale files are garbage, not load-bearing: the next
+        // checkpoint prunes them again and the directory stays openable.
+        t.checkpoint().expect("re-pruning checkpoint");
+        drop(t);
+        let mut t = DurableTable::open_with_vfs(handle.clone(), &dir, DurableOptions::default())
+            .expect("reopen after re-prune");
+        assert_eq!(
+            fingerprint_durable(&mut t, 8),
+            fingerprint_oracle(&mut oracle, 8)
+        );
+    }
+}

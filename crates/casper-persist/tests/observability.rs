@@ -191,3 +191,58 @@ fn full_cycle_dump_has_signal_from_every_subsystem() {
     assert!(json.starts_with('{'), "metrics_json: {json}");
     assert!(json.contains("casper_checkpoints_total"));
 }
+
+/// A full PITR cycle — archiving checkpoints, a hot backup, a watched
+/// re-verification, a restore-to-LSN, a scrub over the archive — leaves
+/// non-zero signal on every archive/backup metric.
+#[test]
+fn pitr_cycle_dump_has_archive_and_backup_signal() {
+    casper_obs::enable();
+    let dir = test_dir("observability_pitr");
+    let backup_dir = test_dir("observability_pitr_backup");
+    let opts = DurableOptions {
+        background_checkpointer: false,
+        archive: Some(casper_persist::ArchiveConfig::default()),
+        ..DurableOptions::default()
+    };
+    let mut dt = DurableTable::create_from_table(&dir, seed_table(2_000), opts).expect("create");
+    let payload_arity = HapSchema::narrow().payload_cols;
+    // Three checkpointed rounds: each retires the superseded generation
+    // (manifest + WAL links, eventually segments) into the archive.
+    for round in 0..3u64 {
+        for i in 0..40u64 {
+            dt.execute(&HapQuery::Q4 {
+                key: 100_001 + round * 1_000 + i * 2,
+                payload: vec![5u32; payload_arity],
+            })
+            .expect("q4");
+        }
+        dt.checkpoint().expect("checkpoint");
+    }
+    let target = dt.stats().durable_lsn;
+
+    dt.backup_to(&backup_dir).expect("backup");
+    dt.watch_backup(&backup_dir);
+    dt.scrub_now().expect("scrub"); // archive walk + backup re-verify
+    let pit = DurableTable::open_at(&dir, target, opts).expect("open_at");
+    assert!(pit.restored_lsn <= target);
+
+    let text = dt.metrics_text();
+    // Archive retire signal.
+    assert_nonzero(&text, "casper_archive_retired_files_total");
+    assert_nonzero(&text, "casper_archive_bytes");
+    assert_nonzero(&text, "casper_archive_files");
+    // Hot-backup signal.
+    assert_nonzero(&text, "casper_backups_total");
+    assert_nonzero(&text, "casper_backup_bytes_total");
+    assert_nonzero(&text, "casper_backup_duration_ns_count");
+    // Restore-to-LSN signal.
+    assert_nonzero(&text, "casper_pitr_restores_total");
+    assert_nonzero(&text, "casper_pitr_restore_duration_ns_count");
+    // Scrub coverage of the archive and the watched backup.
+    assert_nonzero(&text, "casper_scrub_archive_files_checked_total");
+    assert_nonzero(
+        &text,
+        "casper_scrub_backup_verifications_total{result=\"ok\"}",
+    );
+}
